@@ -1,0 +1,115 @@
+//! Ablations for the implementation's design choices:
+//!
+//! * semi-naive vs naive bottom-up evaluation in the Datalog substrate,
+//! * the unary congruence closure vs the general k-ary procedure on the
+//!   unary workloads the equational specifications produce,
+//! * raw Algorithm Q output vs its bisimulation quotient (spec size is
+//!   traded against one extra minimization pass).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fundb_bench::subset_lists;
+use fundb_congruence::{CongruenceClosure, GenCongruence};
+use fundb_datalog as dl;
+use fundb_term::{Cst, Func, Interner, Pred, Var};
+
+fn transitive_closure(n: usize) -> (dl::Database, Vec<dl::Rule>) {
+    let mut i = Interner::new();
+    let edge = Pred(i.intern("Edge"));
+    let path = Pred(i.intern("Path"));
+    let (x, y, z) = (Var(i.intern("x")), Var(i.intern("y")), Var(i.intern("z")));
+    let rules = vec![
+        dl::Rule::new(
+            dl::Atom::new(path, vec![dl::Term::Var(x), dl::Term::Var(y)]),
+            vec![dl::Atom::new(
+                edge,
+                vec![dl::Term::Var(x), dl::Term::Var(y)],
+            )],
+        ),
+        dl::Rule::new(
+            dl::Atom::new(path, vec![dl::Term::Var(x), dl::Term::Var(z)]),
+            vec![
+                dl::Atom::new(path, vec![dl::Term::Var(x), dl::Term::Var(y)]),
+                dl::Atom::new(edge, vec![dl::Term::Var(y), dl::Term::Var(z)]),
+            ],
+        ),
+    ];
+    let mut db = dl::Database::new();
+    let nodes: Vec<Cst> = (0..=n).map(|k| Cst(i.intern(&format!("v{k}")))).collect();
+    for w in nodes.windows(2) {
+        db.insert(edge, vec![w[0], w[1]].into_boxed_slice());
+    }
+    (db, rules)
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+
+    // Semi-naive vs naive evaluation.
+    for n in [32usize, 64] {
+        group.bench_with_input(BenchmarkId::new("datalog/semi_naive", n), &n, |b, &n| {
+            b.iter(|| {
+                let (mut db, rules) = transitive_closure(n);
+                dl::evaluate(&mut db, &rules)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("datalog/naive", n), &n, |b, &n| {
+            b.iter(|| {
+                let (mut db, rules) = transitive_closure(n);
+                dl::evaluate_naive(&mut db, &rules)
+            });
+        });
+    }
+
+    // Unary vs generic congruence closure on an equational-spec-like
+    // workload: a long chain collapsed modulo k.
+    for len in [256usize, 1024] {
+        group.bench_with_input(
+            BenchmarkId::new("congruence/unary", len),
+            &len,
+            |b, &len| {
+                let mut i = Interner::new();
+                let f = Func(i.intern("f"));
+                b.iter(|| {
+                    let mut cc = CongruenceClosure::new();
+                    cc.equate_paths(&[], &[f; 7]);
+                    cc.congruent_paths(&vec![f; len], &vec![f; len % 7])
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("congruence/generic", len),
+            &len,
+            |b, &len| {
+                let mut i = Interner::new();
+                let f = i.intern("f");
+                let zero = i.intern("0");
+                b.iter(|| {
+                    let mut cc = GenCongruence::new();
+                    let chain = |cc: &mut GenCongruence, n: usize| {
+                        let mut t = cc.term(zero, &[]);
+                        for _ in 0..n {
+                            t = cc.term(f, &[t]);
+                        }
+                        t
+                    };
+                    let a = chain(&mut cc, 7);
+                    let z = chain(&mut cc, 0);
+                    cc.merge(a, z);
+                    let (long, short) = (chain(&mut cc, len), chain(&mut cc, len % 7));
+                    cc.congruent(long, short)
+                });
+            },
+        );
+    }
+
+    // Raw Algorithm Q output vs the bisimulation quotient.
+    group.bench_function("minimize/subset_lists/5", |b| {
+        let spec = subset_lists(5).graph_spec().unwrap();
+        b.iter(|| spec.minimized());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

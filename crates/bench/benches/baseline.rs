@@ -1,0 +1,41 @@
+//! E9 — the [RBS87] baseline: bounded-depth naive materialization (cost
+//! grows with the horizon) vs the relational specification (one-off build,
+//! O(path) membership afterwards).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fundb_bench::rotation;
+use fundb_core::{normalize, to_pure, BoundedMaterialization};
+
+fn bench_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline");
+    group.sample_size(10);
+
+    for depth in [16usize, 64, 256] {
+        group.bench_with_input(
+            BenchmarkId::new("naive_materialize", depth),
+            &depth,
+            |b, &depth| {
+                let mut ws = rotation(6);
+                let normal = normalize(&ws.program, &mut ws.interner);
+                let pure = to_pure(&normal, &ws.db, &mut ws.interner).unwrap();
+                b.iter(|| BoundedMaterialization::run(&pure, depth, &mut ws.interner));
+            },
+        );
+    }
+    group.bench_function("spec_build", |b| {
+        b.iter(|| rotation(6).graph_spec().unwrap());
+    });
+    group.bench_function("spec_membership_depth_10000", |b| {
+        let mut ws = rotation(6);
+        let spec = ws.graph_spec().unwrap();
+        let meets = fundb_term::Pred(ws.interner.get("Meets").unwrap());
+        let plus1 = fundb_term::Func(ws.interner.get("+1").unwrap());
+        let s0 = fundb_term::Cst(ws.interner.get("S0").unwrap());
+        let path = vec![plus1; 10_000];
+        b.iter(|| spec.holds(meets, &path, &[s0]));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baseline);
+criterion_main!(benches);

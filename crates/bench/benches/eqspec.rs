@@ -1,0 +1,49 @@
+//! E6 — equational specifications (Theorem 4.3): extraction of (B, R) from
+//! the graph specification and Cl(R) membership tests via congruence
+//! closure, including deep query terms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fundb_bench::{rotation, subset_lists};
+use fundb_core::EqSpec;
+
+fn bench_eqspec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eqspec");
+    group.sample_size(10);
+
+    for k in [8usize, 32] {
+        group.bench_with_input(BenchmarkId::new("extract/rotation", k), &k, |b, &k| {
+            let spec = rotation(k).graph_spec().unwrap();
+            b.iter(|| EqSpec::from_graph(&spec));
+        });
+    }
+    for n in [3usize, 5] {
+        group.bench_with_input(BenchmarkId::new("extract/subset_lists", n), &n, |b, &n| {
+            let spec = subset_lists(n).graph_spec().unwrap();
+            b.iter(|| EqSpec::from_graph(&spec));
+        });
+    }
+
+    // Membership via congruence closure at increasing term depth.
+    for depth in [64usize, 1024] {
+        group.bench_with_input(
+            BenchmarkId::new("membership/rotation8", depth),
+            &depth,
+            |b, &depth| {
+                let mut ws = rotation(8);
+                let spec = ws.graph_spec().unwrap();
+                let meets = fundb_term::Pred(ws.interner.get("Meets").unwrap());
+                let plus1 = fundb_term::Func(ws.interner.get("+1").unwrap());
+                let s0 = fundb_term::Cst(ws.interner.get("S0").unwrap());
+                let path = vec![plus1; depth];
+                b.iter(|| {
+                    let mut eq = EqSpec::from_graph(&spec);
+                    eq.holds(meets, &path, &[s0])
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_eqspec);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! E5 — graph specification construction (Theorem 4.2): Algorithm Q on the
+//! linear (rotation, ring planner) and exponential (subset lists) families.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fundb_bench::{ring_planner, rotation, subset_lists};
+
+fn bench_graphspec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graphspec");
+    group.sample_size(10);
+
+    for k in [8usize, 32] {
+        group.bench_with_input(BenchmarkId::new("rotation", k), &k, |b, &k| {
+            b.iter(|| rotation(k).graph_spec().unwrap());
+        });
+    }
+    for n in [3usize, 5] {
+        group.bench_with_input(BenchmarkId::new("subset_lists", n), &n, |b, &n| {
+            b.iter(|| subset_lists(n).graph_spec().unwrap());
+        });
+    }
+    for n in [4usize, 8] {
+        group.bench_with_input(BenchmarkId::new("ring_planner", n), &n, |b, &n| {
+            b.iter(|| ring_planner(n).graph_spec().unwrap());
+        });
+    }
+    // Minimization on top of construction.
+    group.bench_function("subset_lists/4/minimized", |b| {
+        let spec = subset_lists(4).graph_spec().unwrap();
+        b.iter(|| spec.minimized());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_graphspec);
+criterion_main!(benches);

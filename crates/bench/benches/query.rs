@@ -1,0 +1,80 @@
+//! E8 — query answering (Theorem 5.1): incremental specifications vs full
+//! recomputation by extension, for the canonical uniform query
+//! {(s, x̄) : P(s, x̄)}.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fundb_bench::{rotation, subset_lists};
+use fundb_core::program::{Atom, FTerm, NTerm};
+use fundb_core::Query;
+use fundb_parser::Workspace;
+
+fn meets_query(ws: &mut Workspace) -> Query {
+    let meets = fundb_term::Pred(ws.interner.get("Meets").unwrap());
+    let s = fundb_term::Var(ws.interner.intern("q_s"));
+    let x = fundb_term::Var(ws.interner.intern("q_x"));
+    Query {
+        out_fvar: Some(s),
+        out_nvars: vec![x],
+        body: vec![Atom::Functional {
+            pred: meets,
+            fterm: FTerm::Var(s),
+            args: vec![NTerm::Var(x)],
+        }],
+    }
+}
+
+fn member_query(ws: &mut Workspace) -> Query {
+    let member = fundb_term::Pred(ws.interner.get("Member").unwrap());
+    let s = fundb_term::Var(ws.interner.intern("q_s"));
+    let e0 = fundb_term::Cst(ws.interner.get("E0").unwrap());
+    Query {
+        out_fvar: Some(s),
+        out_nvars: vec![],
+        body: vec![Atom::Functional {
+            pred: member,
+            fterm: FTerm::Var(s),
+            args: vec![NTerm::Const(e0)],
+        }],
+    }
+}
+
+fn bench_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query");
+    group.sample_size(10);
+
+    for k in [8usize, 32] {
+        group.bench_with_input(BenchmarkId::new("incremental/rotation", k), &k, |b, &k| {
+            let mut ws = rotation(k);
+            let spec = ws.graph_spec().unwrap();
+            let q = meets_query(&mut ws);
+            b.iter(|| q.answer_incremental(&spec, &ws.interner).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("extension/rotation", k), &k, |b, &k| {
+            let mut ws = rotation(k);
+            let q = meets_query(&mut ws);
+            let program = ws.program.clone();
+            let db = ws.db.clone();
+            b.iter(|| {
+                q.answer_by_extension(&program, &db, &mut ws.interner)
+                    .unwrap()
+            });
+        });
+    }
+    group.bench_function("incremental/subset_lists/4", |b| {
+        let mut ws = subset_lists(4);
+        let spec = ws.graph_spec().unwrap();
+        let q = member_query(&mut ws);
+        b.iter(|| q.answer_incremental(&spec, &ws.interner).unwrap());
+    });
+    group.bench_function("enumerate/subset_lists/4", |b| {
+        let mut ws = subset_lists(4);
+        let spec = ws.graph_spec().unwrap();
+        let q = member_query(&mut ws);
+        let ans = q.answer_incremental(&spec, &ws.interner).unwrap();
+        b.iter(|| ans.enumerate_terms(&spec, 32));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_query);
+criterion_main!(benches);

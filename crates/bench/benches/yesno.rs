@@ -1,0 +1,50 @@
+//! E4 — yes-no query processing cost (Theorem 4.1): the temporal line
+//! evaluator vs the general engine on the same temporal inputs, across the
+//! benign (rotation) and adversarial (binary counter) families.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fundb_bench::{binary_counter, rotation};
+use fundb_core::Engine;
+use fundb_temporal::TemporalSpec;
+
+fn bench_yesno(c: &mut Criterion) {
+    let mut group = c.benchmark_group("yesno");
+    group.sample_size(10);
+
+    for k in [8usize, 32] {
+        group.bench_with_input(BenchmarkId::new("rotation/temporal", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut ws = rotation(k);
+                TemporalSpec::compute(&ws.program, &ws.db, &mut ws.interner).unwrap()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("rotation/general", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut ws = rotation(k);
+                let mut engine = Engine::build(&ws.program, &ws.db, &mut ws.interner).unwrap();
+                engine.solve();
+                engine
+            });
+        });
+    }
+    for w in [4usize, 6] {
+        group.bench_with_input(BenchmarkId::new("counter/temporal", w), &w, |b, &w| {
+            b.iter(|| {
+                let mut ws = binary_counter(w);
+                TemporalSpec::compute(&ws.program, &ws.db, &mut ws.interner).unwrap()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("counter/general", w), &w, |b, &w| {
+            b.iter(|| {
+                let mut ws = binary_counter(w);
+                let mut engine = Engine::build(&ws.program, &ws.db, &mut ws.interner).unwrap();
+                engine.solve();
+                engine
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_yesno);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! `fundb` — command-line driver for functional deductive databases.
+//!
+//! ```text
+//! fundb compile <program.fdb> [-o spec.fspec] [--minimize]
+//! fundb show    <program.fdb | spec.fspec> [--minimize]
+//! fundb check   <program.fdb | spec.fspec> <fact> [<fact> …]
+//! fundb query   <program.fdb> "<query body>" [--limit N]
+//! fundb analyze <program.fdb | spec.fspec>
+//! ```
+//!
+//! A `.fspec` file is a serialized relational specification (see
+//! `fundb_core::spec_io`): once compiled, membership can be answered
+//! without the original rules — the paper's "the original deductive rules
+//! may be forgotten" made concrete.
+
+use fundb_cli::{run, CliError};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args, &mut std::io::stdout()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(CliError::Usage(msg)) => {
+            eprintln!("{msg}");
+            eprintln!("{}", fundb_cli::USAGE);
+            ExitCode::from(2)
+        }
+        Err(CliError::Failed(msg)) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

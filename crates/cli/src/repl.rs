@@ -1,0 +1,490 @@
+//! An interactive read-eval-print loop over a workspace.
+//!
+//! ```text
+//! fundb> Meets(t, x), Next(x, y) -> Meets(t+1, y).
+//! fundb> Meets(0, Tony). Next(Tony, Jan). Next(Jan, Tony).
+//! fundb> ?- Meets(t, x).
+//!   0: (Tony)
+//!   1: (Jan)
+//!   …
+//! fundb> :check Meets(100, Tony)
+//! true
+//! fundb> :show
+//! fundb> :save meets.fspec
+//! fundb> :quit
+//! ```
+//!
+//! The specification is recomputed lazily: adding rules or facts
+//! invalidates the cached spec; queries and checks rebuild it on demand.
+
+use fundb_core::{analysis, write_spec, GraphSpec};
+use fundb_parser::Workspace;
+use std::io::Write;
+
+/// The REPL state machine; drives one line at a time (testable without a
+/// terminal).
+pub struct Repl {
+    ws: Workspace,
+    spec: Option<GraphSpec>,
+    /// Enumeration limit for query answers.
+    pub limit: usize,
+    done: bool,
+}
+
+impl Default for Repl {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Repl {
+    /// Creates an empty session.
+    pub fn new() -> Self {
+        Repl {
+            ws: Workspace::new(),
+            spec: None,
+            limit: 8,
+            done: false,
+        }
+    }
+
+    /// Whether `:quit` has been issued.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Direct access to the underlying workspace.
+    pub fn workspace(&self) -> &Workspace {
+        &self.ws
+    }
+
+    fn spec(&mut self) -> Result<&GraphSpec, fundb_core::Error> {
+        if self.spec.is_none() {
+            self.spec = Some(self.ws.graph_spec()?);
+        }
+        Ok(self.spec.as_ref().expect("just built"))
+    }
+
+    /// Processes one input line, writing any output to `out`.
+    pub fn line(&mut self, input: &str, out: &mut dyn Write) -> std::io::Result<()> {
+        let input = input.trim();
+        if input.is_empty() || input.starts_with('%') || input.starts_with("//") {
+            return Ok(());
+        }
+        let result = self.dispatch(input, out);
+        if let Err(e) = result {
+            writeln!(out, "error: {e}")?;
+        }
+        Ok(())
+    }
+
+    fn dispatch(&mut self, input: &str, out: &mut dyn Write) -> std::io::Result<()> {
+        if let Some(cmd) = input.strip_prefix(':') {
+            return self.command(cmd, out);
+        }
+        if let Some(body) = input.strip_prefix("?-") {
+            return self.query(body.trim().trim_end_matches('.'), out);
+        }
+        // Program text: rules and/or facts.
+        match self.ws.parse(input) {
+            Ok(()) => {
+                self.spec = None; // invalidate
+                                  // Execute any queries embedded in the fragment.
+                let queries = std::mem::take(&mut self.ws.queries);
+                for q in queries {
+                    self.run_query(&q, out)?;
+                }
+            }
+            Err(e) => writeln!(out, "error: {e}")?,
+        }
+        Ok(())
+    }
+
+    fn command(&mut self, cmd: &str, out: &mut dyn Write) -> std::io::Result<()> {
+        let mut parts = cmd.split_whitespace();
+        match parts.next() {
+            Some("quit") | Some("q") | Some("exit") => {
+                self.done = true;
+            }
+            Some("help") | Some("h") => {
+                writeln!(
+                    out,
+                    ":check <fact>   membership against the current spec\n\
+                     :explain <fact> derivation tree for a fact\n\
+                     :show           print the specification\n\
+                     :minimize       print the bisimulation-minimized spec\n\
+                     :analyze        finiteness report\n\
+                     :save <path>    write the spec to a .fspec file\n\
+                     :limit <n>      set the query enumeration limit\n\
+                     :load <path>    parse a program file into the session\n\
+                     :quit           leave\n\
+                     Anything else: rules/facts (`P(t) -> Q(t+1).`) or queries (`?- Q(t).`)."
+                )?;
+            }
+            Some("explain") => {
+                let fact: String = parts.collect::<Vec<_>>().join(" ");
+                if fact.is_empty() {
+                    writeln!(out, "usage: :explain <fact>")?;
+                } else {
+                    // Delegate to the CLI path over a temp snapshot of the
+                    // session program. Emit explicit kind declarations so
+                    // predicates whose functional kind came from inference
+                    // (or `functional P/n.` declarations) survive the
+                    // round-trip even when the rendered rules alone carry no
+                    // syntactic evidence.
+                    let mut rendered = String::new();
+                    {
+                        let mut declared: Vec<(String, usize)> = Vec::new();
+                        for atom in self
+                            .ws
+                            .program
+                            .rules
+                            .iter()
+                            .flat_map(|r| std::iter::once(&r.head).chain(&r.body))
+                            .chain(self.ws.db.facts.iter())
+                        {
+                            if atom.fterm().is_some() {
+                                let name = self
+                                    .ws
+                                    .interner
+                                    .resolve(atom.pred().sym())
+                                    .to_string();
+                                let arity = atom.args().len() + 1;
+                                if !declared.contains(&(name.clone(), arity)) {
+                                    declared.push((name, arity));
+                                }
+                            }
+                        }
+                        for (name, arity) in declared {
+                            rendered.push_str(&format!("functional {name}/{arity}.\n"));
+                        }
+                    }
+                    for r in &self.ws.program.rules {
+                        rendered.push_str(&format!(
+                            "{}\n",
+                            fundb_core::program::display_rule(r, &self.ws.interner)
+                        ));
+                    }
+                    for f in &self.ws.db.facts {
+                        rendered.push_str(&format!(
+                            "{}.\n",
+                            fundb_core::program::display_atom(f, &self.ws.interner)
+                        ));
+                    }
+                    let path = std::env::temp_dir()
+                        .join(format!("fundb-repl-explain-{}.fdb", std::process::id()));
+                    match std::fs::write(&path, rendered) {
+                        Ok(()) => {
+                            let args = vec![
+                                "explain".to_string(),
+                                path.to_string_lossy().into_owned(),
+                                fact.trim_end_matches('.').to_string(),
+                            ];
+                            if let Err(e) = crate::run(&args, out) {
+                                writeln!(out, "error: {e:?}")?;
+                            }
+                            std::fs::remove_file(&path).ok();
+                        }
+                        Err(e) => writeln!(out, "error: {e}")?,
+                    }
+                }
+            }
+            Some("check") => {
+                let fact: String = parts.collect::<Vec<_>>().join(" ");
+                if fact.is_empty() {
+                    writeln!(out, "usage: :check <fact>")?;
+                } else {
+                    self.spec_or_report(out, |ws, spec, out| {
+                        match ws.holds(spec, fact.trim_end_matches('.')) {
+                            Ok(v) => writeln!(out, "{v}"),
+                            Err(e) => writeln!(out, "error: {e}"),
+                        }
+                    })?;
+                }
+            }
+            Some("show") => {
+                self.spec_or_report(out, |ws, spec, out| {
+                    write!(out, "{}", spec.render(&ws.interner))
+                })?;
+            }
+            Some("minimize") => {
+                self.spec_or_report(out, |ws, spec, out| {
+                    write!(out, "{}", spec.minimized().render(&ws.interner))
+                })?;
+            }
+            Some("analyze") => {
+                self.spec_or_report(out, |_, spec, out| {
+                    let report = analysis::analyze(spec);
+                    writeln!(
+                        out,
+                        "clusters: {}, primary tuples: {}, fixpoint {}",
+                        spec.cluster_count(),
+                        spec.primary_size(),
+                        if report.finite {
+                            format!("FINITE ({:?} facts)", report.functional_fact_count)
+                        } else {
+                            "INFINITE".to_string()
+                        }
+                    )
+                })?;
+            }
+            Some("save") => match parts.next() {
+                Some(path) => {
+                    let path = path.to_string();
+                    match self.ws.spec_bundle() {
+                        Ok(bundle) => {
+                            let text = write_spec(&bundle, &self.ws.interner);
+                            match std::fs::write(&path, text) {
+                                Ok(()) => writeln!(out, "wrote {path}")?,
+                                Err(e) => writeln!(out, "error: {e}")?,
+                            }
+                        }
+                        Err(e) => writeln!(out, "error: {e}")?,
+                    }
+                }
+                None => writeln!(out, "usage: :save <path>")?,
+            },
+            Some("limit") => match parts.next().and_then(|v| v.parse().ok()) {
+                Some(n) => self.limit = n,
+                None => writeln!(out, "usage: :limit <n>")?,
+            },
+            Some("load") => match parts.next() {
+                Some(path) => match std::fs::read_to_string(path) {
+                    Ok(text) => match self.ws.parse(&text) {
+                        Ok(()) => {
+                            self.spec = None;
+                            writeln!(out, "loaded {path}")?;
+                        }
+                        Err(e) => writeln!(out, "error: {e}")?,
+                    },
+                    Err(e) => writeln!(out, "error: cannot read {path}: {e}")?,
+                },
+                None => writeln!(out, "usage: :load <path>")?,
+            },
+            other => {
+                let shown = other.unwrap_or("");
+                writeln!(out, "unknown command `:{shown}`; try :help")?;
+            }
+        }
+        Ok(())
+    }
+
+    fn spec_or_report(
+        &mut self,
+        out: &mut dyn Write,
+        f: impl FnOnce(&mut Workspace, &GraphSpec, &mut dyn Write) -> std::io::Result<()>,
+    ) -> std::io::Result<()> {
+        // Build the spec first (immutable afterwards), then let the callback
+        // use the workspace for parsing/display.
+        match self.spec() {
+            Ok(_) => {}
+            Err(e) => return writeln!(out, "error: {e}"),
+        }
+        let spec = self.spec.take().expect("just built");
+        let r = f(&mut self.ws, &spec, out);
+        self.spec = Some(spec);
+        r
+    }
+
+    fn query(&mut self, body: &str, out: &mut dyn Write) -> std::io::Result<()> {
+        let q = match self.ws.parse_query(body) {
+            Ok(q) => q,
+            Err(e) => return writeln!(out, "error: {e}"),
+        };
+        self.run_query(&q, out)
+    }
+
+    fn run_query(&mut self, q: &fundb_core::Query, out: &mut dyn Write) -> std::io::Result<()> {
+        if let Err(e) = self.spec() {
+            return writeln!(out, "error: {e}");
+        }
+        let spec = self.spec.take().expect("just built");
+        let result = (|| -> std::io::Result<()> {
+            if !q.is_uniform() {
+                let (ext, qp) = match q.answer_by_extension(
+                    &self.ws.program.clone(),
+                    &self.ws.db.clone(),
+                    &mut self.ws.interner,
+                ) {
+                    Ok(v) => v,
+                    Err(e) => return writeln!(out, "error: {e}"),
+                };
+                return writeln!(
+                    out,
+                    "non-uniform query: answered by extension ({} clusters, predicate {})",
+                    ext.cluster_count(),
+                    self.ws.interner.resolve(qp.sym())
+                );
+            }
+            let ans = match q.answer_incremental(&spec, &self.ws.interner) {
+                Ok(a) => a,
+                Err(e) => return writeln!(out, "error: {e}"),
+            };
+            let listed = ans.enumerate_terms(&spec, self.limit);
+            if listed.is_empty() {
+                if let fundb_core::IncrementalAnswer::Tuples(ts) = &ans {
+                    if ts.is_empty() {
+                        writeln!(out, "no answers")?;
+                    }
+                    let mut rows: Vec<String> = ts
+                        .iter()
+                        .map(|t| {
+                            t.iter()
+                                .map(|c| self.ws.interner.resolve(c.sym()))
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        })
+                        .collect();
+                    rows.sort();
+                    for r in rows {
+                        writeln!(out, "  ({r})")?;
+                    }
+                } else {
+                    writeln!(out, "no answers")?;
+                }
+            } else {
+                for (path, tuple) in listed {
+                    let term = crate::render_term_path(&path, &self.ws.interner);
+                    let args = tuple
+                        .iter()
+                        .map(|c| self.ws.interner.resolve(c.sym()))
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    if args.is_empty() {
+                        writeln!(out, "  {term}")?;
+                    } else {
+                        writeln!(out, "  {term}: ({args})")?;
+                    }
+                }
+            }
+            Ok(())
+        })();
+        self.spec = Some(spec);
+        result
+    }
+}
+
+/// Runs the interactive loop on stdin/stdout.
+pub fn run_interactive() -> std::io::Result<()> {
+    use std::io::BufRead;
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    let mut repl = Repl::new();
+    writeln!(
+        stdout,
+        "fundb interactive session — :help for commands, :quit to leave"
+    )?;
+    let mut line = String::new();
+    loop {
+        write!(stdout, "fundb> ")?;
+        stdout.flush()?;
+        line.clear();
+        if stdin.lock().read_line(&mut line)? == 0 {
+            return Ok(());
+        }
+        repl.line(&line, &mut stdout)?;
+        if repl.is_done() {
+            return Ok(());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(repl: &mut Repl, lines: &[&str]) -> String {
+        let mut out = Vec::new();
+        for l in lines {
+            repl.line(l, &mut out).unwrap();
+        }
+        String::from_utf8(out).unwrap()
+    }
+
+    #[test]
+    fn rules_queries_and_checks() {
+        let mut repl = Repl::new();
+        let out = feed(
+            &mut repl,
+            &[
+                "Meets(t, x), Next(x, y) -> Meets(t+1, y).",
+                "Meets(0, Tony). Next(Tony, Jan). Next(Jan, Tony).",
+                ":check Meets(6, Tony)",
+                ":check Meets(6, Jan)",
+                "?- Meets(t, x).",
+            ],
+        );
+        assert!(out.contains("true"));
+        assert!(out.contains("false"));
+        assert!(out.contains("0: (Tony)"));
+        assert!(out.contains("1: (Jan)"));
+    }
+
+    #[test]
+    fn incremental_extension_invalidates_spec() {
+        let mut repl = Repl::new();
+        let out1 = feed(&mut repl, &["Even(0).", ":check Even(2)"]);
+        assert!(out1.contains("false"));
+        let out2 = feed(&mut repl, &["Even(t) -> Even(t+2).", ":check Even(2)"]);
+        assert!(out2.contains("true"));
+    }
+
+    #[test]
+    fn analyze_and_show() {
+        let mut repl = Repl::new();
+        let out = feed(
+            &mut repl,
+            &["Tick(t) -> Tick(t+1).", "Tick(0).", ":analyze", ":show"],
+        );
+        assert!(out.contains("INFINITE"));
+        assert!(out.contains("Tick()"));
+    }
+
+    #[test]
+    fn errors_are_reported_not_fatal() {
+        let mut repl = Repl::new();
+        let out = feed(&mut repl, &["P(0", ":bogus", "P(0)."]);
+        assert!(out.contains("error:"));
+        assert!(out.contains("unknown command `:bogus`"));
+        let out2 = feed(&mut repl, &[":check P(0)"]);
+        assert!(out2.contains("true"));
+    }
+
+    #[test]
+    fn quit_sets_done() {
+        let mut repl = Repl::new();
+        feed(&mut repl, &[":quit"]);
+        assert!(repl.is_done());
+    }
+
+    #[test]
+    fn limit_controls_enumeration() {
+        let mut repl = Repl::new();
+        let out = feed(
+            &mut repl,
+            &["Run(t) -> Run(t+1).", "Run(0).", ":limit 3", "?- Run(t)."],
+        );
+        assert_eq!(out.matches("\n").count(), 3, "three answer lines:\n{out}");
+    }
+}
+
+#[cfg(test)]
+mod explain_repl_tests {
+    use super::*;
+
+    #[test]
+    fn repl_explain_shows_proof() {
+        let mut repl = Repl::new();
+        let mut out = Vec::new();
+        for l in [
+            "Meets(t, x), Next(x, y) -> Meets(t+1, y).",
+            "Meets(0, Tony). Next(Tony, Jan). Next(Jan, Tony).",
+            ":explain Meets(2, Tony)",
+        ] {
+            repl.line(l, &mut out).unwrap();
+        }
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("[by rule"), "{text}");
+        assert!(text.contains("[given]"), "{text}");
+    }
+}

@@ -1,0 +1,283 @@
+//! Congruence closure over arbitrary ground terms (the full [DST80] /
+//! Nelson–Oppen procedure).
+//!
+//! The paper's equational specifications only ever need the unary instance
+//! ([`crate::CongruenceClosure`]) because the mixed→pure transformation
+//! (§2.4) eliminates k-ary function symbols before specification. This
+//! module provides the general procedure over hash-consed k-ary ground
+//! terms — the substrate [DST80] actually describes — so the library also
+//! covers equational reasoning *before* the transformation (e.g. deciding
+//! `ext(s,a)`-level consequences directly) and serves as an oracle for the
+//! unary implementation.
+//!
+//! Algorithm: classic use-list congruence closure. Each class keeps the
+//! list of parent terms; a signature table maps `(symbol, class-ids of
+//! children)` to a canonical term. Merging two classes re-signs the smaller
+//! use list and merges on signature collision, giving the usual
+//! O(n² α(n)) worst case (n merges each re-signing ≤ n parents).
+
+use crate::unionfind::UnionFind;
+use fundb_term::{FxHashMap, Sym};
+
+/// A hash-consed ground term.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct TermId(u32);
+
+impl TermId {
+    /// Dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Congruence closure over k-ary ground terms.
+#[derive(Clone, Default)]
+pub struct GenCongruence {
+    /// Hash-consed term table: symbol + children.
+    terms: Vec<(Sym, Vec<TermId>)>,
+    cons: FxHashMap<(Sym, Vec<TermId>), TermId>,
+    uf: UnionFind,
+    /// Per class representative: parent terms whose signature mentions the
+    /// class.
+    parents: FxHashMap<usize, Vec<TermId>>,
+    /// Signature table: (symbol, children class reps) → canonical term.
+    sigs: FxHashMap<(Sym, Vec<usize>), TermId>,
+}
+
+impl GenCongruence {
+    /// Creates an empty structure.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of hash-consed terms.
+    pub fn term_count(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Number of congruence classes among the interned terms.
+    pub fn class_count(&self) -> usize {
+        self.uf.class_count()
+    }
+
+    /// Interns the term `sym(children…)` (a constant when `children` is
+    /// empty), keeping the congruence invariant.
+    pub fn term(&mut self, sym: Sym, children: &[TermId]) -> TermId {
+        if let Some(&t) = self.cons.get(&(sym, children.to_vec())) {
+            return t;
+        }
+        let id = TermId(u32::try_from(self.terms.len()).expect("term overflow"));
+        self.terms.push((sym, children.to_vec()));
+        self.cons.insert((sym, children.to_vec()), id);
+        let uf_id = self.uf.push();
+        debug_assert_eq!(uf_id, id.index());
+        // Register as a parent of each child's class.
+        for &c in children {
+            let rep = self.uf.find(c.index());
+            self.parents.entry(rep).or_default().push(id);
+        }
+        // Signature: merge with an existing congruent term if any.
+        let sig = self.signature(id);
+        match self.sigs.get(&sig) {
+            Some(&canon) => self.merge(id, canon),
+            None => {
+                self.sigs.insert(sig, id);
+            }
+        }
+        id
+    }
+
+    fn signature(&mut self, t: TermId) -> (Sym, Vec<usize>) {
+        let (sym, children) = self.terms[t.index()].clone();
+        (
+            sym,
+            children.iter().map(|c| self.uf.find(c.index())).collect(),
+        )
+    }
+
+    /// Asserts `a = b` and restores congruence.
+    pub fn merge(&mut self, a: TermId, b: TermId) {
+        let mut pending = vec![(a, b)];
+        while let Some((x, y)) = pending.pop() {
+            let (rx, ry) = (self.uf.find(x.index()), self.uf.find(y.index()));
+            if rx == ry {
+                continue;
+            }
+            let winner = self.uf.union(rx, ry).expect("distinct classes");
+            // The absorbed root's id vanishes from current signatures, so
+            // every parent that mentioned it must be re-signed — collisions
+            // are congruence consequences.
+            let loser = if winner == rx { ry } else { rx };
+            let moved = self.parents.remove(&loser).unwrap_or_default();
+            for p in &moved {
+                let sig = self.signature(*p);
+                match self.sigs.get(&sig) {
+                    Some(&q) if self.uf.find(q.index()) != self.uf.find(p.index()) => {
+                        pending.push((*p, q));
+                    }
+                    Some(_) => {}
+                    None => {
+                        self.sigs.insert(sig, *p);
+                    }
+                }
+            }
+            self.parents.entry(winner).or_default().extend(moved);
+        }
+    }
+
+    /// Whether `a` and `b` are congruent under the asserted equations.
+    pub fn congruent(&mut self, a: TermId, b: TermId) -> bool {
+        self.uf.same(a.index(), b.index())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fundb_term::Interner;
+
+    struct Ctx {
+        i: Interner,
+        cc: GenCongruence,
+    }
+
+    impl Ctx {
+        fn new() -> Self {
+            Ctx {
+                i: Interner::new(),
+                cc: GenCongruence::new(),
+            }
+        }
+        fn cst(&mut self, name: &str) -> TermId {
+            let s = self.i.intern(name);
+            self.cc.term(s, &[])
+        }
+        fn app(&mut self, name: &str, children: &[TermId]) -> TermId {
+            let s = self.i.intern(name);
+            self.cc.term(s, children)
+        }
+    }
+
+    /// The classic Nelson–Oppen example: f(a,b) = a ⊢ f(f(a,b),b) = a.
+    #[test]
+    fn nelson_oppen_example() {
+        let mut c = Ctx::new();
+        let a = c.cst("a");
+        let b = c.cst("b");
+        let fab = c.app("f", &[a, b]);
+        let ffab_b = c.app("f", &[fab, b]);
+        assert!(!c.cc.congruent(ffab_b, a));
+        c.cc.merge(fab, a);
+        assert!(c.cc.congruent(fab, a));
+        assert!(c.cc.congruent(ffab_b, a), "f(f(a,b),b) ≅ a by congruence");
+    }
+
+    /// g(x) for congruent x collapses even when interned later.
+    #[test]
+    fn late_terms_are_identified() {
+        let mut c = Ctx::new();
+        let a = c.cst("a");
+        let b = c.cst("b");
+        c.cc.merge(a, b);
+        let ga = c.app("g", &[a]);
+        let gb = c.app("g", &[b]);
+        assert!(c.cc.congruent(ga, gb));
+        // Deeper, mixed arities.
+        let h1 = c.app("h", &[ga, a]);
+        let h2 = c.app("h", &[gb, b]);
+        assert!(c.cc.congruent(h1, h2));
+    }
+
+    /// Transitivity across chained merges of applications.
+    #[test]
+    fn transitive_chains() {
+        let mut c = Ctx::new();
+        let a = c.cst("a");
+        let b = c.cst("b");
+        let d = c.cst("d");
+        let fa = c.app("f", &[a]);
+        let fb = c.app("f", &[b]);
+        let fd = c.app("f", &[d]);
+        c.cc.merge(a, b);
+        c.cc.merge(b, d);
+        assert!(c.cc.congruent(fa, fd));
+        assert!(c.cc.congruent(fb, fd));
+    }
+
+    /// Distinct symbols never merge without equations.
+    #[test]
+    fn no_spurious_merges() {
+        let mut c = Ctx::new();
+        let a = c.cst("a");
+        let b = c.cst("b");
+        let fa = c.app("f", &[a]);
+        let ga = c.app("g", &[a]);
+        assert!(!c.cc.congruent(a, b));
+        assert!(!c.cc.congruent(fa, ga));
+        assert_eq!(c.cc.class_count(), 4);
+    }
+
+    /// Hash-consing: identical terms get identical ids.
+    #[test]
+    fn hash_consing() {
+        let mut c = Ctx::new();
+        let a = c.cst("a");
+        let f1 = c.app("f", &[a, a]);
+        let f2 = c.app("f", &[a, a]);
+        assert_eq!(f1, f2);
+        assert_eq!(c.cc.term_count(), 2);
+    }
+
+    /// Agreement with the unary implementation on unary inputs.
+    #[test]
+    fn agrees_with_unary_closure() {
+        use crate::CongruenceClosure;
+        use fundb_term::Func;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        for seed in 0..20u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut i = Interner::new();
+            let f0 = Func(i.intern("f0"));
+            let f1 = Func(i.intern("f1"));
+            let zero = i.intern("0");
+            let funcs = [f0, f1];
+
+            let mut unary = CongruenceClosure::new();
+            let mut general = GenCongruence::new();
+
+            // Random term set.
+            let paths: Vec<Vec<Func>> = (0..8)
+                .map(|_| {
+                    let len = rng.gen_range(0..5usize);
+                    (0..len).map(|_| funcs[rng.gen_range(0..2)]).collect()
+                })
+                .collect();
+            let as_general = |g: &mut GenCongruence, path: &[Func]| {
+                let mut t = g.term(zero, &[]);
+                for f in path {
+                    t = g.term(f.sym(), &[t]);
+                }
+                t
+            };
+            // Random equations applied to both.
+            for _ in 0..3 {
+                let a = paths[rng.gen_range(0..paths.len())].clone();
+                let b = paths[rng.gen_range(0..paths.len())].clone();
+                unary.equate_paths(&a, &b);
+                let (ta, tb) = (as_general(&mut general, &a), as_general(&mut general, &b));
+                general.merge(ta, tb);
+            }
+            // All pairs agree.
+            for a in &paths {
+                for b in &paths {
+                    let u = unary.congruent_paths(a, b);
+                    let (ta, tb) = (as_general(&mut general, a), as_general(&mut general, b));
+                    let g = general.congruent(ta, tb);
+                    assert_eq!(u, g, "seed {seed}: {a:?} vs {b:?}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+//! Union-find and congruence closure over ground functional terms.
+//!
+//! The equational specification of §3.5 represents the state congruence `≅`
+//! of an infinite least fixpoint as the congruence closure `Cl(R)` of a
+//! finite set of ground equations `R`:
+//!
+//! * initialization: `R(t, t') ⇒ (t, t') ∈ Cl(R)`,
+//! * reflexivity, symmetry, transitivity,
+//! * congruence: `(t, t') ∈ Cl(R) ⇒ (f(t), f(t')) ∈ Cl(R)` for every pure
+//!   function symbol `f`.
+//!
+//! `Cl(R)` is infinite, but a membership test `(t₀, t) ∈ Cl(R)` "needs to
+//! examine only finitely many terms, because of the finiteness of B and R"
+//! (§3.5): the classical congruence-closure decision procedure for ground
+//! equational theories (Downey, Sethi & Tarjan, *Variations on the common
+//! subexpression problem*, JACM 1980 — the paper's [DST80]) runs over the
+//! subterm closure of `R` plus the query terms. Since every ground pure
+//! functional term is a chain of unary symbols over the constant `0`, the
+//! subterm closure is a prefix-closed set of paths — a trie — and the
+//! procedure below is the unary instance of DST.
+
+pub mod closure;
+pub mod generic;
+pub mod unionfind;
+
+pub use closure::CongruenceClosure;
+pub use generic::{GenCongruence, TermId};
+pub use unionfind::UnionFind;

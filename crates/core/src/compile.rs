@@ -1,0 +1,356 @@
+//! Compilation of pure normal programs into star-local Datalog.
+//!
+//! After normalization (Appendix) and the mixed→pure transformation (§2.4),
+//! every rule mentions at most one functional variable `s`, and every
+//! functional term in it is `s`, `f(s)` for a pure symbol `f`, or a ground
+//! term. Grounding `s := t` therefore touches only the "star" of the node
+//! `t` in the term tree — `t` itself, its children `f(t)`, a fixed set of
+//! ground nodes, and the non-functional store. The engine exploits this by
+//! evaluating each rule as a *function-free Datalog rule* over
+//! location-tagged predicates:
+//!
+//! * `P@here`    — `P`'s slice at the current node,
+//! * `P@+f`      — `P`'s slice at the child `f(t)`,
+//! * `P@=term`   — `P`'s slice at a fixed ground node (depth ≤ c),
+//! * plain `R`   — a non-functional predicate.
+//!
+//! [`CompiledProgram`] holds the tagged rules (split into *star rules*,
+//! which contain the functional variable and fire at every node, and *fixed
+//! rules*, which mention only ground nodes and fire once), the database
+//! seeds, and the tag maps the engine uses to assemble and read back local
+//! evaluations.
+
+use crate::error::Result;
+use crate::gendb::DataParams;
+use crate::program::{Atom, FTerm, NTerm, Schema};
+use crate::pure::PureProgram;
+use fundb_datalog as dl;
+use fundb_term::{Cst, Func, FuncOrder, FxHashMap, Interner, NodeId, Pred, TermTree};
+
+/// Where a functional atom lives relative to the node a rule fires at.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Loc {
+    /// At the node itself (`s`).
+    Here,
+    /// At the child `f(s)`.
+    Child(Func),
+    /// At a fixed ground node of the top region.
+    Fixed(NodeId),
+}
+
+/// A compiled pure normal program, ready for the engine.
+#[derive(Clone)]
+pub struct CompiledProgram {
+    /// Schema of the pure program.
+    pub schema: Schema,
+    /// Data-complexity parameters (§2.5).
+    pub params: DataParams,
+    /// The order of pure function symbols (defines `≺`, §3.4).
+    pub funcs: FuncOrder,
+    /// `c`: depth of the largest ground functional term.
+    pub c: usize,
+    /// Term tree holding the ground nodes mentioned by rules and facts.
+    pub tree: TermTree,
+    /// Tagged rules containing the functional variable: fire at every node.
+    pub star_rules: Vec<dl::Rule>,
+    /// Tagged rules with no functional variable: fire once, over fixed
+    /// nodes and non-functional predicates.
+    pub fixed_rules: Vec<dl::Rule>,
+    /// Functional database facts: `(node, P, ā)`.
+    pub seeds: Vec<(NodeId, Pred, Box<[Cst]>)>,
+    /// Relational database facts.
+    pub nf_facts: Vec<(Pred, Box<[Cst]>)>,
+    here_tag: FxHashMap<Pred, Pred>,
+    child_tag: FxHashMap<(Pred, Func), Pred>,
+    fixed_tag: FxHashMap<(Pred, NodeId), Pred>,
+    untag: FxHashMap<Pred, (Pred, Loc)>,
+}
+
+impl CompiledProgram {
+    /// Compiles a pure normal program. Tag names are interned into
+    /// `interner` (they contain `@`, which the concrete syntax forbids, so
+    /// they cannot collide with user predicates).
+    pub fn compile(pure: &PureProgram, interner: &mut Interner) -> Result<CompiledProgram> {
+        assert!(
+            pure.program.is_normal(),
+            "CompiledProgram::compile requires a normal program; run normalize() first"
+        );
+        let schema = pure.schema.clone();
+        let params = DataParams::of(&schema);
+        let funcs = FuncOrder::new(schema.pure_syms.iter().copied());
+        let c = schema.max_ground_depth;
+
+        let mut cp = CompiledProgram {
+            schema,
+            params,
+            funcs,
+            c,
+            tree: TermTree::new(),
+            star_rules: Vec::new(),
+            fixed_rules: Vec::new(),
+            seeds: Vec::new(),
+            nf_facts: Vec::new(),
+            here_tag: FxHashMap::default(),
+            child_tag: FxHashMap::default(),
+            fixed_tag: FxHashMap::default(),
+            untag: FxHashMap::default(),
+        };
+
+        for rule in &pure.program.rules {
+            let has_fvar = !rule.functional_vars().is_empty();
+            let head = cp.compile_atom(&rule.head, interner);
+            let body = rule
+                .body
+                .iter()
+                .map(|a| cp.compile_atom(a, interner))
+                .collect();
+            let compiled = dl::Rule::new(head, body);
+            if has_fvar {
+                cp.star_rules.push(compiled);
+            } else {
+                cp.fixed_rules.push(compiled);
+            }
+        }
+
+        for fact in &pure.db.facts {
+            match fact {
+                Atom::Functional { pred, fterm, args } => {
+                    let path = fterm
+                        .pure_path()
+                        .expect("facts are ground and pure after to_pure()");
+                    let node = cp.tree.intern_path(&path);
+                    let consts: Box<[Cst]> = args
+                        .iter()
+                        .map(|a| a.as_const().expect("facts are ground"))
+                        .collect();
+                    cp.seeds.push((node, *pred, consts));
+                }
+                Atom::Relational { pred, args } => {
+                    let consts: Box<[Cst]> = args
+                        .iter()
+                        .map(|a| a.as_const().expect("facts are ground"))
+                        .collect();
+                    cp.nf_facts.push((*pred, consts));
+                }
+            }
+        }
+
+        Ok(cp)
+    }
+
+    /// The tagged predicate for `P` at a location, if the program mentions
+    /// that combination.
+    pub fn tag_of(&self, pred: Pred, loc: Loc) -> Option<Pred> {
+        match loc {
+            Loc::Here => self.here_tag.get(&pred).copied(),
+            Loc::Child(f) => self.child_tag.get(&(pred, f)).copied(),
+            Loc::Fixed(n) => self.fixed_tag.get(&(pred, n)).copied(),
+        }
+    }
+
+    /// Inverse of the tag maps: `(original predicate, location)` for a
+    /// tagged predicate, or `None` for a plain (relational) predicate.
+    pub fn untag(&self, tagged: Pred) -> Option<(Pred, Loc)> {
+        self.untag.get(&tagged).copied()
+    }
+
+    /// All `(pred, node, tag)` fixed-location tags (ground nodes mentioned
+    /// in rules).
+    pub fn fixed_tags(&self) -> impl Iterator<Item = (Pred, NodeId, Pred)> + '_ {
+        self.fixed_tag.iter().map(|(&(p, n), &t)| (p, n, t))
+    }
+
+    /// All `(pred, tag)` here-tags.
+    pub fn here_tags(&self) -> impl Iterator<Item = (Pred, Pred)> + '_ {
+        self.here_tag.iter().map(|(&p, &t)| (p, t))
+    }
+
+    /// All `(pred, func, tag)` child-tags.
+    pub fn child_tags(&self) -> impl Iterator<Item = (Pred, Func, Pred)> + '_ {
+        self.child_tag.iter().map(|(&(p, f), &t)| (p, f, t))
+    }
+
+    fn compile_atom(&mut self, atom: &Atom, interner: &mut Interner) -> dl::Atom {
+        let args: Vec<dl::Term> = atom
+            .args()
+            .iter()
+            .map(|a| match a {
+                NTerm::Var(v) => dl::Term::Var(*v),
+                NTerm::Const(c) => dl::Term::Const(*c),
+            })
+            .collect();
+        match atom {
+            Atom::Relational { pred, .. } => dl::Atom::new(*pred, args),
+            Atom::Functional { pred, fterm, .. } => {
+                let loc = match fterm {
+                    FTerm::Var(_) => Loc::Here,
+                    FTerm::Pure(f, inner) if matches!(**inner, FTerm::Var(_)) => Loc::Child(*f),
+                    other => {
+                        let path = other.pure_path().unwrap_or_else(|| {
+                            panic!("non-normal functional term survived normalization")
+                        });
+                        Loc::Fixed(self.tree.intern_path(&path))
+                    }
+                };
+                let tagged = self.tag(*pred, loc, interner);
+                dl::Atom::new(tagged, args)
+            }
+        }
+    }
+
+    fn tag(&mut self, pred: Pred, loc: Loc, interner: &mut Interner) -> Pred {
+        let existing = self.tag_of(pred, loc);
+        if let Some(t) = existing {
+            return t;
+        }
+        let name = match loc {
+            Loc::Here => format!("{}@here", interner.resolve(pred.sym())),
+            Loc::Child(f) => format!(
+                "{}@+{}",
+                interner.resolve(pred.sym()),
+                interner.resolve(f.sym())
+            ),
+            Loc::Fixed(n) => format!(
+                "{}@={}",
+                interner.resolve(pred.sym()),
+                n.index() // stable within this compilation
+            ),
+        };
+        let t = Pred(interner.fresh(&name));
+        match loc {
+            Loc::Here => {
+                self.here_tag.insert(pred, t);
+            }
+            Loc::Child(f) => {
+                self.child_tag.insert((pred, f), t);
+            }
+            Loc::Fixed(n) => {
+                self.fixed_tag.insert((pred, n), t);
+            }
+        }
+        self.untag.insert(t, (pred, loc));
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{Database, Program, Rule};
+    use crate::pure::to_pure;
+    use fundb_term::Var;
+
+    /// Compiles `P(s) → P(f(s))` with a seed `P(0)`.
+    fn simple() -> (Interner, CompiledProgram, Pred, Func) {
+        let mut i = Interner::new();
+        let p = Pred(i.intern("P"));
+        let f = Func(i.intern("f"));
+        let s = Var(i.intern("s"));
+        let mut prog = Program::new();
+        prog.push(Rule::new(
+            Atom::Functional {
+                pred: p,
+                fterm: FTerm::Pure(f, Box::new(FTerm::Var(s))),
+                args: vec![],
+            },
+            vec![Atom::Functional {
+                pred: p,
+                fterm: FTerm::Var(s),
+                args: vec![],
+            }],
+        ));
+        let mut db = Database::new();
+        db.facts.push(Atom::Functional {
+            pred: p,
+            fterm: FTerm::Zero,
+            args: vec![],
+        });
+        let pure = to_pure(&prog, &db, &mut i).unwrap();
+        let cp = CompiledProgram::compile(&pure, &mut i).unwrap();
+        (i, cp, p, f)
+    }
+
+    #[test]
+    fn star_rule_gets_here_and_child_tags() {
+        let (_, cp, p, f) = simple();
+        assert_eq!(cp.star_rules.len(), 1);
+        assert!(cp.fixed_rules.is_empty());
+        let here = cp.tag_of(p, Loc::Here).unwrap();
+        let child = cp.tag_of(p, Loc::Child(f)).unwrap();
+        assert_eq!(cp.untag(here), Some((p, Loc::Here)));
+        assert_eq!(cp.untag(child), Some((p, Loc::Child(f))));
+        let rule = &cp.star_rules[0];
+        assert_eq!(rule.head.pred, child);
+        assert_eq!(rule.body[0].pred, here);
+    }
+
+    #[test]
+    fn seeds_are_collected_at_nodes() {
+        let (_, cp, p, _) = simple();
+        assert_eq!(cp.seeds.len(), 1);
+        let (node, pred, args) = &cp.seeds[0];
+        assert_eq!(*node, cp.tree.root());
+        assert_eq!(*pred, p);
+        assert!(args.is_empty());
+        assert_eq!(cp.c, 0);
+    }
+
+    #[test]
+    fn ground_terms_become_fixed_tags() {
+        let mut i = Interner::new();
+        let p = Pred(i.intern("P"));
+        let q = Pred(i.intern("Q"));
+        let f = Func(i.intern("f"));
+        let s = Var(i.intern("s"));
+        // P(f(0)), Q(s) → Q(f(s)).
+        let mut prog = Program::new();
+        prog.push(Rule::new(
+            Atom::Functional {
+                pred: q,
+                fterm: FTerm::Pure(f, Box::new(FTerm::Var(s))),
+                args: vec![],
+            },
+            vec![
+                Atom::Functional {
+                    pred: p,
+                    fterm: FTerm::from_path(&[f]),
+                    args: vec![],
+                },
+                Atom::Functional {
+                    pred: q,
+                    fterm: FTerm::Var(s),
+                    args: vec![],
+                },
+            ],
+        ));
+        let pure = to_pure(&prog, &Database::new(), &mut i).unwrap();
+        let cp = CompiledProgram::compile(&pure, &mut i).unwrap();
+        assert_eq!(cp.c, 1);
+        let fixed: Vec<_> = cp.fixed_tags().collect();
+        assert_eq!(fixed.len(), 1);
+        assert_eq!(fixed[0].0, p);
+    }
+
+    #[test]
+    fn relational_rules_stay_plain() {
+        let mut i = Interner::new();
+        let r = Pred(i.intern("R"));
+        let t = Pred(i.intern("T"));
+        let x = Var(i.intern("x"));
+        let mut prog = Program::new();
+        prog.push(Rule::new(
+            Atom::Relational {
+                pred: t,
+                args: vec![NTerm::Var(x)],
+            },
+            vec![Atom::Relational {
+                pred: r,
+                args: vec![NTerm::Var(x)],
+            }],
+        ));
+        let pure = to_pure(&prog, &Database::new(), &mut i).unwrap();
+        let cp = CompiledProgram::compile(&pure, &mut i).unwrap();
+        assert_eq!(cp.fixed_rules.len(), 1);
+        assert!(cp.untag(cp.fixed_rules[0].head.pred).is_none());
+    }
+}

@@ -1,0 +1,151 @@
+//! Domain independence via range-restrictedness (§2.3).
+//!
+//! A set of functional rules is *domain-independent* if its least fixpoint
+//! does not depend on the domain the function symbols are drawn from. The
+//! paper notes this "can be syntactically tested, because it is equivalent to
+//! range-restrictedness [GMN84]: every variable in a head of a rule has to
+//! appear also in the body." Domain independence is the precondition for
+//! every finite-representation result in the paper (Theorem 3.1 etc.), so
+//! the pipeline rejects non-range-restricted rules up front.
+
+use crate::error::{Error, Result};
+use crate::program::{display_rule, Atom, Program, Rule};
+use fundb_term::{FxHashSet, Interner, Var};
+
+/// All variables of an atom: the functional spine variable (if any) plus all
+/// non-functional variables.
+fn atom_vars(atom: &Atom, out: &mut FxHashSet<Var>) {
+    if let Some(v) = atom.spine_var() {
+        out.insert(v);
+    }
+    for v in atom.nvars() {
+        out.insert(v);
+    }
+}
+
+/// Checks a single rule for range-restrictedness.
+pub fn check_rule(rule: &Rule, interner: &Interner) -> Result<()> {
+    let mut body_vars = FxHashSet::default();
+    for atom in &rule.body {
+        atom_vars(atom, &mut body_vars);
+    }
+    let mut head_vars = FxHashSet::default();
+    atom_vars(&rule.head, &mut head_vars);
+    for v in head_vars {
+        if !body_vars.contains(&v) {
+            return Err(Error::NotRangeRestricted {
+                rule: display_rule(rule, interner).to_string(),
+                var: interner.resolve(v.sym()).to_string(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Checks every rule of a program; i.e. tests domain independence (§2.3).
+pub fn check_program(program: &Program, interner: &Interner) -> Result<()> {
+    for rule in &program.rules {
+        check_rule(rule, interner)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{FTerm, NTerm};
+    use fundb_term::{Cst, Func, Pred};
+
+    /// The paper's §2.3 examples:
+    /// domain-independent: `P(s) -> P(g(s))` and `P(s), R(x) -> P(g(s,x))`;
+    /// domain-dependent: `R(x) -> P(s)`.
+    #[test]
+    fn paper_section_2_3_examples() {
+        let mut i = Interner::new();
+        let p = Pred(i.intern("P"));
+        let r = Pred(i.intern("R"));
+        let g = Func(i.intern("g"));
+        let s = Var(i.intern("s"));
+        let x = Var(i.intern("x"));
+        let _ = Cst(i.intern("a"));
+
+        let ok = Rule::new(
+            Atom::Functional {
+                pred: p,
+                fterm: FTerm::Pure(g, Box::new(FTerm::Var(s))),
+                args: vec![],
+            },
+            vec![Atom::Functional {
+                pred: p,
+                fterm: FTerm::Var(s),
+                args: vec![],
+            }],
+        );
+        assert!(check_rule(&ok, &i).is_ok());
+
+        let bad = Rule::new(
+            Atom::Functional {
+                pred: p,
+                fterm: FTerm::Var(s),
+                args: vec![],
+            },
+            vec![Atom::Relational {
+                pred: r,
+                args: vec![NTerm::Var(x)],
+            }],
+        );
+        let err = check_rule(&bad, &i).unwrap_err();
+        assert!(matches!(err, Error::NotRangeRestricted { .. }));
+    }
+
+    #[test]
+    fn mixed_symbol_argument_variables_count() {
+        // P(s), R(x) -> P(g(s,x)) is range-restricted: x occurs in the body.
+        let mut i = Interner::new();
+        let p = Pred(i.intern("P"));
+        let r = Pred(i.intern("R"));
+        let g = fundb_term::MixedSym {
+            name: i.intern("g"),
+            extra_args: 1,
+        };
+        let s = Var(i.intern("s"));
+        let x = Var(i.intern("x"));
+        let rule = Rule::new(
+            Atom::Functional {
+                pred: p,
+                fterm: FTerm::Mixed(g, Box::new(FTerm::Var(s)), vec![NTerm::Var(x)]),
+                args: vec![],
+            },
+            vec![
+                Atom::Functional {
+                    pred: p,
+                    fterm: FTerm::Var(s),
+                    args: vec![],
+                },
+                Atom::Relational {
+                    pred: r,
+                    args: vec![NTerm::Var(x)],
+                },
+            ],
+        );
+        assert!(check_rule(&rule, &i).is_ok());
+        // Without R(x) in the body, x is free in the head: rejected.
+        let bad = Rule::new(rule.head.clone(), vec![rule.body[0].clone()]);
+        assert!(check_rule(&bad, &i).is_err());
+    }
+
+    #[test]
+    fn ground_heads_are_always_restricted() {
+        let mut i = Interner::new();
+        let p = Pred(i.intern("P"));
+        let rule = Rule::new(
+            Atom::Functional {
+                pred: p,
+                fterm: FTerm::Zero,
+                args: vec![],
+            },
+            vec![],
+        );
+        assert!(check_rule(&rule, &i).is_ok());
+    }
+}

@@ -1,0 +1,904 @@
+//! The least-fixpoint engine: a decision procedure for yes-no queries (§4).
+//!
+//! Algorithm Q (§3.4) assumes slices of the least fixpoint are "effectively
+//! computable, because the yes-no query processing problem is decidable for
+//! functional rules" — the paper cites Fürer's DEXPTIME decision procedure
+//! for the Ackermann class [Fur81] without instantiating it. This module
+//! supplies that missing piece with a **tabled uniform-tree fixpoint**:
+//!
+//! * The ground terms of a pure normal program form the infinite tree rooted
+//!   at `0`. A rule instance at `s := t` touches only the *star* of `t`
+//!   (`t`, its children `f(t)`, fixed ground nodes of depth ≤ c, and the
+//!   non-functional store) — see [`crate::compile`].
+//! * In the least model, the restriction to the subtree below any node `t`
+//!   of depth > `c` equals the least model of the *uniform* star-local
+//!   theory seeded with `t`'s incoming derivations: derivations of atoms
+//!   strictly below `t` never leave `subtree(t)` (a rule derives an atom at
+//!   `u` only from the star of `u` or of `parent(u)`), and no facts live
+//!   below depth `c`. This is the observation behind the paper's Lemma 3.1.
+//! * Hence one memo table `seed → (state, child seeds)` describes every
+//!   uniform subtree, and the finite *top region* (all terms of depth ≤ c,
+//!   which carry the database facts and ground rule atoms) is solved
+//!   alongside it by monotone iteration to a global fixpoint.
+//!
+//! States live in the finite lattice `2^A` of abstract-atom sets
+//! ([`crate::State`]), so the iteration terminates; the worst case is
+//! exponential in `gsize`, matching DEXPTIME-completeness (Theorem 4.1).
+
+use crate::compile::{CompiledProgram, Loc};
+use crate::error::Result;
+use crate::gendb::AtomInterner;
+use crate::normalize::normalize;
+use crate::program::{Database, Program};
+use crate::pure::to_pure;
+use crate::state::State;
+use fundb_datalog as dl;
+use fundb_term::{Cst, Func, FxHashMap, FxHashSet, Interner, NodeId, Pred, TermTree};
+
+/// A memo-table entry: the stabilized state of a uniform node with a given
+/// seed, and the seeds its rule firings push into each child.
+#[derive(Clone, Default, PartialEq)]
+struct Entry {
+    state: State,
+    child_seeds: FxHashMap<Func, State>,
+}
+
+/// A position in the (infinite) term tree, as the engine sees it: either a
+/// materialized top-region node (depth ≤ c) or a uniform node identified by
+/// its seed. Two terms with the same cursor have identical subtrees, which
+/// is exactly the congruence insight of §3.2.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Cursor {
+    /// A node of the top region.
+    Top(NodeId),
+    /// A uniform node, identified by its seed state.
+    Uniform(State),
+}
+
+/// The least-fixpoint engine over a compiled program.
+pub struct Engine {
+    cp: CompiledProgram,
+    atoms: AtomInterner,
+    tree: TermTree,
+    /// All nodes of depth ≤ c in breadth-first (precedence) order.
+    top_nodes: Vec<NodeId>,
+    top: FxHashMap<NodeId, State>,
+    /// Seeds flowing from depth-c nodes into their (uniform) children.
+    boundary: FxHashMap<(NodeId, Func), State>,
+    nf: dl::Database,
+    memo: FxHashMap<State, Entry>,
+    here_by_pred: FxHashMap<Pred, Pred>,
+    child_by_f: FxHashMap<Func, FxHashMap<Pred, Pred>>,
+    /// Shared copies of the compiled rules: local evaluations need the rule
+    /// slice while `self` is mutably borrowed, and an `Arc` clone is O(1)
+    /// where a `Vec<Rule>` clone per node per pass is not.
+    star_rules: std::sync::Arc<[dl::Rule]>,
+    fixed_rules: std::sync::Arc<[dl::Rule]>,
+    solved: bool,
+    stats: EngineStats,
+}
+
+/// Instrumentation counters reported by [`Engine::stats`]: useful for the
+/// benchmark harness and for understanding where a hard instance spends its
+/// time.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Global fixpoint passes until convergence.
+    pub passes: usize,
+    /// Local evaluations of top-region nodes.
+    pub top_evals: usize,
+    /// Stabilization runs of uniform seeds (memo-table work).
+    pub uniform_evals: usize,
+}
+
+impl Engine {
+    /// Creates an engine from a compiled program (facts already applied).
+    pub fn new(cp: CompiledProgram) -> Engine {
+        let mut tree = cp.tree.clone();
+        // Materialize the whole top region: every term of depth ≤ c.
+        let mut top_nodes = vec![tree.root()];
+        let mut frontier = vec![tree.root()];
+        for _ in 0..cp.c {
+            let mut next = Vec::new();
+            for &n in &frontier {
+                for &f in cp.funcs.symbols() {
+                    let child = tree.child(n, f);
+                    next.push(child);
+                }
+            }
+            top_nodes.extend(next.iter().copied());
+            frontier = next;
+        }
+
+        let mut atoms = AtomInterner::new();
+        let mut top: FxHashMap<NodeId, State> = FxHashMap::default();
+        for &n in &top_nodes {
+            top.insert(n, State::new());
+        }
+        for (node, pred, args) in &cp.seeds {
+            let id = atoms.intern(*pred, args);
+            top.get_mut(node)
+                .expect("fact nodes have depth ≤ c by definition of c")
+                .insert(id);
+        }
+        let mut nf = dl::Database::new();
+        for (pred, args) in &cp.nf_facts {
+            nf.insert(*pred, args.clone());
+        }
+
+        let here_by_pred = cp.here_tags().collect();
+        let mut child_by_f: FxHashMap<Func, FxHashMap<Pred, Pred>> = FxHashMap::default();
+        for (p, f, t) in cp.child_tags() {
+            child_by_f.entry(f).or_default().insert(p, t);
+        }
+
+        let star_rules: std::sync::Arc<[dl::Rule]> = cp.star_rules.clone().into();
+        let fixed_rules: std::sync::Arc<[dl::Rule]> = cp.fixed_rules.clone().into();
+        Engine {
+            cp,
+            atoms,
+            tree,
+            top_nodes,
+            top,
+            boundary: FxHashMap::default(),
+            nf,
+            memo: FxHashMap::default(),
+            here_by_pred,
+            child_by_f,
+            star_rules,
+            fixed_rules,
+            solved: false,
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Convenience pipeline: validate → normalize → mixed→pure → compile →
+    /// engine.
+    pub fn build(program: &Program, db: &Database, interner: &mut Interner) -> Result<Engine> {
+        let normal = normalize(program, interner);
+        let pure = to_pure(&normal, db, interner)?;
+        let cp = CompiledProgram::compile(&pure, interner)?;
+        Ok(Engine::new(cp))
+    }
+
+    /// The compiled program.
+    pub fn compiled(&self) -> &CompiledProgram {
+        &self.cp
+    }
+
+    /// The abstract-atom interner (shared vocabulary for states).
+    pub fn atoms(&self) -> &AtomInterner {
+        &self.atoms
+    }
+
+    /// Number of memo-table entries (distinct demanded uniform seeds) —
+    /// an engine-internal cost metric surfaced for the benchmarks.
+    pub fn memo_len(&self) -> usize {
+        self.memo.len()
+    }
+
+    /// Runs the global fixpoint. Idempotent.
+    pub fn solve(&mut self) {
+        if self.solved {
+            return;
+        }
+        loop {
+            self.stats.passes += 1;
+            let mut changed = false;
+            changed |= self.eval_fixed_rules();
+            let nodes = self.top_nodes.clone();
+            for node in nodes {
+                self.stats.top_evals += 1;
+                changed |= self.eval_top_node(node);
+            }
+            changed |= self.uniform_pass();
+            if !changed {
+                break;
+            }
+        }
+        self.solved = true;
+    }
+
+    /// Instrumentation counters accumulated by [`Engine::solve`].
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    // --- incremental updates -------------------------------------------------
+
+    /// Adds a functional fact `P(t, ā)` to an already-(partially-)solved
+    /// engine and marks it for re-solving. Everything the engine computes is
+    /// monotone, so the existing memo table and states remain valid lower
+    /// bounds and the next [`Engine::solve`] only derives the consequences
+    /// of the new fact — usually far cheaper than a rebuild (the §3.6 remark
+    /// that "techniques for optimizing the database C are also necessary",
+    /// made concrete).
+    ///
+    /// Restrictions (violations return an error asking for a full rebuild):
+    /// the fact's term must fit the existing top region (`depth ≤ c`), and
+    /// its symbols must already be in the compiled vocabulary — new
+    /// constants would invalidate the database-dependent mixed→pure
+    /// transformation (§2.4).
+    pub fn add_fact_functional(
+        &mut self,
+        pred: Pred,
+        path: &[Func],
+        args: &[Cst],
+        interner: &Interner,
+    ) -> Result<()> {
+        if path.len() > self.cp.c {
+            return Err(crate::error::Error::UnsupportedQuery {
+                detail: format!(
+                    "incremental fact at depth {} exceeds the top region (c = {}); \
+                     rebuild the engine",
+                    path.len(),
+                    self.cp.c
+                ),
+            });
+        }
+        self.check_vocabulary(pred, args, interner)?;
+        for f in path {
+            if self.cp.funcs.symbols().iter().all(|g| g != f) {
+                return Err(crate::error::Error::UnsupportedQuery {
+                    detail: format!(
+                        "function symbol `{}` is not in the compiled program; rebuild",
+                        interner.resolve(f.sym())
+                    ),
+                });
+            }
+        }
+        let node = self
+            .tree
+            .lookup_path(path)
+            .expect("top region is fully materialized");
+        let id = self.atoms.intern(pred, args);
+        if self
+            .top
+            .get_mut(&node)
+            .expect("top nodes have states")
+            .insert(id)
+        {
+            self.solved = false;
+        }
+        Ok(())
+    }
+
+    /// Adds a relational fact `S(ā)` incrementally (see
+    /// [`Engine::add_fact_functional`]).
+    pub fn add_fact_relational(
+        &mut self,
+        pred: Pred,
+        args: &[Cst],
+        interner: &Interner,
+    ) -> Result<()> {
+        self.check_vocabulary(pred, args, interner)?;
+        if !self.nf.contains(pred, args) {
+            self.nf.insert(pred, args.into());
+            self.solved = false;
+        }
+        Ok(())
+    }
+
+    fn check_vocabulary(&self, pred: Pred, args: &[Cst], interner: &Interner) -> Result<()> {
+        if !self.cp.schema.sigs.contains_key(&pred) {
+            return Err(crate::error::Error::UnsupportedQuery {
+                detail: format!(
+                    "predicate `{}` is not in the compiled program; rebuild",
+                    interner.resolve(pred.sym())
+                ),
+            });
+        }
+        for c in args {
+            if self.cp.schema.constants.iter().all(|k| k != c) {
+                return Err(crate::error::Error::UnsupportedQuery {
+                    detail: format!(
+                        "constant `{}` is new — the mixed→pure transformation is \
+                         database-dependent (§2.4); rebuild the engine",
+                        interner.resolve(c.sym())
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    // --- public read API ---------------------------------------------------
+
+    /// The slice (state) of the ground pure term given by `path`.
+    pub fn state_of_path(&self, path: &[Func]) -> State {
+        let c = self.cp.c;
+        if path.len() <= c {
+            return self
+                .tree
+                .lookup_path(path)
+                .and_then(|n| self.top.get(&n).cloned())
+                .unwrap_or_default();
+        }
+        // A path using symbols outside the program's vocabulary denotes a
+        // term that cannot occur in the least fixpoint (Proposition 2.1).
+        let Some(boundary_node) = self.tree.lookup_path(&path[..c]) else {
+            return State::new();
+        };
+        let mut seed = self
+            .boundary
+            .get(&(boundary_node, path[c]))
+            .cloned()
+            .unwrap_or_default();
+        for &f in &path[c + 1..] {
+            seed = self
+                .memo
+                .get(&seed)
+                .and_then(|e| e.child_seeds.get(&f).cloned())
+                .unwrap_or_default();
+        }
+        self.memo
+            .get(&seed)
+            .map(|e| e.state.clone())
+            .unwrap_or(seed)
+    }
+
+    /// Yes-no query for a functional tuple `P(t, ā)` with `t` given as a
+    /// path (Theorem 4.1's problem).
+    pub fn holds(&self, pred: Pred, path: &[Func], args: &[Cst]) -> bool {
+        let Some(id) = self.atoms.get(pred, args) else {
+            return false;
+        };
+        self.state_of_path(path).contains(id)
+    }
+
+    /// Yes-no query for a relational tuple `S(ā)`.
+    pub fn holds_relational(&self, pred: Pred, args: &[Cst]) -> bool {
+        self.nf.contains(pred, args)
+    }
+
+    /// The non-functional store (all derived relational facts).
+    pub fn nf(&self) -> &dl::Database {
+        &self.nf
+    }
+
+    /// Cursor at the root (`0`).
+    pub fn root_cursor(&self) -> Cursor {
+        Cursor::Top(self.tree.root())
+    }
+
+    /// Cursor of the child `f(t)`.
+    pub fn child_cursor(&self, cur: &Cursor, f: Func) -> Cursor {
+        match cur {
+            Cursor::Top(n) => {
+                if self.tree.depth(*n) < self.cp.c {
+                    Cursor::Top(
+                        self.tree
+                            .get_child(*n, f)
+                            .expect("top region is fully materialized"),
+                    )
+                } else {
+                    Cursor::Uniform(self.boundary.get(&(*n, f)).cloned().unwrap_or_default())
+                }
+            }
+            Cursor::Uniform(seed) => Cursor::Uniform(
+                self.memo
+                    .get(seed)
+                    .and_then(|e| e.child_seeds.get(&f).cloned())
+                    .unwrap_or_default(),
+            ),
+        }
+    }
+
+    /// The state at a cursor.
+    pub fn cursor_state(&self, cur: &Cursor) -> State {
+        match cur {
+            Cursor::Top(n) => self.top.get(n).cloned().unwrap_or_default(),
+            Cursor::Uniform(seed) => self
+                .memo
+                .get(seed)
+                .map(|e| e.state.clone())
+                .unwrap_or_else(|| seed.clone()),
+        }
+    }
+
+    // --- fixpoint internals --------------------------------------------------
+
+    /// Evaluates the rules without functional variables over the fixed nodes
+    /// and the non-functional store.
+    fn eval_fixed_rules(&mut self) -> bool {
+        if self.cp.fixed_rules.is_empty() {
+            return false;
+        }
+        let mut db = dl::Database::new();
+        self.inject_fixed_and_nf(&mut db);
+        let rules = std::sync::Arc::clone(&self.fixed_rules);
+        dl::evaluate(&mut db, &rules);
+        self.absorb_global(&db)
+    }
+
+    /// Evaluates the star rules at a top-region node.
+    fn eval_top_node(&mut self, node: NodeId) -> bool {
+        if self.cp.star_rules.is_empty() {
+            return false;
+        }
+        let depth = self.tree.depth(node);
+        let at_boundary = depth == self.cp.c;
+
+        let mut db = dl::Database::new();
+        // Here.
+        let here_state = self.top[&node].clone();
+        self.fill_tagged_single(&mut db, &here_state, /*here*/ None);
+        // Children.
+        let mut injected_children: FxHashMap<Func, State> = FxHashMap::default();
+        for &f in self.cp.funcs.symbols().to_vec().iter() {
+            let child_state = if at_boundary {
+                let seed = self.boundary.get(&(node, f)).cloned().unwrap_or_default();
+                self.memo
+                    .get(&seed)
+                    .map(|e| e.state.clone())
+                    .unwrap_or(seed)
+            } else {
+                let child = self
+                    .tree
+                    .get_child(node, f)
+                    .expect("top region is fully materialized");
+                self.top[&child].clone()
+            };
+            self.fill_tagged_single(&mut db, &child_state, Some(f));
+            injected_children.insert(f, child_state);
+        }
+        self.inject_fixed_and_nf(&mut db);
+
+        let rules = std::sync::Arc::clone(&self.star_rules);
+        dl::evaluate(&mut db, &rules);
+
+        // Absorb.
+        let mut changed = self.absorb_global(&db);
+        for (tagged, rel) in db.iter() {
+            match self.cp.untag(tagged) {
+                Some((p, Loc::Here)) => {
+                    for row in rel.rows() {
+                        let id = self.atoms.intern(p, row);
+                        if self.top.get_mut(&node).unwrap().insert(id) {
+                            changed = true;
+                        }
+                    }
+                }
+                Some((p, Loc::Child(f))) => {
+                    let injected = &injected_children[&f];
+                    for row in rel.rows() {
+                        let id = self.atoms.intern(p, row);
+                        if injected.contains(id) {
+                            continue;
+                        }
+                        if at_boundary {
+                            if self.boundary.entry((node, f)).or_default().insert(id) {
+                                changed = true;
+                            }
+                        } else {
+                            let child = self.tree.get_child(node, f).unwrap();
+                            if self.top.get_mut(&child).unwrap().insert(id) {
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        changed
+    }
+
+    /// Processes every demanded uniform seed once; returns whether anything
+    /// (memo entries, top region, nf) changed.
+    fn uniform_pass(&mut self) -> bool {
+        if self.cp.star_rules.is_empty() {
+            return false;
+        }
+        let mut queue: Vec<State> = Vec::new();
+        let mut enqueued: FxHashSet<State> = FxHashSet::default();
+        for seed in self.boundary.values() {
+            if !seed.is_empty() && enqueued.insert(seed.clone()) {
+                queue.push(seed.clone());
+            }
+        }
+        for seed in self.memo.keys() {
+            if !seed.is_empty() && enqueued.insert(seed.clone()) {
+                queue.push(seed.clone());
+            }
+        }
+        let mut changed = false;
+        while let Some(seed) = queue.pop() {
+            self.stats.uniform_evals += 1;
+            let (entry, entry_changed) = self.process_seed(&seed);
+            changed |= entry_changed;
+            for cs in entry.child_seeds.values() {
+                if !cs.is_empty() && enqueued.insert(cs.clone()) {
+                    queue.push(cs.clone());
+                }
+            }
+        }
+        changed
+    }
+
+    /// Stabilizes one uniform seed against the current memo/top/nf and
+    /// stores the result. Returns the entry and whether anything changed.
+    fn process_seed(&mut self, seed: &State) -> (Entry, bool) {
+        let mut entry = self.memo.get(seed).cloned().unwrap_or_default();
+        entry.state.union_with(seed);
+        let mut changed_global = false;
+
+        loop {
+            let mut db = dl::Database::new();
+            self.fill_tagged_single(&mut db, &entry.state.clone(), None);
+            let mut injected_children: FxHashMap<Func, State> = FxHashMap::default();
+            for &f in self.cp.funcs.symbols().to_vec().iter() {
+                let child_state = entry
+                    .child_seeds
+                    .get(&f)
+                    .map(|cs| {
+                        self.memo
+                            .get(cs)
+                            .map(|e| e.state.clone())
+                            .unwrap_or_else(|| cs.clone())
+                    })
+                    .unwrap_or_default();
+                self.fill_tagged_single(&mut db, &child_state, Some(f));
+                injected_children.insert(f, child_state);
+            }
+            self.inject_fixed_and_nf(&mut db);
+
+            let rules = std::sync::Arc::clone(&self.star_rules);
+            dl::evaluate(&mut db, &rules);
+
+            changed_global |= self.absorb_global(&db);
+            let mut local_changed = false;
+            for (tagged, rel) in db.iter() {
+                match self.cp.untag(tagged) {
+                    Some((p, Loc::Here)) => {
+                        for row in rel.rows() {
+                            let id = self.atoms.intern(p, row);
+                            local_changed |= entry.state.insert(id);
+                        }
+                    }
+                    Some((p, Loc::Child(f))) => {
+                        let injected = &injected_children[&f];
+                        for row in rel.rows() {
+                            let id = self.atoms.intern(p, row);
+                            if !injected.contains(id) {
+                                local_changed |= entry.child_seeds.entry(f).or_default().insert(id);
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            if !local_changed {
+                break;
+            }
+        }
+
+        let stored = self.memo.get(seed);
+        let entry_changed = stored != Some(&entry);
+        if entry_changed {
+            self.memo.insert(seed.clone(), entry.clone());
+        }
+        (entry, entry_changed || changed_global)
+    }
+
+    /// Inserts a state's atoms into the here- or child-tagged relations.
+    fn fill_tagged_single(&self, db: &mut dl::Database, state: &State, child: Option<Func>) {
+        let lookup = match child {
+            None => &self.here_by_pred,
+            Some(f) => match self.child_by_f.get(&f) {
+                Some(m) => m,
+                None => return,
+            },
+        };
+        for id in state.iter() {
+            let (p, args) = self.atoms.resolve(id);
+            if let Some(&tag) = lookup.get(&p) {
+                db.insert(tag, args.into());
+            }
+        }
+    }
+
+    /// Injects fixed-node slices and all non-functional facts.
+    fn inject_fixed_and_nf(&self, db: &mut dl::Database) {
+        for (p, n, tag) in self.cp.fixed_tags() {
+            let state = &self.top[&n];
+            for id in state.iter() {
+                let (pp, args) = self.atoms.resolve(id);
+                if pp == p {
+                    db.insert(tag, args.into());
+                }
+            }
+        }
+        for (p, rel) in self.nf.iter() {
+            for row in rel.rows() {
+                db.insert(p, row.clone());
+            }
+        }
+    }
+
+    /// Absorbs derivations that escape the local star: fixed-node heads and
+    /// relational heads. Returns whether the global stores changed.
+    fn absorb_global(&mut self, db: &dl::Database) -> bool {
+        let mut changed = false;
+        for (tagged, rel) in db.iter() {
+            match self.cp.untag(tagged) {
+                Some((p, Loc::Fixed(n))) => {
+                    for row in rel.rows() {
+                        let id = self.atoms.intern(p, row);
+                        if self
+                            .top
+                            .get_mut(&n)
+                            .expect("fixed nodes are in the top region")
+                            .insert(id)
+                        {
+                            changed = true;
+                        }
+                    }
+                }
+                Some(_) => {}
+                None => {
+                    // Plain relational predicate.
+                    for row in rel.rows() {
+                        if !self.nf.contains(tagged, row) {
+                            self.nf.insert(tagged, row.clone());
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        changed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{Atom, FTerm, NTerm, Rule};
+    use fundb_term::Var;
+
+    struct Ctx {
+        i: Interner,
+    }
+
+    impl Ctx {
+        fn new() -> Self {
+            Ctx { i: Interner::new() }
+        }
+        fn pred(&mut self, n: &str) -> Pred {
+            Pred(self.i.intern(n))
+        }
+        fn func(&mut self, n: &str) -> Func {
+            Func(self.i.intern(n))
+        }
+        fn var(&mut self, n: &str) -> Var {
+            Var(self.i.intern(n))
+        }
+        fn cst(&mut self, n: &str) -> Cst {
+            Cst(self.i.intern(n))
+        }
+    }
+
+    fn fat(p: Pred, ft: FTerm, args: Vec<NTerm>) -> Atom {
+        Atom::Functional {
+            pred: p,
+            fterm: ft,
+            args,
+        }
+    }
+
+    /// The paper's introductory example: Meets/Next with Tony and Jan.
+    fn meets_engine(ctx: &mut Ctx) -> (Engine, Pred, Func, Cst, Cst) {
+        let meets = ctx.pred("Meets");
+        let next = ctx.pred("Next");
+        let succ = ctx.func("succ");
+        let (t, x, y) = (ctx.var("t"), ctx.var("x"), ctx.var("y"));
+        let (tony, jan) = (ctx.cst("tony"), ctx.cst("jan"));
+
+        let mut prog = Program::new();
+        prog.push(Rule::new(
+            fat(
+                meets,
+                FTerm::Pure(succ, Box::new(FTerm::Var(t))),
+                vec![NTerm::Var(y)],
+            ),
+            vec![
+                fat(meets, FTerm::Var(t), vec![NTerm::Var(x)]),
+                Atom::Relational {
+                    pred: next,
+                    args: vec![NTerm::Var(x), NTerm::Var(y)],
+                },
+            ],
+        ));
+        let mut db = Database::new();
+        db.facts
+            .push(fat(meets, FTerm::Zero, vec![NTerm::Const(tony)]));
+        db.facts.push(Atom::Relational {
+            pred: next,
+            args: vec![NTerm::Const(tony), NTerm::Const(jan)],
+        });
+        db.facts.push(Atom::Relational {
+            pred: next,
+            args: vec![NTerm::Const(jan), NTerm::Const(tony)],
+        });
+        let mut engine = Engine::build(&prog, &db, &mut ctx.i).unwrap();
+        engine.solve();
+        (engine, meets, succ, tony, jan)
+    }
+
+    #[test]
+    fn meets_alternates_forever() {
+        let mut ctx = Ctx::new();
+        let (engine, meets, succ, tony, jan) = meets_engine(&mut ctx);
+        for n in 0..40usize {
+            let path = vec![succ; n];
+            assert_eq!(
+                engine.holds(meets, &path, &[tony]),
+                n % 2 == 0,
+                "Meets({n}, tony)"
+            );
+            assert_eq!(
+                engine.holds(meets, &path, &[jan]),
+                n % 2 == 1,
+                "Meets({n}, jan)"
+            );
+        }
+    }
+
+    #[test]
+    fn relational_facts_are_preserved() {
+        let mut ctx = Ctx::new();
+        let (engine, _, _, tony, jan) = meets_engine(&mut ctx);
+        let next = Pred(ctx.i.get("Next").unwrap());
+        assert!(engine.holds_relational(next, &[tony, jan]));
+        assert!(engine.holds_relational(next, &[jan, tony]));
+        assert!(!engine.holds_relational(next, &[tony, tony]));
+    }
+
+    /// §3.5's Even example: D = {Even(0)}, Even(t) → Even(t+2).
+    #[test]
+    fn even_example() {
+        let mut ctx = Ctx::new();
+        let even = ctx.pred("Even");
+        let succ = ctx.func("succ");
+        let t = ctx.var("t");
+        let mut prog = Program::new();
+        prog.push(Rule::new(
+            fat(
+                even,
+                FTerm::Pure(succ, Box::new(FTerm::Pure(succ, Box::new(FTerm::Var(t))))),
+                vec![],
+            ),
+            vec![fat(even, FTerm::Var(t), vec![])],
+        ));
+        let mut db = Database::new();
+        db.facts.push(fat(even, FTerm::Zero, vec![]));
+        let mut engine = Engine::build(&prog, &db, &mut ctx.i).unwrap();
+        engine.solve();
+        for n in 0..30usize {
+            assert_eq!(engine.holds(even, &vec![succ; n], &[]), n % 2 == 0, "n={n}");
+        }
+    }
+
+    /// Backward flow inside the uniform region: C(t) iff A(f(t)), where A
+    /// holds exactly on the f-chain.
+    #[test]
+    fn backward_rules_flow_down() {
+        let mut ctx = Ctx::new();
+        let a = ctx.pred("A");
+        let c = ctx.pred("C");
+        let f = ctx.func("f");
+        let g = ctx.func("g");
+        let s = ctx.var("s");
+        let mut prog = Program::new();
+        // A(s) → A(f(s)).
+        prog.push(Rule::new(
+            fat(a, FTerm::Pure(f, Box::new(FTerm::Var(s))), vec![]),
+            vec![fat(a, FTerm::Var(s), vec![])],
+        ));
+        // A(f(s)) → C(s): backward.
+        prog.push(Rule::new(
+            fat(c, FTerm::Var(s), vec![]),
+            vec![fat(a, FTerm::Pure(f, Box::new(FTerm::Var(s))), vec![])],
+        ));
+        // Mention g so it exists in the schema.
+        prog.push(Rule::new(
+            fat(a, FTerm::Pure(g, Box::new(FTerm::Var(s))), vec![]),
+            vec![
+                fat(a, FTerm::Var(s), vec![]),
+                fat(a, FTerm::Pure(g, Box::new(FTerm::Var(s))), vec![]),
+            ],
+        ));
+        let mut db = Database::new();
+        db.facts.push(fat(a, FTerm::Zero, vec![]));
+        let mut engine = Engine::build(&prog, &db, &mut ctx.i).unwrap();
+        engine.solve();
+        // A on the f-chain only.
+        assert!(engine.holds(a, &[f, f, f], &[]));
+        assert!(!engine.holds(a, &[f, g], &[]));
+        // C on the f-chain (every node whose f-child carries A).
+        assert!(engine.holds(c, &[], &[]));
+        assert!(engine.holds(c, &[f], &[]));
+        assert!(engine.holds(c, &[f, f, f, f], &[]));
+        assert!(!engine.holds(c, &[g], &[]));
+        assert!(!engine.holds(c, &[f, g], &[]));
+    }
+
+    /// Sibling flow: B(g(t)) derived from A(f(t)) — the star couples the two
+    /// children of `t`.
+    #[test]
+    fn sibling_rules_flow_across() {
+        let mut ctx = Ctx::new();
+        let a = ctx.pred("A");
+        let b = ctx.pred("B");
+        let f = ctx.func("f");
+        let g = ctx.func("g");
+        let s = ctx.var("s");
+        let mut prog = Program::new();
+        prog.push(Rule::new(
+            fat(a, FTerm::Pure(f, Box::new(FTerm::Var(s))), vec![]),
+            vec![fat(a, FTerm::Var(s), vec![])],
+        ));
+        // A(f(s)) → B(g(s)).
+        prog.push(Rule::new(
+            fat(b, FTerm::Pure(g, Box::new(FTerm::Var(s))), vec![]),
+            vec![fat(a, FTerm::Pure(f, Box::new(FTerm::Var(s))), vec![])],
+        ));
+        let mut db = Database::new();
+        db.facts.push(fat(a, FTerm::Zero, vec![]));
+        let mut engine = Engine::build(&prog, &db, &mut ctx.i).unwrap();
+        engine.solve();
+        assert!(engine.holds(b, &[g], &[]));
+        assert!(engine.holds(b, &[f, g], &[]));
+        assert!(engine.holds(b, &[f, f, g], &[]));
+        assert!(!engine.holds(b, &[g, f], &[]));
+        assert!(!engine.holds(b, &[g, g], &[]));
+    }
+
+    /// Ground facts of depth > 0 put real content in the top region.
+    #[test]
+    fn deep_ground_facts_seed_top_region() {
+        let mut ctx = Ctx::new();
+        let p = ctx.pred("P");
+        let q = ctx.pred("Q");
+        let f = ctx.func("f");
+        let s = ctx.var("s");
+        let mut prog = Program::new();
+        // P(f(s)) → Q(s): backward from a fact at depth 2 to depth 1.
+        prog.push(Rule::new(
+            fat(q, FTerm::Var(s), vec![]),
+            vec![fat(p, FTerm::Pure(f, Box::new(FTerm::Var(s))), vec![])],
+        ));
+        let mut db = Database::new();
+        db.facts.push(fat(p, FTerm::from_path(&[f, f]), vec![]));
+        let mut engine = Engine::build(&prog, &db, &mut ctx.i).unwrap();
+        engine.solve();
+        assert!(engine.holds(p, &[f, f], &[]));
+        assert!(engine.holds(q, &[f], &[]));
+        assert!(!engine.holds(q, &[], &[]));
+        assert!(!engine.holds(q, &[f, f], &[]));
+    }
+
+    /// Cursors agree with state_of_path.
+    #[test]
+    fn cursors_track_paths() {
+        let mut ctx = Ctx::new();
+        let (engine, _, succ, _, _) = meets_engine(&mut ctx);
+        let mut cur = engine.root_cursor();
+        for n in 0..10 {
+            let direct = engine.state_of_path(&vec![succ; n]);
+            assert_eq!(engine.cursor_state(&cur), direct, "depth {n}");
+            cur = engine.child_cursor(&cur, succ);
+        }
+    }
+
+    /// Unknown constants or predicates simply do not hold (Prop 2.1: the
+    /// LFP uses only symbols of Z ∪ D).
+    #[test]
+    fn unknown_symbols_do_not_hold() {
+        let mut ctx = Ctx::new();
+        let (engine, meets, succ, _, _) = meets_engine(&mut ctx);
+        let ghost = ctx.cst("ghost");
+        assert!(!engine.holds(meets, &[succ], &[ghost]));
+    }
+}

@@ -1,0 +1,109 @@
+//! Error types for program validation and the pipeline.
+
+use std::fmt;
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Everything that can go wrong between a raw program and a specification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Error {
+    /// A predicate was used both with and without a functional first
+    /// argument, or with two different arities.
+    InconsistentPredicate {
+        /// Offending predicate name.
+        pred: String,
+        /// Human-readable explanation.
+        detail: String,
+    },
+    /// A variable was used both in functional and non-functional positions;
+    /// the paper requires the two variable sorts to be disjoint (§2.1).
+    MixedVariableSorts {
+        /// Offending variable name.
+        var: String,
+    },
+    /// A rule is not range-restricted, so the rule set is not
+    /// domain-independent (§2.3) and its least fixpoint cannot be finitely
+    /// represented by this method.
+    NotRangeRestricted {
+        /// Rendering of the offending rule.
+        rule: String,
+        /// The head variable that does not occur in the body.
+        var: String,
+    },
+    /// A database fact contains a variable.
+    NonGroundFact {
+        /// Rendering of the offending fact.
+        fact: String,
+    },
+    /// A query violates the restrictions of §5 (positive, at most one
+    /// functional variable).
+    UnsupportedQuery {
+        /// Human-readable explanation.
+        detail: String,
+    },
+    /// Parse error (produced by `fundb-parser`, carried here so downstream
+    /// code handles one error type).
+    Parse {
+        /// Byte offset in the source.
+        offset: usize,
+        /// Human-readable explanation.
+        detail: String,
+    },
+    /// The operation needed a functional predicate but got a relational one
+    /// (or vice versa).
+    KindMismatch {
+        /// Offending predicate name.
+        pred: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InconsistentPredicate { pred, detail } => {
+                write!(f, "inconsistent use of predicate {pred}: {detail}")
+            }
+            Error::MixedVariableSorts { var } => write!(
+                f,
+                "variable {var} is used in both functional and non-functional positions"
+            ),
+            Error::NotRangeRestricted { rule, var } => write!(
+                f,
+                "rule `{rule}` is not range-restricted: head variable {var} \
+                 does not occur in the body (the rule set is not domain-independent, §2.3)"
+            ),
+            Error::NonGroundFact { fact } => {
+                write!(f, "database fact `{fact}` contains a variable")
+            }
+            Error::UnsupportedQuery { detail } => write!(f, "unsupported query: {detail}"),
+            Error::Parse { offset, detail } => {
+                write!(f, "parse error at byte {offset}: {detail}")
+            }
+            Error::KindMismatch { pred } => {
+                write!(
+                    f,
+                    "predicate {pred} used with the wrong kind (functional vs relational)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render() {
+        let e = Error::NotRangeRestricted {
+            rule: "R(x) -> P(s)".into(),
+            var: "s".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("range-restricted"));
+        assert!(s.contains("domain-independent"));
+    }
+}

@@ -1,0 +1,611 @@
+//! Algorithm Q and graph specifications (§3.4, Figure 1).
+//!
+//! The *graph specification* of a least fixpoint `L` is a pair `(B, F)`:
+//! `B`, the **primary database**, holds one slice `L[t]` per representative
+//! term `t`, and `F` is the finite graph of **successor mappings** between
+//! representative terms. Representatives are chosen smallest in the
+//! precedence ordering `≺` (breadth-first over the term tree).
+//!
+//! Figure 1 of the paper, in its Prolog-like notation:
+//!
+//! ```text
+//! Potential(u)       :- depth(u) = c + 1.
+//! Potential(f(u))    :- Active(u).
+//! Active(u)          :- Potential(u), ¬∃v (Active(v), v ≺ u, v ∼ u).
+//! successor_f(u) = v :- Potential(f(u)), Active(v), v ∼ f(u).
+//! ```
+//!
+//! Terms of depth ≤ c are singleton clusters of the congruence `≅` (§3.2)
+//! and carry their own slices; `successor_f(t) = f(t)` for them, except at
+//! depth `c` where the successor is the representative of the potential term
+//! `f(t)`. To verify `P(t₀, ā) ∈ L`, walk `t₀`'s symbol path through the
+//! successor graph (the paper's `Link` rules) and look the tuple up in the
+//! final node's slice.
+//!
+//! The construction below processes potential terms in precedence order
+//! (FIFO over a breadth-first frontier, which coincides with `≺`), querying
+//! the engine for slices — the "repetitive part" the paper's algorithm
+//! computes, plus the finite depth ≤ c part.
+
+use crate::engine::{Cursor, Engine};
+use crate::gendb::AtomInterner;
+use crate::state::State;
+use fundb_datalog as dl;
+use fundb_term::{Cst, Func, FuncOrder, FxHashMap, Interner, NodeId, Pred, TermTree};
+use std::fmt;
+
+/// Index of a node (cluster representative) in a [`GraphSpec`].
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpecNodeId(u32);
+
+impl SpecNodeId {
+    /// Dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    fn from_index(i: usize) -> Self {
+        SpecNodeId(u32::try_from(i).expect("spec node overflow"))
+    }
+
+    /// Builds an id from a dense index. Spec nodes are stored densely
+    /// (`GraphSpec::nodes[i]` has id `i`); this is the inverse of
+    /// [`SpecNodeId::index`], used by serialization.
+    pub fn from_dense_index(i: usize) -> Self {
+        Self::from_index(i)
+    }
+}
+
+impl fmt::Debug for SpecNodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// One representative term with its slice of the primary database.
+#[derive(Clone, Debug)]
+pub struct SpecNode {
+    /// The representative term (node of [`GraphSpec::tree`]).
+    pub term: NodeId,
+    /// The slice `L[t]` (functional component abstracted away).
+    pub state: State,
+}
+
+/// A finite graph specification `(B, F)` of a (possibly infinite) least
+/// fixpoint.
+#[derive(Clone)]
+// Debug: summarized, the full structure is huge.
+pub struct GraphSpec {
+    /// Depth of the largest ground term (`c`): terms of depth ≤ c are
+    /// singleton clusters.
+    pub c: usize,
+    /// Function symbol order (defines `≺`).
+    pub funcs: FuncOrder,
+    /// Term tree containing the representative terms.
+    pub tree: TermTree,
+    /// All representatives: the full depth ≤ c region first (breadth-first),
+    /// then the `Active` terms discovered by Algorithm Q.
+    pub nodes: Vec<SpecNode>,
+    /// Successor mappings `F` — total on `nodes × funcs`.
+    pub successor: FxHashMap<(SpecNodeId, Func), SpecNodeId>,
+    /// Abstract-atom vocabulary for the slices.
+    pub atoms: AtomInterner,
+    /// The relational part of the fixpoint (non-functional predicates).
+    pub nf: dl::Database,
+    /// Merges recorded by Algorithm Q: a potential term (as a symbol path)
+    /// together with the active representative it collapsed into. These are
+    /// exactly the equations `R` of the equational specification (§3.5).
+    pub merges: Vec<(Vec<Func>, SpecNodeId)>,
+    /// Number of active (deep) representatives.
+    pub active_count: usize,
+}
+
+impl fmt::Debug for GraphSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "GraphSpec({} clusters, {} edges, {} tuples)",
+            self.cluster_count(),
+            self.edge_count(),
+            self.primary_size()
+        )
+    }
+}
+
+impl GraphSpec {
+    /// Runs Algorithm Q over an engine (solving it first if needed).
+    ///
+    /// ```
+    /// use fundb_parser::Workspace;
+    ///
+    /// let mut ws = Workspace::new();
+    /// ws.parse("Even(t) -> Even(t+2). Even(0).").unwrap();
+    /// let mut engine = ws.engine().unwrap();
+    /// let spec = fundb_core::GraphSpec::from_engine(&mut engine);
+    /// // 0 plus the two deep clusters (odd, even ≥ 2):
+    /// assert_eq!(spec.cluster_count(), 3);
+    /// assert!(ws.holds(&spec, "Even(40)").unwrap());
+    /// ```
+    pub fn from_engine(engine: &mut Engine) -> GraphSpec {
+        engine.solve();
+        let cp = engine.compiled();
+        let funcs = cp.funcs.clone();
+        let c = cp.c;
+
+        let mut spec = GraphSpec {
+            c,
+            funcs: funcs.clone(),
+            tree: TermTree::new(),
+            nodes: Vec::new(),
+            successor: FxHashMap::default(),
+            atoms: engine.atoms().clone(),
+            nf: engine.nf().clone(),
+            merges: Vec::new(),
+            active_count: 0,
+        };
+
+        // --- Depth ≤ c region: one singleton cluster per term. -------------
+        let root_cursor = engine.root_cursor();
+        let root_state = engine.cursor_state(&root_cursor);
+        let root_term = spec.tree.root();
+        let root_id = spec.push_node(root_term, root_state);
+        let mut level: Vec<(SpecNodeId, Cursor)> = vec![(root_id, root_cursor)];
+        for _depth in 0..c {
+            let mut next = Vec::with_capacity(level.len() * funcs.len());
+            for (id, cursor) in std::mem::take(&mut level) {
+                for &f in funcs.symbols() {
+                    let child_cursor = engine.child_cursor(&cursor, f);
+                    let child_state = engine.cursor_state(&child_cursor);
+                    let term = spec.tree.child(spec.nodes[id.index()].term, f);
+                    let child_id = spec.push_node(term, child_state);
+                    spec.successor.insert((id, f), child_id);
+                    next.push((child_id, child_cursor));
+                }
+            }
+            level = next;
+        }
+
+        // --- Algorithm Q proper: potential terms of depth c+1 and beyond. --
+        // FIFO order over breadth-first expansion = precedence order ≺.
+        let mut queue: std::collections::VecDeque<(SpecNodeId, Func, Cursor)> =
+            std::collections::VecDeque::new();
+        for (id, cursor) in &level {
+            for &f in funcs.symbols() {
+                queue.push_back((*id, f, engine.child_cursor(cursor, f)));
+            }
+        }
+        // Active(u) :- Potential(u), ¬∃v (Active(v), v ≺ u, v ∼ u):
+        // processing in ≺ order, the representative of each state is the
+        // first term carrying it.
+        let mut active_by_state: FxHashMap<State, SpecNodeId> = FxHashMap::default();
+        while let Some((parent, f, cursor)) = queue.pop_front() {
+            let state = engine.cursor_state(&cursor);
+            if let Some(&rep) = active_by_state.get(&state) {
+                // successor_f(parent) = rep; record f(parent) ≅ rep for R.
+                spec.successor.insert((parent, f), rep);
+                let mut potential_path = spec.tree.path(spec.nodes[parent.index()].term);
+                potential_path.push(f);
+                spec.merges.push((potential_path, rep));
+            } else {
+                let term = spec.tree.child(spec.nodes[parent.index()].term, f);
+                let id = spec.push_node(term, state.clone());
+                spec.active_count += 1;
+                active_by_state.insert(state, id);
+                spec.successor.insert((parent, f), id);
+                for &g in funcs.symbols() {
+                    queue.push_back((id, g, engine.child_cursor(&cursor, g)));
+                }
+            }
+        }
+        spec
+    }
+
+    fn push_node(&mut self, term: NodeId, state: State) -> SpecNodeId {
+        let id = SpecNodeId::from_index(self.nodes.len());
+        self.nodes.push(SpecNode { term, state });
+        id
+    }
+
+    /// The root node (representative of the term `0`).
+    pub fn root(&self) -> SpecNodeId {
+        SpecNodeId(0)
+    }
+
+    /// All node ids, in construction order (depth ≤ c region first, then
+    /// actives in precedence order).
+    pub fn node_ids(&self) -> impl Iterator<Item = SpecNodeId> {
+        (0..self.nodes.len()).map(SpecNodeId::from_index)
+    }
+
+    /// Walks the successor graph along a symbol path — the paper's `Link`
+    /// rules — returning the representative of the term. `None` when the
+    /// path uses a function symbol outside the program's vocabulary (such a
+    /// term cannot occur in the least fixpoint, Proposition 2.1).
+    pub fn representative_of(&self, path: &[Func]) -> Option<SpecNodeId> {
+        let mut cur = self.root();
+        for &f in path {
+            cur = *self.successor.get(&(cur, f))?;
+        }
+        Some(cur)
+    }
+
+    /// Yes-no membership `P(t₀, ā) ∈ L` via the graph specification.
+    pub fn holds(&self, pred: Pred, path: &[Func], args: &[Cst]) -> bool {
+        let Some(id) = self.atoms.get(pred, args) else {
+            return false;
+        };
+        let Some(rep) = self.representative_of(path) else {
+            return false;
+        };
+        self.nodes[rep.index()].state.contains(id)
+    }
+
+    /// Yes-no membership for a relational tuple.
+    pub fn holds_relational(&self, pred: Pred, args: &[Cst]) -> bool {
+        self.nf.contains(pred, args)
+    }
+
+    /// The slice of a representative, as `(pred, args)` tuples.
+    pub fn slice(&self, id: SpecNodeId) -> impl Iterator<Item = (Pred, &[Cst])> + '_ {
+        self.nodes[id.index()]
+            .state
+            .iter()
+            .map(|a| self.atoms.resolve(a))
+    }
+
+    /// Number of clusters (representatives) in the specification.
+    pub fn cluster_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Total number of tuples in the primary database `B` (functional slices
+    /// plus the relational store).
+    pub fn primary_size(&self) -> usize {
+        self.nodes.iter().map(|n| n.state.len()).sum::<usize>() + self.nf.fact_count()
+    }
+
+    /// Number of successor edges (|F|).
+    pub fn edge_count(&self) -> usize {
+        self.successor.len()
+    }
+
+    /// The bisimulation quotient of the specification: merges every pair of
+    /// nodes with equal slices whose successors are (recursively) equal too.
+    ///
+    /// This is the coarsest sound collapsing — every membership walk yields
+    /// the same slices — and it subsumes the paper's congruence `≅`: where
+    /// our conservative Algorithm Q keeps singleton clusters for terms of
+    /// depth ≤ c (`c` measured on the *transformed* rules, whose ground
+    /// instantiated terms can be deeper than the original rules'), the
+    /// quotient re-merges them, reproducing e.g. the four representatives
+    /// `0, a, b, ab` of the paper's §3.4 worked example.
+    pub fn minimized(&self) -> GraphSpec {
+        let n = self.nodes.len();
+        // Initial partition: by slice.
+        let mut block: Vec<usize> = vec![0; n];
+        {
+            let mut by_state: FxHashMap<&State, usize> = FxHashMap::default();
+            for (i, node) in self.nodes.iter().enumerate() {
+                let next_id = by_state.len();
+                block[i] = *by_state.entry(&node.state).or_insert(next_id);
+            }
+        }
+        // Refine by successor signature.
+        loop {
+            let mut sig_to_block: FxHashMap<(usize, Vec<usize>), usize> = FxHashMap::default();
+            let mut new_block = vec![0usize; n];
+            for i in 0..n {
+                let id = SpecNodeId::from_index(i);
+                let succ_sig: Vec<usize> = self
+                    .funcs
+                    .symbols()
+                    .iter()
+                    .map(|&f| block[self.successor[&(id, f)].index()])
+                    .collect();
+                let next_id = sig_to_block.len();
+                new_block[i] = *sig_to_block.entry((block[i], succ_sig)).or_insert(next_id);
+            }
+            if new_block == block {
+                break;
+            }
+            block = new_block;
+        }
+        // Representative of each block: the ≺-smallest member (blocks are
+        // discovered in node order, which is ≺ order).
+        let block_count = block.iter().copied().max().map_or(0, |m| m + 1);
+        let mut rep_of_block: Vec<Option<usize>> = vec![None; block_count];
+        for (i, &b) in block.iter().enumerate() {
+            if rep_of_block[b].is_none() {
+                rep_of_block[b] = Some(i);
+            }
+        }
+        // Re-number blocks by their representative's node index so the
+        // root stays node 0 and ordering is stable.
+        let mut order: Vec<usize> = (0..block_count).collect();
+        order.sort_by_key(|&b| rep_of_block[b].expect("every block has a representative"));
+        let mut renum = vec![0usize; block_count];
+        for (new_id, &b) in order.iter().enumerate() {
+            renum[b] = new_id;
+        }
+
+        let mut out = GraphSpec {
+            c: self.c,
+            funcs: self.funcs.clone(),
+            tree: TermTree::new(),
+            nodes: Vec::new(),
+            successor: FxHashMap::default(),
+            atoms: self.atoms.clone(),
+            nf: self.nf.clone(),
+            merges: Vec::new(),
+            active_count: 0,
+        };
+        for &b in &order {
+            let rep = rep_of_block[b].expect("every block has a representative");
+            let path = self.tree.path(self.nodes[rep].term);
+            let term = out.tree.intern_path(&path);
+            out.push_node(term, self.nodes[rep].state.clone());
+        }
+        out.active_count = out
+            .nodes
+            .iter()
+            .filter(|n| out.tree.depth(n.term) > out.c)
+            .count();
+        for (i, &b) in block.iter().enumerate() {
+            let new_from = SpecNodeId::from_index(renum[b]);
+            let id = SpecNodeId::from_index(i);
+            for &f in self.funcs.symbols() {
+                let to = self.successor[&(id, f)];
+                let new_to = SpecNodeId::from_index(renum[block[to.index()]]);
+                out.successor.insert((new_from, f), new_to);
+            }
+            // Non-representative members become merge equations.
+            if rep_of_block[b] != Some(i) {
+                out.merges
+                    .push((self.tree.path(self.nodes[i].term), new_from));
+            }
+        }
+        for (path, rep) in &self.merges {
+            out.merges.push((
+                path.clone(),
+                SpecNodeId::from_index(renum[block[rep.index()]]),
+            ));
+        }
+        out
+    }
+
+    /// Renders the specification deterministically: representative terms
+    /// with their slices and successor mappings. Used by goldens and the
+    /// examples.
+    pub fn render(&self, interner: &Interner) -> String {
+        let mut out = String::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            let id = SpecNodeId::from_index(i);
+            let term = self.tree.display(node.term, interner).to_string();
+            out.push_str(&format!("node {i}: {term}\n"));
+            let mut slice: Vec<String> = node
+                .state
+                .iter()
+                .map(|a| self.atoms.display(a, interner))
+                .collect();
+            slice.sort_unstable();
+            for s in slice {
+                out.push_str(&format!("  {s}\n"));
+            }
+            for &f in self.funcs.symbols() {
+                if let Some(t) = self.successor.get(&(id, f)) {
+                    out.push_str(&format!(
+                        "  successor_{} -> node {}\n",
+                        interner.resolve(f.sym()),
+                        t.index()
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{Atom, Database, FTerm, NTerm, Program, Rule};
+    use fundb_term::Var;
+
+    fn fat(p: Pred, ft: FTerm, args: Vec<NTerm>) -> Atom {
+        Atom::Functional {
+            pred: p,
+            fterm: ft,
+            args,
+        }
+    }
+
+    /// Meets/Next: the spec must collapse to two deep clusters (even/odd).
+    #[test]
+    fn meets_collapses_to_two_clusters() {
+        let mut i = Interner::new();
+        let meets = Pred(i.intern("Meets"));
+        let next = Pred(i.intern("Next"));
+        let succ = Func(i.intern("succ"));
+        let (t, x, y) = (Var(i.intern("t")), Var(i.intern("x")), Var(i.intern("y")));
+        let (tony, jan) = (Cst(i.intern("tony")), Cst(i.intern("jan")));
+        let mut prog = Program::new();
+        prog.push(Rule::new(
+            fat(
+                meets,
+                FTerm::Pure(succ, Box::new(FTerm::Var(t))),
+                vec![NTerm::Var(y)],
+            ),
+            vec![
+                fat(meets, FTerm::Var(t), vec![NTerm::Var(x)]),
+                Atom::Relational {
+                    pred: next,
+                    args: vec![NTerm::Var(x), NTerm::Var(y)],
+                },
+            ],
+        ));
+        let mut db = Database::new();
+        db.facts
+            .push(fat(meets, FTerm::Zero, vec![NTerm::Const(tony)]));
+        db.facts.push(Atom::Relational {
+            pred: next,
+            args: vec![NTerm::Const(tony), NTerm::Const(jan)],
+        });
+        db.facts.push(Atom::Relational {
+            pred: next,
+            args: vec![NTerm::Const(jan), NTerm::Const(tony)],
+        });
+        let mut engine = Engine::build(&prog, &db, &mut i).unwrap();
+        let spec = GraphSpec::from_engine(&mut engine);
+
+        // c = 0: the root plus two active representatives (odd days: jan,
+        // even days ≥ 2: tony).
+        assert_eq!(spec.c, 0);
+        assert_eq!(spec.cluster_count(), 3);
+        assert_eq!(spec.active_count, 2);
+
+        // Membership through the Link walk.
+        for n in 0..50usize {
+            let path = vec![succ; n];
+            assert_eq!(spec.holds(meets, &path, &[tony]), n % 2 == 0);
+            assert_eq!(spec.holds(meets, &path, &[jan]), n % 2 == 1);
+        }
+        assert!(spec.holds_relational(next, &[tony, jan]));
+        assert!(!spec.holds_relational(next, &[jan, jan]));
+    }
+
+    /// The successor graph is total: every node has an edge per symbol.
+    #[test]
+    fn successor_graph_is_total() {
+        let mut i = Interner::new();
+        let p = Pred(i.intern("P"));
+        let f = Func(i.intern("f"));
+        let g = Func(i.intern("g"));
+        let s = Var(i.intern("s"));
+        let mut prog = Program::new();
+        prog.push(Rule::new(
+            fat(p, FTerm::Pure(f, Box::new(FTerm::Var(s))), vec![]),
+            vec![fat(p, FTerm::Var(s), vec![])],
+        ));
+        prog.push(Rule::new(
+            fat(p, FTerm::Pure(g, Box::new(FTerm::Var(s))), vec![]),
+            vec![
+                fat(p, FTerm::Var(s), vec![]),
+                fat(p, FTerm::Pure(g, Box::new(FTerm::Var(s))), vec![]),
+            ],
+        ));
+        let mut db = Database::new();
+        db.facts.push(fat(p, FTerm::Zero, vec![]));
+        let mut engine = Engine::build(&prog, &db, &mut i).unwrap();
+        let spec = GraphSpec::from_engine(&mut engine);
+        for idx in 0..spec.cluster_count() {
+            for &sym in spec.funcs.symbols() {
+                assert!(
+                    spec.successor
+                        .contains_key(&(SpecNodeId::from_index(idx), sym)),
+                    "missing successor at node {idx}"
+                );
+            }
+        }
+    }
+
+    /// Spec membership agrees with the engine on all short paths.
+    #[test]
+    fn spec_agrees_with_engine() {
+        let mut i = Interner::new();
+        let a = Pred(i.intern("A"));
+        let b = Pred(i.intern("B"));
+        let f = Func(i.intern("f"));
+        let g = Func(i.intern("g"));
+        let s = Var(i.intern("s"));
+        let mut prog = Program::new();
+        prog.push(Rule::new(
+            fat(a, FTerm::Pure(f, Box::new(FTerm::Var(s))), vec![]),
+            vec![fat(a, FTerm::Var(s), vec![])],
+        ));
+        prog.push(Rule::new(
+            fat(b, FTerm::Pure(g, Box::new(FTerm::Var(s))), vec![]),
+            vec![fat(a, FTerm::Pure(f, Box::new(FTerm::Var(s))), vec![])],
+        ));
+        let mut db = Database::new();
+        db.facts.push(fat(a, FTerm::Zero, vec![]));
+        let mut engine = Engine::build(&prog, &db, &mut i).unwrap();
+        let spec = GraphSpec::from_engine(&mut engine);
+
+        let mut paths: Vec<Vec<Func>> = vec![vec![]];
+        let mut frontier: Vec<Vec<Func>> = vec![vec![]];
+        for _ in 0..5 {
+            let mut next = Vec::new();
+            for p in &frontier {
+                for &sym in &[f, g] {
+                    let mut q = p.clone();
+                    q.push(sym);
+                    next.push(q);
+                }
+            }
+            paths.extend(next.iter().cloned());
+            frontier = next;
+        }
+        for path in &paths {
+            for pred in [a, b] {
+                assert_eq!(
+                    spec.holds(pred, path, &[]),
+                    engine.holds(pred, path, &[]),
+                    "pred {pred:?} path {path:?}"
+                );
+            }
+        }
+    }
+
+    /// Merges record potential → representative equations for the eqspec.
+    #[test]
+    fn merges_are_recorded_and_consistent() {
+        let mut i = Interner::new();
+        let even = Pred(i.intern("Even"));
+        let succ = Func(i.intern("s1"));
+        let t = Var(i.intern("t"));
+        let mut prog = Program::new();
+        prog.push(Rule::new(
+            fat(
+                even,
+                FTerm::Pure(succ, Box::new(FTerm::Pure(succ, Box::new(FTerm::Var(t))))),
+                vec![],
+            ),
+            vec![fat(even, FTerm::Var(t), vec![])],
+        ));
+        let mut db = Database::new();
+        db.facts.push(fat(even, FTerm::Zero, vec![]));
+        let mut engine = Engine::build(&prog, &db, &mut i).unwrap();
+        let spec = GraphSpec::from_engine(&mut engine);
+        assert!(!spec.merges.is_empty());
+        for (path, rep) in &spec.merges {
+            assert_eq!(spec.representative_of(path), Some(*rep));
+        }
+        // The Even lasso: Even holds exactly on even terms.
+        for n in 0..20usize {
+            assert_eq!(spec.holds(even, &vec![succ; n], &[]), n % 2 == 0);
+        }
+    }
+
+    /// Rendering is stable and human-readable.
+    #[test]
+    fn render_shows_nodes_and_successors() {
+        let mut i = Interner::new();
+        let p = Pred(i.intern("P"));
+        let f = Func(i.intern("f"));
+        let s = Var(i.intern("s"));
+        let mut prog = Program::new();
+        prog.push(Rule::new(
+            fat(p, FTerm::Pure(f, Box::new(FTerm::Var(s))), vec![]),
+            vec![fat(p, FTerm::Var(s), vec![])],
+        ));
+        let mut db = Database::new();
+        db.facts.push(fat(p, FTerm::Zero, vec![]));
+        let mut engine = Engine::build(&prog, &db, &mut i).unwrap();
+        let spec = GraphSpec::from_engine(&mut engine);
+        let text = spec.render(&i);
+        assert!(text.contains("node 0: 0"));
+        assert!(text.contains("P()"));
+        assert!(text.contains("successor_f"));
+    }
+}

@@ -1,0 +1,75 @@
+#![warn(missing_docs)]
+//! `fundb-core` — functional deductive databases with finitely represented
+//! infinite least fixpoints.
+//!
+//! This crate implements the primary contribution of Chomicki & Imieliński,
+//! *Relational Specifications of Infinite Query Answers* (SIGMOD 1989): an
+//! extension of DATALOG in which predicates carry functional terms in one
+//! fixed argument position, whose infinite least fixpoints and infinite query
+//! answers are represented finitely as **relational specifications** — a
+//! finite *primary database* plus a finitely specified congruence, given
+//! either as a successor **graph specification** (Algorithm Q, Figure 1) or
+//! as a ground-equation **equational specification** checked by congruence
+//! closure.
+//!
+//! # Pipeline
+//!
+//! ```text
+//! Program + Database                         (§2.1, your input)
+//!   → validate                               (schema, §2.1 restrictions)
+//!   → domain-independence check              (range-restrictedness, §2.3)
+//!   → normalize                              (≤1 functional var, depth ≤ 1; Appendix)
+//!   → mixed→pure transformation              (§2.4)
+//!   → Engine: least-fixpoint decision proc.  (yes/no queries, §4)
+//!   → GraphSpec (Algorithm Q)                (§3.4, Figure 1)
+//!   → EqSpec / CONGR canonical form          (§3.5, §3.6)
+//!   → query answers, incremental specs       (§5)
+//! ```
+//!
+//! The human-friendly entry point (concrete syntax, a one-stop `Workspace`)
+//! lives in the companion crate `fundb-parser`; this crate exposes the typed
+//! pipeline directly. Each module's documentation shows its paper anchor.
+
+pub mod analysis;
+pub mod canonical;
+pub mod compile;
+pub mod domaincheck;
+pub mod engine;
+pub mod eqspec;
+pub mod error;
+pub mod gendb;
+pub mod graphspec;
+pub mod naive;
+pub mod normalize;
+pub mod program;
+pub mod pure;
+pub mod query;
+pub mod quotient;
+pub mod spec_io;
+pub mod state;
+
+pub use analysis::FinitenessReport;
+pub use canonical::CongrForm;
+pub use compile::CompiledProgram;
+pub use engine::{Engine, EngineStats};
+pub use eqspec::EqSpec;
+pub use error::{Error, Result};
+pub use gendb::{AtomId, AtomInterner, DataParams};
+pub use graphspec::{GraphSpec, SpecNodeId};
+pub use naive::BoundedMaterialization;
+pub use normalize::normalize;
+pub use program::{Atom, Database, FTerm, NTerm, Program, Rule, Schema};
+pub use pure::{to_pure, PureProgram};
+pub use query::{IncrementalAnswer, Query};
+pub use quotient::QuotientModel;
+pub use spec_io::{read_spec, write_spec, SpecBundle};
+pub use state::State;
+
+/// Common imports for downstream users.
+pub mod prelude {
+    pub use crate::{
+        normalize, to_pure, Atom, Database, Engine, EqSpec, FTerm, GraphSpec, NTerm, Program,
+        Query, Rule, Schema,
+    };
+    pub use fundb_term::{Cst, Func, Interner, MixedSym, Pred, Var};
+}

@@ -1,0 +1,451 @@
+//! The mixed→pure function symbol transformation (§2.4).
+//!
+//! "Take a term `g(s, z̄)` and a vector `ā` of non-functional constants
+//! appearing in the database or in the rules. … Create a new unary function
+//! symbol `f_ā` and a new instance of every rule `r` in Z where `g(s, z̄)` is
+//! replaced by `f_ā(s)` and the occurrences of elements of `z̄` in `r` by the
+//! corresponding elements of `ā`." (§2.4)
+//!
+//! For domain-independent rule sets this transformation is faithful: the
+//! number and arity of predicates do not change, the number of new rules is
+//! polynomial in the database size, and normality is preserved. The paper's
+//! §3.4 list example shows it in action: `ext(s, x)` over `P(a), P(b)`
+//! becomes the two unary symbols `exta` and `extb`.
+
+use crate::error::Result;
+use crate::program::{Atom, Database, FTerm, NTerm, Program, Rule, Schema};
+use fundb_term::{Cst, Func, FxHashMap, Interner, MixedSym, Var};
+
+/// A program with only pure (unary) function symbols, plus the bookkeeping
+/// of which unary symbol instantiates which mixed application.
+#[derive(Clone, Debug)]
+pub struct PureProgram {
+    /// The transformed (still normal) rules.
+    pub program: Program,
+    /// The transformed database.
+    pub db: Database,
+    /// Schema re-inferred after the transformation (no mixed symbols).
+    pub schema: Schema,
+    /// `(g, ā) → f_ā` instantiation map.
+    pub sym_map: FxHashMap<(MixedSym, Box<[Cst]>), Func>,
+}
+
+/// Applies the mixed→pure transformation to a normal program and database.
+/// The `interner` receives the new unary symbol names (`g[a,b]`-style).
+///
+/// The transformation is database-dependent (it enumerates the constants of
+/// rules ∪ database); adding constants later requires re-running it.
+pub fn to_pure(program: &Program, db: &Database, interner: &mut Interner) -> Result<PureProgram> {
+    let schema = Schema::infer(program, db, interner)?;
+    let constants = schema.constants.clone();
+    let mut mapper = SymMapper {
+        map: FxHashMap::default(),
+    };
+
+    // --- Rules -----------------------------------------------------------
+    let mut out_rules = Vec::new();
+    let mut worklist: Vec<Rule> = program.rules.clone();
+    worklist.reverse();
+    while let Some(rule) = worklist.pop() {
+        match find_action(&rule) {
+            None => out_rules.push(rule),
+            Some(MixedAction::Rewrite) => {
+                worklist.push(rewrite_rule(&rule, &mut mapper, interner));
+            }
+            Some(MixedAction::Enumerate(vars)) => {
+                // Instantiate each variable of the innermost mixed node with
+                // every constant; the rewritten instances come back through
+                // the worklist.
+                let mut assignments: Vec<FxHashMap<Var, Cst>> = vec![FxHashMap::default()];
+                for v in vars {
+                    let mut next = Vec::with_capacity(assignments.len() * constants.len());
+                    for a in &assignments {
+                        for &c in &constants {
+                            let mut a2 = a.clone();
+                            a2.insert(v, c);
+                            next.push(a2);
+                        }
+                    }
+                    assignments = next;
+                }
+                for a in assignments.iter().rev() {
+                    worklist.push(Rule::new(
+                        rule.head.subst_nvars(a),
+                        rule.body.iter().map(|b| b.subst_nvars(a)).collect(),
+                    ));
+                }
+            }
+        }
+    }
+
+    // --- Database --------------------------------------------------------
+    let mut out_db = Database::new();
+    for fact in &db.facts {
+        let mut f = fact.clone();
+        while atom_has_mixed(&f) {
+            f = rewrite_atom(&f, &mut mapper, interner);
+        }
+        out_db.facts.push(f);
+    }
+
+    let out_prog = Program { rules: out_rules };
+    let out_schema = Schema::infer(&out_prog, &out_db, interner)?;
+    debug_assert!(out_schema.mixed_syms.is_empty());
+    debug_assert!(out_prog.is_normal() || !program.is_normal());
+    Ok(PureProgram {
+        program: out_prog,
+        db: out_db,
+        schema: out_schema,
+        sym_map: mapper.map,
+    })
+}
+
+struct SymMapper {
+    map: FxHashMap<(MixedSym, Box<[Cst]>), Func>,
+}
+
+impl SymMapper {
+    fn func_for(&mut self, g: MixedSym, args: &[Cst], interner: &mut Interner) -> Func {
+        if let Some(&f) = self.map.get(&(g, args.into())) {
+            return f;
+        }
+        let mut name = interner.resolve(g.name).to_string();
+        name.push('[');
+        for (i, c) in args.iter().enumerate() {
+            if i > 0 {
+                name.push(',');
+            }
+            name.push_str(interner.resolve(c.sym()));
+        }
+        name.push(']');
+        let f = Func(interner.intern(&name));
+        self.map.insert((g, args.into()), f);
+        f
+    }
+}
+
+enum MixedAction {
+    /// The innermost-leftmost mixed node has all-constant arguments: rewrite
+    /// it directly.
+    Rewrite,
+    /// It has these variables: enumerate constants for them first.
+    Enumerate(Vec<Var>),
+}
+
+/// Finds the innermost-leftmost mixed node across the rule's atoms.
+fn find_action(rule: &Rule) -> Option<MixedAction> {
+    for atom in std::iter::once(&rule.head).chain(&rule.body) {
+        if let Some(ft) = atom.fterm() {
+            if let Some(node) = innermost_mixed(ft) {
+                let vars: Vec<Var> = match node {
+                    FTerm::Mixed(_, _, nargs) => {
+                        let mut vs = Vec::new();
+                        for n in nargs {
+                            if let NTerm::Var(v) = n {
+                                if !vs.contains(v) {
+                                    vs.push(*v);
+                                }
+                            }
+                        }
+                        vs
+                    }
+                    _ => unreachable!(),
+                };
+                return Some(if vars.is_empty() {
+                    MixedAction::Rewrite
+                } else {
+                    MixedAction::Enumerate(vars)
+                });
+            }
+        }
+    }
+    None
+}
+
+/// The innermost mixed node along the spine, if any.
+fn innermost_mixed(ft: &FTerm) -> Option<&FTerm> {
+    let mut cur = ft;
+    let mut best = None;
+    loop {
+        match cur {
+            FTerm::Zero | FTerm::Var(_) => return best,
+            FTerm::Pure(_, t) => cur = t,
+            FTerm::Mixed(_, t, _) => {
+                best = Some(cur);
+                cur = t;
+            }
+        }
+    }
+}
+
+fn atom_has_mixed(atom: &Atom) -> bool {
+    atom.fterm().is_some_and(|ft| !ft.is_pure())
+}
+
+/// Rewrites every mixed application with constant arguments into its unary
+/// instantiation, innermost first (iterative — facts can be deep).
+fn rewrite_fterm(ft: &FTerm, mapper: &mut SymMapper, interner: &mut Interner) -> FTerm {
+    use crate::program::SpineStep;
+    let (steps, end) = ft.decompose();
+    let end = match end {
+        FTerm::Zero => FTerm::Zero,
+        FTerm::Var(v) => FTerm::Var(*v),
+        _ => unreachable!("decompose ends at Zero or Var"),
+    };
+    FTerm::rebuild(
+        end,
+        steps.into_iter().rev().map(|s| match s {
+            SpineStep::Pure(f) => SpineStep::Pure(f),
+            SpineStep::Mixed(g, nargs) => {
+                let consts: Option<Vec<Cst>> = nargs.iter().map(|n| n.as_const()).collect();
+                match consts {
+                    Some(cs) => SpineStep::Pure(mapper.func_for(g, &cs, interner)),
+                    // Variables still present: left for a later enumeration
+                    // pass.
+                    None => SpineStep::Mixed(g, nargs),
+                }
+            }
+        }),
+    )
+}
+
+fn rewrite_atom(atom: &Atom, mapper: &mut SymMapper, interner: &mut Interner) -> Atom {
+    match atom {
+        Atom::Functional { pred, fterm, args } => Atom::Functional {
+            pred: *pred,
+            fterm: rewrite_fterm(fterm, mapper, interner),
+            args: args.clone(),
+        },
+        Atom::Relational { .. } => atom.clone(),
+    }
+}
+
+fn rewrite_rule(rule: &Rule, mapper: &mut SymMapper, interner: &mut Interner) -> Rule {
+    Rule::new(
+        rewrite_atom(&rule.head, mapper, interner),
+        rule.body
+            .iter()
+            .map(|b| rewrite_atom(b, mapper, interner))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fundb_term::Pred;
+
+    /// Builds the paper's §3.4 list-membership example:
+    ///
+    /// ```text
+    /// P(x) → Member(ext(0,x), x).
+    /// P(y), Member(s,x) → Member(ext(s,y), y).
+    /// P(y), Member(s,x) → Member(ext(s,y), x).
+    /// D = { P(a), P(b) }
+    /// ```
+    pub(crate) fn lists_example(i: &mut Interner) -> (Program, Database) {
+        let p = Pred(i.intern("P"));
+        let member = Pred(i.intern("Member"));
+        let ext = MixedSym {
+            name: i.intern("ext"),
+            extra_args: 1,
+        };
+        let s = Var(i.intern("s"));
+        let x = Var(i.intern("x"));
+        let y = Var(i.intern("y"));
+        let a = Cst(i.intern("a"));
+        let b = Cst(i.intern("b"));
+
+        let pm = |v: Var| Atom::Relational {
+            pred: p,
+            args: vec![NTerm::Var(v)],
+        };
+        let member_at = |ft: FTerm, arg: NTerm| Atom::Functional {
+            pred: member,
+            fterm: ft,
+            args: vec![arg],
+        };
+
+        let mut prog = Program::new();
+        prog.push(Rule::new(
+            member_at(
+                FTerm::Mixed(ext, Box::new(FTerm::Zero), vec![NTerm::Var(x)]),
+                NTerm::Var(x),
+            ),
+            vec![pm(x)],
+        ));
+        prog.push(Rule::new(
+            member_at(
+                FTerm::Mixed(ext, Box::new(FTerm::Var(s)), vec![NTerm::Var(y)]),
+                NTerm::Var(y),
+            ),
+            vec![pm(y), member_at(FTerm::Var(s), NTerm::Var(x))],
+        ));
+        prog.push(Rule::new(
+            member_at(
+                FTerm::Mixed(ext, Box::new(FTerm::Var(s)), vec![NTerm::Var(y)]),
+                NTerm::Var(x),
+            ),
+            vec![pm(y), member_at(FTerm::Var(s), NTerm::Var(x))],
+        ));
+
+        let mut db = Database::new();
+        db.facts.push(Atom::Relational {
+            pred: p,
+            args: vec![NTerm::Const(a)],
+        });
+        db.facts.push(Atom::Relational {
+            pred: p,
+            args: vec![NTerm::Const(b)],
+        });
+        (prog, db)
+    }
+
+    #[test]
+    fn lists_example_becomes_pure() {
+        let mut i = Interner::new();
+        let (prog, db) = lists_example(&mut i);
+        let pure = to_pure(&prog, &db, &mut i).unwrap();
+        // Two new symbols: ext[a] and ext[b] (the paper's exta/extb).
+        assert_eq!(pure.sym_map.len(), 2);
+        assert!(pure.schema.mixed_syms.is_empty());
+        assert_eq!(pure.schema.pure_syms.len(), 2);
+        // 3 original rules, the two with variable mixed args doubled:
+        // 1×2 (first rule: ext(0,x), x∈{a,b}) + 2×2 = 6 rules.
+        assert_eq!(pure.program.rules.len(), 6);
+        assert!(pure.program.is_normal());
+    }
+
+    #[test]
+    fn substitution_is_applied_throughout_the_rule() {
+        // P(y), Member(s,x) → Member(ext(s,y), y): after instantiating y:=a,
+        // *both* occurrences of y must be a.
+        let mut i = Interner::new();
+        let (prog, db) = lists_example(&mut i);
+        let pure = to_pure(&prog, &db, &mut i).unwrap();
+        for rule in &pure.program.rules {
+            // No variable may appear in a rule if it was an enumerated mixed
+            // argument; here simply check: any head functional symbol f=ext[c]
+            // implies the head's non-functional argument of the second rule
+            // family is the constant c or a body variable x.
+            if let Some(FTerm::Pure(f, _)) = rule.head.fterm() {
+                let name = i.resolve(f.sym());
+                assert!(name == "ext[a]" || name == "ext[b]");
+            }
+        }
+    }
+
+    #[test]
+    fn ground_facts_with_mixed_terms_are_rewritten() {
+        let mut i = Interner::new();
+        let member = Pred(i.intern("Member"));
+        let ext = MixedSym {
+            name: i.intern("ext"),
+            extra_args: 1,
+        };
+        let a = Cst(i.intern("a"));
+        let b = Cst(i.intern("b"));
+        // Member(ext(ext(0,a),b), a).
+        let t = FTerm::Mixed(
+            ext,
+            Box::new(FTerm::Mixed(
+                ext,
+                Box::new(FTerm::Zero),
+                vec![NTerm::Const(a)],
+            )),
+            vec![NTerm::Const(b)],
+        );
+        let mut db = Database::new();
+        db.facts.push(Atom::Functional {
+            pred: member,
+            fterm: t,
+            args: vec![NTerm::Const(a)],
+        });
+        let pure = to_pure(&Program::new(), &db, &mut i).unwrap();
+        let ft = pure.db.facts[0].fterm().unwrap();
+        assert!(ft.is_pure());
+        assert_eq!(ft.depth(), 2);
+        let path = ft.pure_path().unwrap();
+        assert_eq!(i.resolve(path[0].sym()), "ext[a]");
+        assert_eq!(i.resolve(path[1].sym()), "ext[b]");
+    }
+
+    #[test]
+    fn pure_programs_pass_through_unchanged() {
+        let mut i = Interner::new();
+        let p = Pred(i.intern("P"));
+        let f = Func(i.intern("f"));
+        let s = Var(i.intern("s"));
+        let mut prog = Program::new();
+        prog.push(Rule::new(
+            Atom::Functional {
+                pred: p,
+                fterm: FTerm::Pure(f, Box::new(FTerm::Var(s))),
+                args: vec![],
+            },
+            vec![Atom::Functional {
+                pred: p,
+                fterm: FTerm::Var(s),
+                args: vec![],
+            }],
+        ));
+        let before = prog.clone();
+        let pure = to_pure(&prog, &Database::new(), &mut i).unwrap();
+        assert_eq!(pure.program, before);
+        assert!(pure.sym_map.is_empty());
+    }
+
+    #[test]
+    fn repeated_variable_in_mixed_args_instantiated_consistently() {
+        // Q(s,x) → P(g(s,x,x)): the two x's must receive the same constant.
+        let mut i = Interner::new();
+        let p = Pred(i.intern("P"));
+        let q = Pred(i.intern("Q"));
+        let g = MixedSym {
+            name: i.intern("g"),
+            extra_args: 2,
+        };
+        let s = Var(i.intern("s"));
+        let x = Var(i.intern("x"));
+        let a = Cst(i.intern("a"));
+        let b = Cst(i.intern("b"));
+        let mut prog = Program::new();
+        prog.push(Rule::new(
+            Atom::Functional {
+                pred: p,
+                fterm: FTerm::Mixed(
+                    g,
+                    Box::new(FTerm::Var(s)),
+                    vec![NTerm::Var(x), NTerm::Var(x)],
+                ),
+                args: vec![],
+            },
+            vec![Atom::Functional {
+                pred: q,
+                fterm: FTerm::Var(s),
+                args: vec![NTerm::Var(x)],
+            }],
+        ));
+        let mut db = Database::new();
+        db.facts.push(Atom::Functional {
+            pred: q,
+            fterm: FTerm::Zero,
+            args: vec![NTerm::Const(a)],
+        });
+        db.facts.push(Atom::Functional {
+            pred: q,
+            fterm: FTerm::Zero,
+            args: vec![NTerm::Const(b)],
+        });
+        let pure = to_pure(&prog, &db, &mut i).unwrap();
+        // Only diagonal instantiations g[a,a] and g[b,b].
+        let names: Vec<String> = pure
+            .sym_map
+            .values()
+            .map(|f| i.resolve(f.sym()).to_string())
+            .collect();
+        assert_eq!(pure.sym_map.len(), 2);
+        assert!(names.contains(&"g[a,a]".to_string()));
+        assert!(names.contains(&"g[b,b]".to_string()));
+    }
+}

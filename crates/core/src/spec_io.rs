@@ -1,0 +1,477 @@
+//! Serialization of graph specifications.
+//!
+//! The paper stresses that relational specifications are *explicit*: "once
+//! it is computed, the original deductive rules may be forgotten" (§1).
+//! This module makes that operational — a [`GraphSpec`] can be written to a
+//! stable, line-oriented text format and loaded back later (or elsewhere)
+//! to answer membership and queries without the rules:
+//!
+//! ```text
+//! fundbspec 1
+//! c 0
+//! funcs +1
+//! mixed ext 1 A ext[A]          # mixed→pure instantiation (optional)
+//! node 0 -                      # representative term: path from the root
+//! node 1 +1
+//! atom 0 Meets Tony             # slice tuple of a node
+//! succ 0 +1 1                   # successor mapping
+//! nf Next Tony Jan              # relational fact
+//! merge +1.+1 0                 # equation: term path ≅ node (the R of §3.5)
+//! end
+//! ```
+//!
+//! Symbol names are emitted verbatim, so they must not contain whitespace
+//! or `.` — true for everything the parser and the transformations produce
+//! (including `ext[A]`-style instantiated symbols and `+1`).
+
+use crate::error::{Error, Result};
+use crate::gendb::AtomInterner;
+use crate::graphspec::{GraphSpec, SpecNodeId};
+use crate::state::State;
+use fundb_datalog as dl;
+use fundb_term::{Cst, Func, FuncOrder, FxHashMap, Interner, MixedSym, Pred, TermTree};
+
+/// A serializable bundle: the specification plus the mixed→pure symbol map
+/// needed to interpret user-facing terms against it.
+#[derive(Clone)]
+pub struct SpecBundle {
+    /// The graph specification.
+    pub spec: GraphSpec,
+    /// `(g, ā) → f_ā` instantiations (possibly empty).
+    pub sym_map: FxHashMap<(MixedSym, Box<[Cst]>), Func>,
+}
+
+/// Translates a ground (possibly mixed) functional term into a pure symbol
+/// path using a mixed→pure instantiation map. `None` when the term is
+/// non-ground or uses an instantiation absent from the map (such terms never
+/// occur in the fixpoint, so membership is simply false).
+pub fn pure_path_with_map(
+    ft: &crate::program::FTerm,
+    sym_map: &FxHashMap<(MixedSym, Box<[Cst]>), Func>,
+) -> Option<Vec<Func>> {
+    use crate::program::{FTerm, SpineStep};
+    let (steps, end) = ft.decompose();
+    if !matches!(end, FTerm::Zero) {
+        return None;
+    }
+    let mut path = Vec::with_capacity(steps.len());
+    for s in steps.into_iter().rev() {
+        match s {
+            SpineStep::Pure(f) => path.push(f),
+            SpineStep::Mixed(g, args) => {
+                let consts: Box<[Cst]> = args
+                    .into_iter()
+                    .map(|a| a.as_const())
+                    .collect::<Option<_>>()?;
+                path.push(*sym_map.get(&(g, consts))?);
+            }
+        }
+    }
+    Some(path)
+}
+
+/// Serializes a specification (and symbol map) to the text format.
+pub fn write_spec(bundle: &SpecBundle, interner: &Interner) -> String {
+    let spec = &bundle.spec;
+    let name = |s: fundb_term::Sym| -> &str {
+        let n = interner.resolve(s);
+        assert!(
+            !n.contains(char::is_whitespace) && !n.contains('.') && !n.is_empty(),
+            "symbol `{n}` is not serializable"
+        );
+        n
+    };
+    let path_str = |path: &[Func]| -> String {
+        if path.is_empty() {
+            "-".to_string()
+        } else {
+            path.iter()
+                .map(|f| name(f.sym()))
+                .collect::<Vec<_>>()
+                .join(".")
+        }
+    };
+
+    let mut out = String::from("fundbspec 1\n");
+    out.push_str(&format!("c {}\n", spec.c));
+    out.push_str("funcs");
+    for f in spec.funcs.symbols() {
+        out.push(' ');
+        out.push_str(name(f.sym()));
+    }
+    out.push('\n');
+    for ((g, args), f) in &bundle.sym_map {
+        out.push_str(&format!("mixed {} {}", name(g.name), g.extra_args));
+        for a in args.iter() {
+            out.push(' ');
+            out.push_str(name(a.sym()));
+        }
+        out.push(' ');
+        out.push_str(name(f.sym()));
+        out.push('\n');
+    }
+    for (i, node) in spec.nodes.iter().enumerate() {
+        out.push_str(&format!(
+            "node {i} {}\n",
+            path_str(&spec.tree.path(node.term))
+        ));
+    }
+    for (i, node) in spec.nodes.iter().enumerate() {
+        for id in node.state.iter() {
+            let (p, args) = spec.atoms.resolve(id);
+            out.push_str(&format!("atom {i} {}", name(p.sym())));
+            for a in args {
+                out.push(' ');
+                out.push_str(name(a.sym()));
+            }
+            out.push('\n');
+        }
+    }
+    for (i, _) in spec.nodes.iter().enumerate() {
+        for f in spec.funcs.symbols() {
+            if let Some(to) = spec.successor.get(&(node_id(i), *f)) {
+                out.push_str(&format!("succ {i} {} {}\n", name(f.sym()), to.index()));
+            }
+        }
+    }
+    for (p, rel) in spec.nf.iter() {
+        for row in rel.rows() {
+            out.push_str(&format!("nf {}", name(p.sym())));
+            for a in row.iter() {
+                out.push(' ');
+                out.push_str(name(a.sym()));
+            }
+            out.push('\n');
+        }
+    }
+    for (path, rep) in &spec.merges {
+        out.push_str(&format!("merge {} {}\n", path_str(path), rep.index()));
+    }
+    out.push_str("end\n");
+    out
+}
+
+fn node_id(i: usize) -> SpecNodeId {
+    // SpecNodeId construction is private to graphspec; go through the
+    // public dense-iteration contract.
+    SpecNodeId::from_dense_index(i)
+}
+
+/// Parses the text format back into a [`SpecBundle`]. Symbol names are
+/// interned into `interner`.
+pub fn read_spec(text: &str, interner: &mut Interner) -> Result<SpecBundle> {
+    let mut lines = text.lines().enumerate();
+    let err = |lineno: usize, detail: &str| Error::Parse {
+        offset: lineno,
+        detail: format!("spec file line {}: {detail}", lineno + 1),
+    };
+
+    let (n0, header) = lines
+        .next()
+        .ok_or_else(|| err(0, "empty specification file"))?;
+    if header.trim() != "fundbspec 1" {
+        return Err(err(n0, "expected header `fundbspec 1`"));
+    }
+
+    let mut c: Option<usize> = None;
+    let mut funcs: Vec<Func> = Vec::new();
+    let mut tree = TermTree::new();
+    let mut node_terms: Vec<fundb_term::NodeId> = Vec::new();
+    let mut states: Vec<State> = Vec::new();
+    let mut atoms = AtomInterner::new();
+    let mut successor: FxHashMap<(SpecNodeId, Func), SpecNodeId> = FxHashMap::default();
+    let mut nf = dl::Database::new();
+    let mut merges: Vec<(Vec<Func>, SpecNodeId)> = Vec::new();
+    let mut sym_map: FxHashMap<(MixedSym, Box<[Cst]>), Func> = FxHashMap::default();
+    let mut ended = false;
+
+    let parse_path = |tok: &str, interner: &mut Interner| -> Vec<Func> {
+        if tok == "-" {
+            Vec::new()
+        } else {
+            tok.split('.').map(|n| Func(interner.intern(n))).collect()
+        }
+    };
+
+    for (lineno, raw) in lines {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut toks = line.split_whitespace();
+        let kw = toks.next().expect("non-empty line has a token");
+        let rest: Vec<&str> = toks.collect();
+        match kw {
+            "c" => {
+                let v = rest
+                    .first()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| err(lineno, "malformed `c`"))?;
+                c = Some(v);
+            }
+            "funcs" => {
+                funcs = rest.iter().map(|n| Func(interner.intern(n))).collect();
+            }
+            "mixed" => {
+                if rest.len() < 3 {
+                    return Err(err(lineno, "malformed `mixed`"));
+                }
+                let gname = interner.intern(rest[0]);
+                let extra: usize = rest[1]
+                    .parse()
+                    .map_err(|_| err(lineno, "malformed mixed arity"))?;
+                if rest.len() != extra + 3 {
+                    return Err(err(lineno, "mixed argument count mismatch"));
+                }
+                let args: Box<[Cst]> = rest[2..2 + extra]
+                    .iter()
+                    .map(|n| Cst(interner.intern(n)))
+                    .collect();
+                let f = Func(interner.intern(rest[2 + extra]));
+                sym_map.insert(
+                    (
+                        MixedSym {
+                            name: gname,
+                            extra_args: extra as u8,
+                        },
+                        args,
+                    ),
+                    f,
+                );
+            }
+            "node" => {
+                if rest.len() != 2 {
+                    return Err(err(lineno, "malformed `node`"));
+                }
+                let idx: usize = rest[0]
+                    .parse()
+                    .map_err(|_| err(lineno, "malformed node index"))?;
+                if idx != node_terms.len() {
+                    return Err(err(lineno, "nodes must be listed densely in order"));
+                }
+                let path = parse_path(rest[1], interner);
+                node_terms.push(tree.intern_path(&path));
+                states.push(State::new());
+            }
+            "atom" => {
+                if rest.len() < 2 {
+                    return Err(err(lineno, "malformed `atom`"));
+                }
+                let idx: usize = rest[0]
+                    .parse()
+                    .map_err(|_| err(lineno, "malformed atom node index"))?;
+                let pred = Pred(interner.intern(rest[1]));
+                let args: Vec<Cst> = rest[2..].iter().map(|n| Cst(interner.intern(n))).collect();
+                let id = atoms.intern(pred, &args);
+                states
+                    .get_mut(idx)
+                    .ok_or_else(|| err(lineno, "atom refers to an unknown node"))?
+                    .insert(id);
+            }
+            "succ" => {
+                if rest.len() != 3 {
+                    return Err(err(lineno, "malformed `succ`"));
+                }
+                let from: usize = rest[0]
+                    .parse()
+                    .map_err(|_| err(lineno, "malformed succ source"))?;
+                let f = Func(interner.intern(rest[1]));
+                let to: usize = rest[2]
+                    .parse()
+                    .map_err(|_| err(lineno, "malformed succ target"))?;
+                successor.insert((node_id(from), f), node_id(to));
+            }
+            "nf" => {
+                if rest.is_empty() {
+                    return Err(err(lineno, "malformed `nf`"));
+                }
+                let pred = Pred(interner.intern(rest[0]));
+                let row: Box<[Cst]> = rest[1..].iter().map(|n| Cst(interner.intern(n))).collect();
+                nf.insert(pred, row);
+            }
+            "merge" => {
+                if rest.len() != 2 {
+                    return Err(err(lineno, "malformed `merge`"));
+                }
+                let path = parse_path(rest[0], interner);
+                let rep: usize = rest[1]
+                    .parse()
+                    .map_err(|_| err(lineno, "malformed merge target"))?;
+                merges.push((path, node_id(rep)));
+            }
+            "end" => {
+                ended = true;
+                break;
+            }
+            other => return Err(err(lineno, &format!("unknown keyword `{other}`"))),
+        }
+    }
+    if !ended {
+        return Err(Error::Parse {
+            offset: 0,
+            detail: "specification file missing `end`".into(),
+        });
+    }
+    let c = c.ok_or(Error::Parse {
+        offset: 0,
+        detail: "specification file missing `c`".into(),
+    })?;
+
+    let nodes: Vec<crate::graphspec::SpecNode> = node_terms
+        .iter()
+        .zip(states)
+        .map(|(&term, state)| crate::graphspec::SpecNode { term, state })
+        .collect();
+    let active_count = nodes.iter().filter(|n| tree.depth(n.term) > c).count();
+    Ok(SpecBundle {
+        spec: GraphSpec {
+            c,
+            funcs: FuncOrder::new(funcs),
+            tree,
+            nodes,
+            successor,
+            atoms,
+            nf,
+            merges,
+            active_count,
+        },
+        sym_map,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use crate::program::{Atom, Database, FTerm, NTerm, Program, Rule};
+    use fundb_term::Var;
+
+    fn meets_spec() -> (Interner, GraphSpec, Pred, Func, Cst, Cst) {
+        let mut i = Interner::new();
+        let meets = Pred(i.intern("Meets"));
+        let next = Pred(i.intern("Next"));
+        let succ = Func(i.intern("+1"));
+        let (t, x, y) = (Var(i.intern("t")), Var(i.intern("x")), Var(i.intern("y")));
+        let (tony, jan) = (Cst(i.intern("Tony")), Cst(i.intern("Jan")));
+        let mut prog = Program::new();
+        prog.push(Rule::new(
+            Atom::Functional {
+                pred: meets,
+                fterm: FTerm::Pure(succ, Box::new(FTerm::Var(t))),
+                args: vec![NTerm::Var(y)],
+            },
+            vec![
+                Atom::Functional {
+                    pred: meets,
+                    fterm: FTerm::Var(t),
+                    args: vec![NTerm::Var(x)],
+                },
+                Atom::Relational {
+                    pred: next,
+                    args: vec![NTerm::Var(x), NTerm::Var(y)],
+                },
+            ],
+        ));
+        let mut db = Database::new();
+        db.facts.push(Atom::Functional {
+            pred: meets,
+            fterm: FTerm::Zero,
+            args: vec![NTerm::Const(tony)],
+        });
+        db.facts.push(Atom::Relational {
+            pred: next,
+            args: vec![NTerm::Const(tony), NTerm::Const(jan)],
+        });
+        db.facts.push(Atom::Relational {
+            pred: next,
+            args: vec![NTerm::Const(jan), NTerm::Const(tony)],
+        });
+        let mut engine = Engine::build(&prog, &db, &mut i).unwrap();
+        let spec = GraphSpec::from_engine(&mut engine);
+        (i, spec, meets, succ, tony, jan)
+    }
+
+    #[test]
+    fn round_trip_preserves_membership_and_render() {
+        let (i, spec, meets, succ, tony, jan) = meets_spec();
+        let text = write_spec(
+            &SpecBundle {
+                spec: spec.clone(),
+                sym_map: FxHashMap::default(),
+            },
+            &i,
+        );
+        let mut i2 = Interner::new();
+        let bundle = read_spec(&text, &mut i2).unwrap();
+        // Resolve symbols in the new interner.
+        let meets2 = Pred(i2.get("Meets").unwrap());
+        let succ2 = Func(i2.get("+1").unwrap());
+        let tony2 = Cst(i2.get("Tony").unwrap());
+        let jan2 = Cst(i2.get("Jan").unwrap());
+        for n in 0..30usize {
+            assert_eq!(
+                spec.holds(meets, &vec![succ; n], &[tony]),
+                bundle.spec.holds(meets2, &vec![succ2; n], &[tony2]),
+                "n={n}"
+            );
+            assert_eq!(
+                spec.holds(meets, &vec![succ; n], &[jan]),
+                bundle.spec.holds(meets2, &vec![succ2; n], &[jan2]),
+                "n={n}"
+            );
+        }
+        // Rendering (a superset of the structure) is identical.
+        assert_eq!(spec.render(&i), bundle.spec.render(&i2));
+        // Second round trip is byte-identical (canonical form).
+        let text2 = write_spec(&bundle, &i2);
+        assert_eq!(text, text2);
+    }
+
+    #[test]
+    fn read_rejects_garbage() {
+        let mut i = Interner::new();
+        assert!(read_spec("", &mut i).is_err());
+        assert!(read_spec("fundbspec 2\nend\n", &mut i).is_err());
+        assert!(read_spec("fundbspec 1\nc 0\n", &mut i).is_err()); // no end
+        assert!(read_spec("fundbspec 1\nbogus x\nend\n", &mut i).is_err());
+        assert!(read_spec("fundbspec 1\nnode 1 -\nend\n", &mut i).is_err()); // non-dense
+    }
+
+    #[test]
+    fn mixed_map_round_trips() {
+        let mut i = Interner::new();
+        let g = MixedSym {
+            name: i.intern("ext"),
+            extra_args: 1,
+        };
+        let a = Cst(i.intern("A"));
+        let fa = Func(i.intern("ext[A]"));
+        let (i_spec, spec, ..) = {
+            let (i2, spec, m, s, t, j) = meets_spec();
+            (i2, spec, m, s, t, j)
+        };
+        // Graft the mixed map onto an unrelated spec, re-interning its
+        // symbols in that spec's interner for a consistent write.
+        let mut i3 = i_spec.clone();
+        let g3 = MixedSym {
+            name: i3.intern("ext"),
+            extra_args: 1,
+        };
+        let a3 = Cst(i3.intern("A"));
+        let fa3 = Func(i3.intern("ext[A]"));
+        let mut sym_map = FxHashMap::default();
+        sym_map.insert((g3, vec![a3].into_boxed_slice()), fa3);
+        let text = write_spec(&SpecBundle { spec, sym_map }, &i3);
+        let mut i4 = Interner::new();
+        let bundle = read_spec(&text, &mut i4).unwrap();
+        assert_eq!(bundle.sym_map.len(), 1);
+        let g4 = MixedSym {
+            name: i4.get("ext").unwrap(),
+            extra_args: 1,
+        };
+        let a4 = Cst(i4.get("A").unwrap());
+        let fa4 = Func(i4.get("ext[A]").unwrap());
+        assert_eq!(bundle.sym_map[&(g4, vec![a4].into_boxed_slice())], fa4);
+        let _ = (g, a, fa);
+    }
+}

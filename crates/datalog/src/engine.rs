@@ -1,0 +1,423 @@
+//! Naive and semi-naive bottom-up evaluation.
+//!
+//! [`evaluate`] runs semi-naive iteration: in every round each rule is
+//! evaluated once per body atom, with that atom restricted to the tuples
+//! derived in the previous round (the delta) — a derivation is only
+//! attempted if it could not have been made before. [`evaluate_naive`]
+//! re-derives everything each round and exists as a differential-testing
+//! oracle and as the textbook baseline.
+
+use crate::rel::{Database, Tuple};
+use crate::rule::{Atom, Rule, Term};
+use fundb_term::{Cst, FxHashMap, Var};
+
+/// Counters reported by evaluation.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Number of fixpoint rounds (including the final no-change round).
+    pub rounds: usize,
+    /// Number of new facts derived (excluding the initial database).
+    pub derived: usize,
+}
+
+/// Evaluates `rules` over `db` to the least fixpoint, semi-naively.
+pub fn evaluate(db: &mut Database, rules: &[Rule]) -> EvalStats {
+    let mut stats = EvalStats::default();
+    // Low-water marks: per predicate, the row count at the start of the
+    // previous round. Tuples at index ≥ mark form the delta.
+    let mut marks: FxHashMap<fundb_term::Pred, usize> = FxHashMap::default();
+    let mut first_round = true;
+
+    loop {
+        stats.rounds += 1;
+        // Snapshot current row counts: everything beyond `marks` is delta.
+        let mut buffer: Vec<(fundb_term::Pred, Tuple)> = Vec::new();
+
+        for rule in rules {
+            if rule.body.is_empty() {
+                if first_round {
+                    let mut subst = FxHashMap::default();
+                    fire_head(rule, &mut subst, &mut buffer);
+                }
+                continue;
+            }
+            if first_round {
+                // Every atom reads the full database exactly once.
+                join_from(db, rule, 0, None, &marks, &mut buffer);
+            } else {
+                // One pass per delta position.
+                for delta_idx in 0..rule.body.len() {
+                    join_from(db, rule, 0, Some(delta_idx), &marks, &mut buffer);
+                }
+            }
+        }
+
+        // Advance marks to the end of the pre-insertion rows.
+        for (p, rel) in db.iter() {
+            marks.insert(p, rel.len());
+        }
+
+        let mut changed = false;
+        for (p, t) in buffer {
+            if db.insert(p, t) {
+                changed = true;
+                stats.derived += 1;
+            }
+        }
+        first_round = false;
+        if !changed {
+            return stats;
+        }
+    }
+}
+
+/// Evaluates `rules` naively (full re-derivation each round). Same fixpoint
+/// as [`evaluate`]; used as an oracle.
+pub fn evaluate_naive(db: &mut Database, rules: &[Rule]) -> EvalStats {
+    let mut stats = EvalStats::default();
+    loop {
+        stats.rounds += 1;
+        let mut buffer = Vec::new();
+        for rule in rules {
+            if rule.body.is_empty() {
+                let mut subst = FxHashMap::default();
+                fire_head(rule, &mut subst, &mut buffer);
+            } else {
+                join_from(db, rule, 0, None, &FxHashMap::default(), &mut buffer);
+            }
+        }
+        let mut changed = false;
+        for (p, t) in buffer {
+            if db.insert(p, t) {
+                changed = true;
+                stats.derived += 1;
+            }
+        }
+        if !changed {
+            return stats;
+        }
+    }
+}
+
+/// Evaluates the conjunctive query `body` over `db` and returns the distinct
+/// bindings of `out_vars`, in derivation order.
+pub fn query(db: &Database, body: &[Atom], out_vars: &[Var]) -> Vec<Vec<Cst>> {
+    let mut out: Vec<Vec<Cst>> = Vec::new();
+    let mut seen: fundb_term::FxHashSet<Vec<Cst>> = fundb_term::FxHashSet::default();
+    let mut subst = FxHashMap::default();
+    query_rec(db, body, 0, &mut subst, &mut |s| {
+        let row: Vec<Cst> = out_vars
+            .iter()
+            .map(|v| *s.get(v).expect("query output variable unbound by body"))
+            .collect();
+        if seen.insert(row.clone()) {
+            out.push(row);
+        }
+    });
+    out
+}
+
+fn query_rec(
+    db: &Database,
+    body: &[Atom],
+    idx: usize,
+    subst: &mut FxHashMap<Var, Cst>,
+    emit: &mut dyn FnMut(&FxHashMap<Var, Cst>),
+) {
+    if idx == body.len() {
+        emit(subst);
+        return;
+    }
+    let atom = &body[idx];
+    let Some(rel) = db.relation(atom.pred) else {
+        return;
+    };
+    // Materialize matching rows up-front so `subst` can be mutated freely.
+    let pattern: Vec<Option<Cst>> = atom
+        .args
+        .iter()
+        .map(|t| match t {
+            Term::Const(c) => Some(*c),
+            Term::Var(v) => subst.get(v).copied(),
+        })
+        .collect();
+    let matches: Vec<&Tuple> = rel.select(&pattern).collect();
+    for row in matches {
+        let mut bound = Vec::new();
+        let mut ok = true;
+        for (t, v) in atom.args.iter().zip(row.iter()) {
+            if let Term::Var(var) = t {
+                match subst.get(var) {
+                    Some(&existing) => {
+                        if existing != *v {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    None => {
+                        subst.insert(*var, *v);
+                        bound.push(*var);
+                    }
+                }
+            }
+        }
+        if ok {
+            query_rec(db, body, idx + 1, subst, emit);
+        }
+        for var in bound {
+            subst.remove(&var);
+        }
+    }
+}
+
+/// Recursive join over the rule body; when `delta_idx` is `Some(j)`, atom `j`
+/// ranges only over the delta rows of its relation (rows past the mark).
+fn join_from(
+    db: &Database,
+    rule: &Rule,
+    idx: usize,
+    delta_idx: Option<usize>,
+    marks: &FxHashMap<fundb_term::Pred, usize>,
+    out: &mut Vec<(fundb_term::Pred, Tuple)>,
+) {
+    let mut subst = FxHashMap::default();
+    join_rec(db, rule, idx, delta_idx, marks, &mut subst, out);
+}
+
+fn join_rec(
+    db: &Database,
+    rule: &Rule,
+    idx: usize,
+    delta_idx: Option<usize>,
+    marks: &FxHashMap<fundb_term::Pred, usize>,
+    subst: &mut FxHashMap<Var, Cst>,
+    out: &mut Vec<(fundb_term::Pred, Tuple)>,
+) {
+    if idx == rule.body.len() {
+        fire_head(rule, subst, out);
+        return;
+    }
+    let atom = &rule.body[idx];
+    let Some(rel) = db.relation(atom.pred) else {
+        return;
+    };
+    // Delta atoms scan the (short) fresh suffix; other atoms go through the
+    // indexed selection with the bindings established so far.
+    let rows: Vec<&Tuple> = if delta_idx == Some(idx) {
+        rel.rows_from(marks.get(&atom.pred).copied().unwrap_or(0))
+            .iter()
+            .collect()
+    } else {
+        let pattern: Vec<Option<Cst>> = atom
+            .args
+            .iter()
+            .map(|t| match t {
+                Term::Const(c) => Some(*c),
+                Term::Var(v) => subst.get(v).copied(),
+            })
+            .collect();
+        rel.select(&pattern).collect()
+    };
+    for row in rows {
+        let mut bound = smallvec_like();
+        let mut ok = true;
+        for (t, v) in atom.args.iter().zip(row.iter()) {
+            match t {
+                Term::Const(c) => {
+                    if c != v {
+                        ok = false;
+                        break;
+                    }
+                }
+                Term::Var(var) => match subst.get(var) {
+                    Some(&existing) => {
+                        if existing != *v {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    None => {
+                        subst.insert(*var, *v);
+                        bound.push(*var);
+                    }
+                },
+            }
+        }
+        if ok {
+            join_rec(db, rule, idx + 1, delta_idx, marks, subst, out);
+        }
+        for var in bound {
+            subst.remove(&var);
+        }
+    }
+}
+
+fn fire_head(
+    rule: &Rule,
+    subst: &mut FxHashMap<Var, Cst>,
+    out: &mut Vec<(fundb_term::Pred, Tuple)>,
+) {
+    out.push((rule.head.pred, rule.head.ground(subst)));
+}
+
+/// Tiny inline buffer for per-atom freshly-bound variables (atoms rarely
+/// bind more than a handful).
+fn smallvec_like() -> Vec<Var> {
+    Vec::with_capacity(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fundb_term::{Interner, Pred};
+
+    struct Fixture {
+        i: Interner,
+        edge: Pred,
+        path: Pred,
+        x: Var,
+        y: Var,
+        z: Var,
+    }
+
+    fn fixture() -> Fixture {
+        let mut i = Interner::new();
+        let edge = Pred(i.intern("Edge"));
+        let path = Pred(i.intern("Path"));
+        let x = Var(i.intern("x"));
+        let y = Var(i.intern("y"));
+        let z = Var(i.intern("z"));
+        Fixture {
+            i,
+            edge,
+            path,
+            x,
+            y,
+            z,
+        }
+    }
+
+    fn transitive_closure_rules(fx: &Fixture) -> Vec<Rule> {
+        vec![
+            // Edge(x,y) → Path(x,y)
+            Rule::new(
+                Atom::new(fx.path, vec![Term::Var(fx.x), Term::Var(fx.y)]),
+                vec![Atom::new(fx.edge, vec![Term::Var(fx.x), Term::Var(fx.y)])],
+            ),
+            // Path(x,y), Edge(y,z) → Path(x,z)
+            Rule::new(
+                Atom::new(fx.path, vec![Term::Var(fx.x), Term::Var(fx.z)]),
+                vec![
+                    Atom::new(fx.path, vec![Term::Var(fx.x), Term::Var(fx.y)]),
+                    Atom::new(fx.edge, vec![Term::Var(fx.y), Term::Var(fx.z)]),
+                ],
+            ),
+        ]
+    }
+
+    fn chain_db(fx: &mut Fixture, n: usize) -> Database {
+        let mut db = Database::new();
+        let nodes: Vec<Cst> = (0..=n)
+            .map(|k| Cst(fx.i.intern(&format!("v{k}"))))
+            .collect();
+        for w in nodes.windows(2) {
+            db.insert(fx.edge, vec![w[0], w[1]].into_boxed_slice());
+        }
+        db
+    }
+
+    #[test]
+    fn transitive_closure_of_a_chain() {
+        let mut fx = fixture();
+        let rules = transitive_closure_rules(&fx);
+        let mut db = chain_db(&mut fx, 10);
+        evaluate(&mut db, &rules);
+        // Path has n*(n+1)/2 pairs for a chain of n edges.
+        assert_eq!(db.relation(fx.path).unwrap().len(), 10 * 11 / 2);
+    }
+
+    #[test]
+    fn semi_naive_matches_naive() {
+        let mut fx = fixture();
+        let rules = transitive_closure_rules(&fx);
+        let mut db1 = chain_db(&mut fx, 8);
+        let mut db2 = db1.clone();
+        evaluate(&mut db1, &rules);
+        evaluate_naive(&mut db2, &rules);
+        assert_eq!(db1.dump(&fx.i), db2.dump(&fx.i));
+    }
+
+    #[test]
+    fn semi_naive_derives_each_fact_once_on_chain() {
+        let mut fx = fixture();
+        let rules = transitive_closure_rules(&fx);
+        let mut db = chain_db(&mut fx, 12);
+        let stats = evaluate(&mut db, &rules);
+        assert_eq!(stats.derived, 12 * 13 / 2);
+    }
+
+    #[test]
+    fn facts_as_empty_body_rules_fire_once() {
+        let mut fx = fixture();
+        let a = Cst(fx.i.intern("a"));
+        let rules = vec![Rule::new(
+            Atom::new(fx.edge, vec![Term::Const(a), Term::Const(a)]),
+            vec![],
+        )];
+        let mut db = Database::new();
+        let stats = evaluate(&mut db, &rules);
+        assert_eq!(stats.derived, 1);
+        assert!(db.contains(fx.edge, &[a, a]));
+    }
+
+    #[test]
+    fn query_binds_and_dedups() {
+        let mut fx = fixture();
+        let rules = transitive_closure_rules(&fx);
+        let mut db = chain_db(&mut fx, 4);
+        evaluate(&mut db, &rules);
+        let v0 = Cst(fx.i.intern("v0"));
+        // {y : Path(v0, y)}
+        let body = vec![Atom::new(fx.path, vec![Term::Const(v0), Term::Var(fx.y)])];
+        let rows = query(&db, &body, &[fx.y]);
+        assert_eq!(rows.len(), 4);
+    }
+
+    #[test]
+    fn query_joins_shared_variables() {
+        let mut fx = fixture();
+        let mut db = chain_db(&mut fx, 3);
+        evaluate(&mut db, &transitive_closure_rules(&fx));
+        // {x : Edge(x,y), Edge(y,z)} — x with an outgoing 2-step path.
+        let body = vec![
+            Atom::new(fx.edge, vec![Term::Var(fx.x), Term::Var(fx.y)]),
+            Atom::new(fx.edge, vec![Term::Var(fx.y), Term::Var(fx.z)]),
+        ];
+        let rows = query(&db, &body, &[fx.x]);
+        assert_eq!(rows.len(), 2); // v0 and v1
+    }
+
+    #[test]
+    fn query_on_missing_predicate_is_empty() {
+        let fx = fixture();
+        let db = Database::new();
+        let body = vec![Atom::new(fx.edge, vec![Term::Var(fx.x), Term::Var(fx.y)])];
+        assert!(query(&db, &body, &[fx.x]).is_empty());
+    }
+
+    #[test]
+    fn cyclic_graph_terminates() {
+        let mut fx = fixture();
+        let rules = transitive_closure_rules(&fx);
+        let mut db = Database::new();
+        let nodes: Vec<Cst> = (0..5).map(|k| Cst(fx.i.intern(&format!("c{k}")))).collect();
+        for k in 0..5 {
+            db.insert(
+                fx.edge,
+                vec![nodes[k], nodes[(k + 1) % 5]].into_boxed_slice(),
+            );
+        }
+        evaluate(&mut db, &rules);
+        assert_eq!(db.relation(fx.path).unwrap().len(), 25);
+    }
+}

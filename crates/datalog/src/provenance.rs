@@ -1,0 +1,335 @@
+//! Derivation provenance: why is a fact in the fixpoint?
+//!
+//! [`evaluate_traced`] runs the same semi-naive fixpoint as
+//! [`crate::evaluate`] while recording, for every *first* derivation of a
+//! fact, the rule index and the grounded body facts that produced it.
+//! [`Provenance::explain`] then reconstructs a finite derivation tree
+//! bottoming out in database (EDB) facts — well-founded because each
+//! recorded premise was inserted strictly before its conclusion.
+
+use crate::engine::EvalStats;
+use crate::rel::{Database, Tuple};
+use crate::rule::{Atom, Rule, Term};
+use fundb_term::{Cst, FxHashMap, Interner, Pred, Var};
+
+/// A recorded justification: which rule fired with which ground premises.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Justification {
+    /// Index of the rule in the evaluated rule set.
+    pub rule: usize,
+    /// The grounded body facts.
+    pub premises: Vec<(Pred, Tuple)>,
+}
+
+/// First-derivation provenance for a fixpoint computation.
+#[derive(Clone, Debug, Default)]
+pub struct Provenance {
+    why: FxHashMap<(Pred, Tuple), Justification>,
+}
+
+/// A derivation tree for one fact.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Derivation {
+    /// The derived (or given) fact.
+    pub fact: (Pred, Tuple),
+    /// The rule used, or `None` for a database fact.
+    pub rule: Option<usize>,
+    /// Sub-derivations of the premises (empty for database facts).
+    pub premises: Vec<Derivation>,
+}
+
+impl Provenance {
+    /// The justification recorded for a fact, if it was derived (rather
+    /// than given).
+    pub fn why(&self, pred: Pred, tuple: &[Cst]) -> Option<&Justification> {
+        self.why.get(&(pred, tuple.into()))
+    }
+
+    /// Reconstructs the full derivation tree of a fact. Returns `None` if
+    /// the fact is not in the database at all; facts without a recorded
+    /// justification are EDB leaves.
+    pub fn explain(&self, db: &Database, pred: Pred, tuple: &[Cst]) -> Option<Derivation> {
+        if !db.contains(pred, tuple) {
+            return None;
+        }
+        Some(self.explain_known(pred, tuple))
+    }
+
+    fn explain_known(&self, pred: Pred, tuple: &[Cst]) -> Derivation {
+        match self.why(pred, tuple) {
+            None => Derivation {
+                fact: (pred, tuple.into()),
+                rule: None,
+                premises: Vec::new(),
+            },
+            Some(just) => Derivation {
+                fact: (pred, tuple.into()),
+                rule: Some(just.rule),
+                premises: just
+                    .premises
+                    .iter()
+                    .map(|(p, t)| self.explain_known(*p, t))
+                    .collect(),
+            },
+        }
+    }
+
+    /// Renders a derivation tree as an indented proof, for humans.
+    pub fn render(d: &Derivation, interner: &Interner) -> String {
+        fn go(d: &Derivation, interner: &Interner, depth: usize, out: &mut String) {
+            let indent = "  ".repeat(depth);
+            let args = d
+                .fact
+                .1
+                .iter()
+                .map(|c| interner.resolve(c.sym()))
+                .collect::<Vec<_>>()
+                .join(",");
+            let how = match d.rule {
+                Some(r) => format!("by rule {r}"),
+                None => "given".to_string(),
+            };
+            out.push_str(&format!(
+                "{indent}{}({args})   [{how}]\n",
+                interner.resolve(d.fact.0.sym())
+            ));
+            for p in &d.premises {
+                go(p, interner, depth + 1, out);
+            }
+        }
+        let mut out = String::new();
+        go(d, interner, 0, &mut out);
+        out
+    }
+}
+
+/// Semi-naive evaluation that records first derivations.
+pub fn evaluate_traced(db: &mut Database, rules: &[Rule]) -> (EvalStats, Provenance) {
+    let mut stats = EvalStats::default();
+    let mut prov = Provenance::default();
+    let mut marks: FxHashMap<Pred, usize> = FxHashMap::default();
+    let mut first_round = true;
+
+    loop {
+        stats.rounds += 1;
+        let mut buffer: Vec<(Pred, Tuple, Justification)> = Vec::new();
+
+        for (ri, rule) in rules.iter().enumerate() {
+            if rule.body.is_empty() {
+                if first_round {
+                    let subst = FxHashMap::default();
+                    buffer.push((
+                        rule.head.pred,
+                        rule.head.ground(&subst),
+                        Justification {
+                            rule: ri,
+                            premises: Vec::new(),
+                        },
+                    ));
+                }
+                continue;
+            }
+            let deltas: Vec<Option<usize>> = if first_round {
+                vec![None]
+            } else {
+                (0..rule.body.len()).map(Some).collect()
+            };
+            for delta_idx in deltas {
+                let mut subst: FxHashMap<Var, Cst> = FxHashMap::default();
+                trace_join(db, rule, ri, 0, delta_idx, &marks, &mut subst, &mut buffer);
+            }
+        }
+
+        for (p, rel) in db.iter() {
+            marks.insert(p, rel.len());
+        }
+
+        let mut changed = false;
+        for (p, t, just) in buffer {
+            if db.insert(p, t.clone()) {
+                changed = true;
+                stats.derived += 1;
+                prov.why.entry((p, t)).or_insert(just);
+            }
+        }
+        first_round = false;
+        if !changed {
+            return (stats, prov);
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn trace_join(
+    db: &Database,
+    rule: &Rule,
+    rule_idx: usize,
+    idx: usize,
+    delta_idx: Option<usize>,
+    marks: &FxHashMap<Pred, usize>,
+    subst: &mut FxHashMap<Var, Cst>,
+    out: &mut Vec<(Pred, Tuple, Justification)>,
+) {
+    if idx == rule.body.len() {
+        let premises: Vec<(Pred, Tuple)> = rule
+            .body
+            .iter()
+            .map(|a| (a.pred, a.ground(subst)))
+            .collect();
+        out.push((
+            rule.head.pred,
+            rule.head.ground(subst),
+            Justification {
+                rule: rule_idx,
+                premises,
+            },
+        ));
+        return;
+    }
+    let atom: &Atom = &rule.body[idx];
+    let Some(rel) = db.relation(atom.pred) else {
+        return;
+    };
+    let rows: Vec<&Tuple> = if delta_idx == Some(idx) {
+        rel.rows_from(marks.get(&atom.pred).copied().unwrap_or(0))
+            .iter()
+            .collect()
+    } else {
+        let pattern: Vec<Option<Cst>> = atom
+            .args
+            .iter()
+            .map(|t| match t {
+                Term::Const(c) => Some(*c),
+                Term::Var(v) => subst.get(v).copied(),
+            })
+            .collect();
+        rel.select(&pattern).collect()
+    };
+    for row in rows {
+        let mut bound = Vec::new();
+        let mut ok = true;
+        for (t, v) in atom.args.iter().zip(row.iter()) {
+            match t {
+                Term::Const(c) => {
+                    if c != v {
+                        ok = false;
+                        break;
+                    }
+                }
+                Term::Var(var) => match subst.get(var) {
+                    Some(&existing) => {
+                        if existing != *v {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    None => {
+                        subst.insert(*var, *v);
+                        bound.push(*var);
+                    }
+                },
+            }
+        }
+        if ok {
+            trace_join(db, rule, rule_idx, idx + 1, delta_idx, marks, subst, out);
+        }
+        for var in bound {
+            subst.remove(&var);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fundb_term::Interner;
+
+    fn tc_setup() -> (Interner, Database, Vec<Rule>, Pred, Pred, Vec<Cst>) {
+        let mut i = Interner::new();
+        let edge = Pred(i.intern("Edge"));
+        let path = Pred(i.intern("Path"));
+        let (x, y, z) = (Var(i.intern("x")), Var(i.intern("y")), Var(i.intern("z")));
+        let rules = vec![
+            Rule::new(
+                Atom::new(path, vec![Term::Var(x), Term::Var(y)]),
+                vec![Atom::new(edge, vec![Term::Var(x), Term::Var(y)])],
+            ),
+            Rule::new(
+                Atom::new(path, vec![Term::Var(x), Term::Var(z)]),
+                vec![
+                    Atom::new(path, vec![Term::Var(x), Term::Var(y)]),
+                    Atom::new(edge, vec![Term::Var(y), Term::Var(z)]),
+                ],
+            ),
+        ];
+        let nodes: Vec<Cst> = (0..4).map(|k| Cst(i.intern(&format!("v{k}")))).collect();
+        let mut db = Database::new();
+        for w in nodes.windows(2) {
+            db.insert(edge, vec![w[0], w[1]].into_boxed_slice());
+        }
+        (i, db, rules, edge, path, nodes)
+    }
+
+    #[test]
+    fn traced_fixpoint_matches_untrace() {
+        let (i, db0, rules, _, _, _) = tc_setup();
+        let mut db1 = db0.clone();
+        let mut db2 = db0;
+        crate::evaluate(&mut db1, &rules);
+        evaluate_traced(&mut db2, &rules);
+        assert_eq!(db1.dump(&i), db2.dump(&i));
+    }
+
+    #[test]
+    fn explanations_bottom_out_in_edb() {
+        let (_, mut db, rules, edge, path, nodes) = tc_setup();
+        let (_, prov) = evaluate_traced(&mut db, &rules);
+        let d = prov
+            .explain(&db, path, &[nodes[0], nodes[3]])
+            .expect("Path(v0,v3) holds");
+        // The transitive step uses rule 1 with a Path premise and an Edge
+        // premise.
+        assert_eq!(d.rule, Some(1));
+        assert_eq!(d.premises.len(), 2);
+        // Walk to the leaves: every leaf is an Edge (EDB) fact.
+        fn leaves(d: &Derivation, out: &mut Vec<(Pred, Tuple)>) {
+            if d.premises.is_empty() {
+                out.push(d.fact.clone());
+            } else {
+                for p in &d.premises {
+                    leaves(p, out);
+                }
+            }
+        }
+        let mut ls = Vec::new();
+        leaves(&d, &mut ls);
+        assert!(ls.iter().all(|(p, _)| *p == edge));
+        assert_eq!(ls.len(), 3, "three edges justify Path(v0,v3)");
+    }
+
+    #[test]
+    fn edb_facts_are_given() {
+        let (_, mut db, rules, edge, _, nodes) = tc_setup();
+        let (_, prov) = evaluate_traced(&mut db, &rules);
+        let d = prov.explain(&db, edge, &[nodes[0], nodes[1]]).unwrap();
+        assert_eq!(d.rule, None);
+        assert!(d.premises.is_empty());
+    }
+
+    #[test]
+    fn absent_facts_have_no_explanation() {
+        let (_, mut db, rules, _, path, nodes) = tc_setup();
+        let (_, prov) = evaluate_traced(&mut db, &rules);
+        assert!(prov.explain(&db, path, &[nodes[3], nodes[0]]).is_none());
+    }
+
+    #[test]
+    fn render_is_indented_and_complete() {
+        let (i, mut db, rules, _, path, nodes) = tc_setup();
+        let (_, prov) = evaluate_traced(&mut db, &rules);
+        let d = prov.explain(&db, path, &[nodes[0], nodes[2]]).unwrap();
+        let text = Provenance::render(&d, &i);
+        assert!(text.contains("Path(v0,v2)   [by rule 1]"));
+        assert!(text.contains("  Edge(v1,v2)   [given]"));
+    }
+}

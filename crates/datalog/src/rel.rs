@@ -1,0 +1,267 @@
+//! Relations and databases of constant tuples.
+
+use fundb_term::{Cst, FxHashMap, FxHashSet, Interner, Pred};
+use std::fmt;
+
+/// A tuple of constants. Boxed slice: tuples are immutable once inserted.
+pub type Tuple = Box<[Cst]>;
+
+/// Shared empty bucket for index misses (a bound value that never occurs).
+static EMPTY_BUCKET: Vec<u32> = Vec::new();
+
+/// A set-semantics relation of fixed arity.
+///
+/// Tuples are stored in insertion order (`rows`, so evaluation is
+/// deterministic and semi-naive deltas are contiguous suffixes), in a hash
+/// set for O(1) duplicate elimination, and in per-column hash indexes so
+/// selections with bound columns avoid full scans.
+#[derive(Clone, Debug)]
+pub struct Relation {
+    arity: usize,
+    rows: Vec<Tuple>,
+    set: FxHashSet<Tuple>,
+    /// `index[col][value]` = indices of rows with `row[col] == value`.
+    index: Vec<FxHashMap<Cst, Vec<u32>>>,
+}
+
+impl Relation {
+    /// Creates an empty relation of the given arity.
+    pub fn new(arity: usize) -> Self {
+        Relation {
+            arity,
+            rows: Vec::new(),
+            set: FxHashSet::default(),
+            index: (0..arity).map(|_| FxHashMap::default()).collect(),
+        }
+    }
+
+    /// The arity of the relation.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the relation has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Inserts a tuple; returns `true` if it was new.
+    pub fn insert(&mut self, t: Tuple) -> bool {
+        assert_eq!(t.len(), self.arity, "arity mismatch on insert");
+        if self.set.contains(&t) {
+            return false;
+        }
+        self.set.insert(t.clone());
+        let row_idx = u32::try_from(self.rows.len()).expect("relation overflow");
+        for (col, &v) in t.iter().enumerate() {
+            self.index[col].entry(v).or_default().push(row_idx);
+        }
+        self.rows.push(t);
+        true
+    }
+
+    /// Membership test.
+    pub fn contains(&self, t: &[Cst]) -> bool {
+        self.set.contains(t)
+    }
+
+    /// All tuples in insertion order.
+    pub fn rows(&self) -> &[Tuple] {
+        &self.rows
+    }
+
+    /// Tuples inserted at or after index `from` (the semi-naive delta).
+    pub fn rows_from(&self, from: usize) -> &[Tuple] {
+        &self.rows[from..]
+    }
+
+    /// Iterates tuples matching a pattern (`None` = wildcard). Uses the
+    /// per-column index of the most selective bound column when there is
+    /// one, falling back to a scan otherwise.
+    pub fn select<'a: 'p, 'p>(
+        &'a self,
+        pattern: &'p [Option<Cst>],
+    ) -> Box<dyn Iterator<Item = &'a Tuple> + 'p> {
+        debug_assert_eq!(pattern.len(), self.arity);
+        let matches = move |row: &&Tuple| {
+            row.iter()
+                .zip(pattern)
+                .all(|(v, p)| p.is_none_or(|c| c == *v))
+        };
+        // Pick the bound column with the smallest bucket.
+        let best: Option<&Vec<u32>> = pattern
+            .iter()
+            .enumerate()
+            .filter_map(|(col, p)| p.map(|c| self.index[col].get(&c)))
+            .map(|bucket| bucket.map_or(&EMPTY_BUCKET, |b| b))
+            .min_by_key(|b| b.len());
+        match best {
+            Some(bucket) => Box::new(
+                bucket
+                    .iter()
+                    .map(move |&i| &self.rows[i as usize])
+                    .filter(matches),
+            ),
+            None => Box::new(self.rows.iter().filter(matches)),
+        }
+    }
+}
+
+/// A database: one [`Relation`] per predicate, created on demand.
+#[derive(Clone, Default)]
+pub struct Database {
+    relations: FxHashMap<Pred, Relation>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The relation for `p`, creating it (with `arity`) if absent.
+    pub fn relation_mut(&mut self, p: Pred, arity: usize) -> &mut Relation {
+        let rel = self
+            .relations
+            .entry(p)
+            .or_insert_with(|| Relation::new(arity));
+        assert_eq!(rel.arity(), arity, "predicate used with two arities");
+        rel
+    }
+
+    /// The relation for `p`, if any tuple or declaration created it.
+    pub fn relation(&self, p: Pred) -> Option<&Relation> {
+        self.relations.get(&p)
+    }
+
+    /// Inserts a fact; returns `true` if new.
+    pub fn insert(&mut self, p: Pred, t: Tuple) -> bool {
+        let arity = t.len();
+        self.relation_mut(p, arity).insert(t)
+    }
+
+    /// Membership test; absent predicates are empty.
+    pub fn contains(&self, p: Pred, t: &[Cst]) -> bool {
+        self.relations.get(&p).is_some_and(|r| r.contains(t))
+    }
+
+    /// Total number of tuples across relations.
+    pub fn fact_count(&self) -> usize {
+        self.relations.values().map(Relation::len).sum()
+    }
+
+    /// Iterates `(predicate, relation)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (Pred, &Relation)> {
+        self.relations.iter().map(|(&p, r)| (p, r))
+    }
+
+    /// Renders all facts sorted by text, for tests and goldens.
+    pub fn dump(&self, interner: &Interner) -> Vec<String> {
+        let mut out = Vec::with_capacity(self.fact_count());
+        for (p, rel) in self.iter() {
+            for row in rel.rows() {
+                let args = row
+                    .iter()
+                    .map(|c| interner.resolve(c.sym()).to_owned())
+                    .collect::<Vec<_>>()
+                    .join(",");
+                out.push(format!("{}({})", interner.resolve(p.sym()), args));
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+impl fmt::Debug for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Database({} facts)", self.fact_count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn csts(i: &mut Interner, names: &[&str]) -> Vec<Cst> {
+        names.iter().map(|n| Cst(i.intern(n))).collect()
+    }
+
+    #[test]
+    fn insert_dedups() {
+        let mut i = Interner::new();
+        let c = csts(&mut i, &["a", "b"]);
+        let mut r = Relation::new(2);
+        assert!(r.insert(c.clone().into_boxed_slice()));
+        assert!(!r.insert(c.clone().into_boxed_slice()));
+        assert_eq!(r.len(), 1);
+        assert!(r.contains(&c));
+    }
+
+    #[test]
+    fn select_filters_by_pattern() {
+        let mut i = Interner::new();
+        let v = csts(&mut i, &["a", "b", "c"]);
+        let (a, b, c) = (v[0], v[1], v[2]);
+        let mut r = Relation::new(2);
+        r.insert(vec![a, b].into_boxed_slice());
+        r.insert(vec![a, c].into_boxed_slice());
+        r.insert(vec![b, c].into_boxed_slice());
+        assert_eq!(r.select(&[Some(a), None]).count(), 2);
+        assert_eq!(r.select(&[None, Some(c)]).count(), 2);
+        assert_eq!(r.select(&[Some(b), Some(b)]).count(), 0);
+        assert_eq!(r.select(&[None, None]).count(), 3);
+    }
+
+    #[test]
+    fn rows_from_exposes_delta() {
+        let mut i = Interner::new();
+        let v = csts(&mut i, &["a", "b"]);
+        let mut r = Relation::new(1);
+        r.insert(vec![v[0]].into_boxed_slice());
+        let mark = r.len();
+        r.insert(vec![v[1]].into_boxed_slice());
+        assert_eq!(r.rows_from(mark).len(), 1);
+        assert_eq!(r.rows_from(mark)[0][0], v[1]);
+    }
+
+    #[test]
+    fn database_creates_relations_on_demand() {
+        let mut i = Interner::new();
+        let p = Pred(i.intern("P"));
+        let a = Cst(i.intern("a"));
+        let mut db = Database::new();
+        assert!(db.relation(p).is_none());
+        assert!(db.insert(p, vec![a].into_boxed_slice()));
+        assert!(db.contains(p, &[a]));
+        assert_eq!(db.fact_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "two arities")]
+    fn arity_conflict_panics() {
+        let mut i = Interner::new();
+        let p = Pred(i.intern("P"));
+        let a = Cst(i.intern("a"));
+        let mut db = Database::new();
+        db.insert(p, vec![a].into_boxed_slice());
+        db.relation_mut(p, 2);
+    }
+
+    #[test]
+    fn dump_is_sorted_and_readable() {
+        let mut i = Interner::new();
+        let p = Pred(i.intern("P"));
+        let q = Pred(i.intern("Q"));
+        let v = csts(&mut i, &["b", "a"]);
+        let mut db = Database::new();
+        db.insert(p, vec![v[0]].into_boxed_slice());
+        db.insert(q, vec![v[1], v[0]].into_boxed_slice());
+        assert_eq!(db.dump(&i), vec!["P(b)".to_string(), "Q(a,b)".to_string()]);
+    }
+}

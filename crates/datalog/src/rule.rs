@@ -1,0 +1,159 @@
+//! Positive Horn rules over function-free atoms.
+
+use fundb_term::{Cst, FxHashMap, Interner, Pred, Var};
+use std::fmt;
+
+/// A term of function-free Datalog: a variable or a constant.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Term {
+    /// A variable, to be bound during rule evaluation.
+    Var(Var),
+    /// A constant.
+    Const(Cst),
+}
+
+impl Term {
+    /// The constant, if this term is one.
+    pub fn as_const(self) -> Option<Cst> {
+        match self {
+            Term::Const(c) => Some(c),
+            Term::Var(_) => None,
+        }
+    }
+}
+
+/// An atom `P(t₁, …, tₖ)`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Atom {
+    /// Predicate symbol.
+    pub pred: Pred,
+    /// Argument terms.
+    pub args: Vec<Term>,
+}
+
+impl Atom {
+    /// Convenience constructor.
+    pub fn new(pred: Pred, args: Vec<Term>) -> Self {
+        Atom { pred, args }
+    }
+
+    /// Variables occurring in the atom, with duplicates.
+    pub fn vars(&self) -> impl Iterator<Item = Var> + '_ {
+        self.args.iter().filter_map(|t| match t {
+            Term::Var(v) => Some(*v),
+            Term::Const(_) => None,
+        })
+    }
+
+    /// Instantiates the atom under a (total, for this atom) substitution.
+    pub fn ground(&self, subst: &FxHashMap<Var, Cst>) -> Box<[Cst]> {
+        self.args
+            .iter()
+            .map(|t| match t {
+                Term::Const(c) => *c,
+                Term::Var(v) => *subst
+                    .get(v)
+                    .expect("ground() called with an unbound variable"),
+            })
+            .collect()
+    }
+
+    /// Renders the atom.
+    pub fn display<'a>(&'a self, interner: &'a Interner) -> impl fmt::Display + 'a {
+        struct D<'a>(&'a Atom, &'a Interner);
+        impl fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}(", self.1.resolve(self.0.pred.sym()))?;
+                for (i, t) in self.0.args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    match t {
+                        Term::Var(v) => write!(f, "{}", self.1.resolve(v.sym()))?,
+                        Term::Const(c) => write!(f, "{}", self.1.resolve(c.sym()))?,
+                    }
+                }
+                write!(f, ")")
+            }
+        }
+        D(self, interner)
+    }
+}
+
+/// A positive Horn rule `body₁, …, bodyₙ → head`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Rule {
+    /// Head atom.
+    pub head: Atom,
+    /// Body atoms (conjunction). May be empty: the rule is then a fact
+    /// schema and must be ground.
+    pub body: Vec<Atom>,
+}
+
+impl Rule {
+    /// Convenience constructor.
+    pub fn new(head: Atom, body: Vec<Atom>) -> Self {
+        Rule { head, body }
+    }
+
+    /// Whether the rule is range-restricted: every head variable occurs in
+    /// the body. Range-restriction is the paper's syntactic criterion for
+    /// domain independence (§2.3).
+    pub fn is_range_restricted(&self) -> bool {
+        let body_vars: std::collections::HashSet<Var> =
+            self.body.iter().flat_map(Atom::vars).collect();
+        self.head.vars().all(|v| body_vars.contains(&v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Interner, Pred, Var, Var, Cst) {
+        let mut i = Interner::new();
+        let p = Pred(i.intern("P"));
+        let x = Var(i.intern("x"));
+        let y = Var(i.intern("y"));
+        let a = Cst(i.intern("a"));
+        (i, p, x, y, a)
+    }
+
+    #[test]
+    fn vars_skips_constants() {
+        let (_, p, x, _, a) = setup();
+        let atom = Atom::new(p, vec![Term::Var(x), Term::Const(a)]);
+        assert_eq!(atom.vars().collect::<Vec<_>>(), vec![x]);
+    }
+
+    #[test]
+    fn ground_substitutes() {
+        let (_, p, x, _, a) = setup();
+        let atom = Atom::new(p, vec![Term::Var(x), Term::Const(a)]);
+        let mut s = FxHashMap::default();
+        s.insert(x, a);
+        assert_eq!(&*atom.ground(&s), &[a, a]);
+    }
+
+    #[test]
+    fn range_restriction_detects_free_head_vars() {
+        let (_, p, x, y, _) = setup();
+        let safe = Rule::new(
+            Atom::new(p, vec![Term::Var(x)]),
+            vec![Atom::new(p, vec![Term::Var(x)])],
+        );
+        assert!(safe.is_range_restricted());
+        let unsafe_rule = Rule::new(
+            Atom::new(p, vec![Term::Var(y)]),
+            vec![Atom::new(p, vec![Term::Var(x)])],
+        );
+        assert!(!unsafe_rule.is_range_restricted());
+    }
+
+    #[test]
+    fn display_renders_atoms() {
+        let (i, p, x, _, a) = setup();
+        let atom = Atom::new(p, vec![Term::Var(x), Term::Const(a)]);
+        assert_eq!(atom.display(&i).to_string(), "P(x,a)");
+    }
+}

@@ -1,0 +1,265 @@
+//! Tokenizer for the concrete syntax.
+
+use fundb_core::error::{Error, Result};
+
+/// Kinds of tokens.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier (predicate, constant, variable or function symbol).
+    Ident(String),
+    /// Unsigned integer literal.
+    Num(u64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `->`
+    Arrow,
+    /// `+`
+    Plus,
+    /// `?-`
+    QueryMark,
+    /// `/` (used in `functional P/2` declarations)
+    Slash,
+    /// End of input.
+    Eof,
+}
+
+/// A token with its byte offset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// The kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset in the source.
+    pub offset: usize,
+}
+
+/// A simple hand-rolled lexer.
+pub struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    /// Creates a lexer over `src`.
+    pub fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    /// Tokenizes the whole input.
+    pub fn tokenize(mut self) -> Result<Vec<Token>> {
+        let mut out = Vec::new();
+        loop {
+            let t = self.next_token()?;
+            let eof = t.kind == TokenKind::Eof;
+            out.push(t);
+            if eof {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        Some(c)
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.pos += 1;
+                }
+                Some(b'%') => {
+                    while let Some(c) = self.peek() {
+                        self.pos += 1;
+                        if c == b'\n' {
+                            break;
+                        }
+                    }
+                }
+                Some(b'/') if self.src.get(self.pos + 1) == Some(&b'/') => {
+                    while let Some(c) = self.peek() {
+                        self.pos += 1;
+                        if c == b'\n' {
+                            break;
+                        }
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Token> {
+        self.skip_trivia();
+        let offset = self.pos;
+        let Some(c) = self.peek() else {
+            return Ok(Token {
+                kind: TokenKind::Eof,
+                offset,
+            });
+        };
+        let kind = match c {
+            b'(' => {
+                self.bump();
+                TokenKind::LParen
+            }
+            b')' => {
+                self.bump();
+                TokenKind::RParen
+            }
+            b',' => {
+                self.bump();
+                TokenKind::Comma
+            }
+            b'.' => {
+                self.bump();
+                TokenKind::Dot
+            }
+            b'+' => {
+                self.bump();
+                TokenKind::Plus
+            }
+            b'/' => {
+                self.bump();
+                TokenKind::Slash
+            }
+            b'-' => {
+                self.bump();
+                if self.peek() == Some(b'>') {
+                    self.bump();
+                    TokenKind::Arrow
+                } else {
+                    return Err(Error::Parse {
+                        offset,
+                        detail: "expected `->`".into(),
+                    });
+                }
+            }
+            b'?' => {
+                self.bump();
+                if self.peek() == Some(b'-') {
+                    self.bump();
+                    TokenKind::QueryMark
+                } else {
+                    return Err(Error::Parse {
+                        offset,
+                        detail: "expected `?-`".into(),
+                    });
+                }
+            }
+            b'0'..=b'9' => {
+                let mut n: u64 = 0;
+                while let Some(d @ b'0'..=b'9') = self.peek() {
+                    self.bump();
+                    n = n
+                        .checked_mul(10)
+                        .and_then(|n| n.checked_add((d - b'0') as u64))
+                        .ok_or(Error::Parse {
+                            offset,
+                            detail: "numeric literal overflow".into(),
+                        })?;
+                }
+                TokenKind::Num(n)
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = self.pos;
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_alphanumeric() || c == b'_' || c == b'\'' {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                let text = std::str::from_utf8(&self.src[start..self.pos])
+                    .expect("ascii identifier")
+                    .to_string();
+                TokenKind::Ident(text)
+            }
+            other => {
+                return Err(Error::Parse {
+                    offset,
+                    detail: format!("unexpected character `{}`", other as char),
+                });
+            }
+        };
+        Ok(Token { kind, offset })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::new(src)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn tokenizes_a_rule() {
+        let ks = kinds("Meets(t,x) -> Meets(t+1,x).");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("Meets".into()),
+                TokenKind::LParen,
+                TokenKind::Ident("t".into()),
+                TokenKind::Comma,
+                TokenKind::Ident("x".into()),
+                TokenKind::RParen,
+                TokenKind::Arrow,
+                TokenKind::Ident("Meets".into()),
+                TokenKind::LParen,
+                TokenKind::Ident("t".into()),
+                TokenKind::Plus,
+                TokenKind::Num(1),
+                TokenKind::Comma,
+                TokenKind::Ident("x".into()),
+                TokenKind::RParen,
+                TokenKind::Dot,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let ks = kinds("% header\nP(0). // tail\nQ(0).");
+        assert_eq!(ks.iter().filter(|k| matches!(k, TokenKind::Dot)).count(), 2);
+    }
+
+    #[test]
+    fn query_marker() {
+        assert_eq!(kinds("?-")[0], TokenKind::QueryMark);
+    }
+
+    #[test]
+    fn bad_character_errors() {
+        assert!(Lexer::new("P(0) & Q(0)").tokenize().is_err());
+        assert!(Lexer::new("-x").tokenize().is_err());
+    }
+
+    #[test]
+    fn offsets_point_at_tokens() {
+        let toks = Lexer::new("  P(0)").tokenize().unwrap();
+        assert_eq!(toks[0].offset, 2);
+    }
+}

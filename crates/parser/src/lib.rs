@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+//! Concrete syntax for functional deductive databases.
+//!
+//! The grammar follows the paper's notation (§1–§2):
+//!
+//! ```text
+//! Meets(t, x), Next(x, y) -> Meets(t+1, y).     % a rule
+//! Meets(0, Tony).                               % a functional fact
+//! Next(Tony, Jan).                              % a relational fact
+//! At(s, p1), Connected(p1, p2) -> At(move(s, p1, p2), p2).  % mixed symbol
+//! ?- Meets(t, x).                               % a query
+//! ```
+//!
+//! Lexical conventions (the paper's, made machine-checkable):
+//!
+//! * **Predicates** start with an uppercase letter and head an atom.
+//! * **Constants** start with an uppercase letter in argument position
+//!   (`Tony`, `Jan`) — they are the paper's non-functional constants.
+//! * **Variables** are lowercase identifiers (`t`, `x`, `s`).
+//! * **Function symbols** are lowercase identifiers applied to arguments:
+//!   `f(t)` (pure), `move(s, p1, p2)` (mixed — first argument functional).
+//! * `0` is the unique functional constant; `7` abbreviates `+1` applied
+//!   seven times to `0`, and `t+2` abbreviates `+1(+1(t))` — the paper's
+//!   temporal sugar with the implicit pure symbol `+1`.
+//! * Comments run from `%` or `//` to end of line.
+//!
+//! Which predicates are functional is inferred: a predicate whose first
+//! argument is ever syntactically functional (a number, `…+n`, or a
+//! function application) is functional, and variables appearing in that
+//! position become functional variables; the inference iterates to a
+//! fixpoint. The `functional Name/2.` declaration forces a predicate to be
+//! functional with the given total arity when no syntactic evidence exists.
+//!
+//! [`Workspace`] bundles an interner, a program and a database with the
+//! whole pipeline behind one-line methods.
+
+mod elaborate;
+mod lexer;
+mod syntax;
+mod workspace;
+
+pub use elaborate::Elaborator;
+pub use lexer::{Lexer, Token, TokenKind};
+pub use syntax::{parse_source, PAtom, PRule, PStatement, PTerm};
+pub use workspace::Workspace;

@@ -1,0 +1,341 @@
+//! Recursive-descent parser producing a neutral (sort-free) parse tree.
+//!
+//! The parser does not yet know which predicates are functional — that is
+//! decided by [`crate::elaborate`] — so terms are parsed into the neutral
+//! [`PTerm`] form.
+
+use crate::lexer::{Lexer, Token, TokenKind};
+use fundb_core::error::{Error, Result};
+
+/// A neutral parsed term.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PTerm {
+    /// Numeric literal `n` (functional: `+1ⁿ(0)`).
+    Num(u64),
+    /// A bare identifier: constant (uppercase) or variable (lowercase).
+    Ident(String),
+    /// A function application `f(t, …)`.
+    App(String, Vec<PTerm>),
+    /// Temporal sugar `t + n`.
+    Plus(Box<PTerm>, u64),
+}
+
+/// A parsed atom.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PAtom {
+    /// Predicate name.
+    pub pred: String,
+    /// Arguments.
+    pub args: Vec<PTerm>,
+    /// Byte offset (diagnostics).
+    pub offset: usize,
+}
+
+/// A parsed rule (facts are rules with an empty body).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PRule {
+    /// Head atom.
+    pub head: PAtom,
+    /// Body conjunction.
+    pub body: Vec<PAtom>,
+}
+
+/// One top-level statement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PStatement {
+    /// A rule or fact, terminated by `.`.
+    Rule(PRule),
+    /// A query `?- body.`
+    Query(Vec<PAtom>),
+    /// A declaration `functional Name/arity.`
+    FunctionalDecl {
+        /// Predicate name.
+        name: String,
+        /// Total arity (functional position included).
+        arity: usize,
+    },
+}
+
+/// Parses a full source text into statements.
+pub fn parse_source(src: &str) -> Result<Vec<PStatement>> {
+    let tokens = Lexer::new(src).tokenize()?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut out = Vec::new();
+    while !p.at(TokenKind::Eof) {
+        out.push(p.statement()?);
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn at(&self, kind: TokenKind) -> bool {
+        self.peek().kind == kind
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, kind: TokenKind, what: &str) -> Result<Token> {
+        if self.peek().kind == kind {
+            Ok(self.bump())
+        } else {
+            Err(Error::Parse {
+                offset: self.peek().offset,
+                detail: format!("expected {what}"),
+            })
+        }
+    }
+
+    fn statement(&mut self) -> Result<PStatement> {
+        if self.at(TokenKind::QueryMark) {
+            self.bump();
+            let body = self.atom_list()?;
+            self.expect(TokenKind::Dot, "`.` after query")?;
+            return Ok(PStatement::Query(body));
+        }
+        // `functional Name/arity.` declaration?
+        if let TokenKind::Ident(name) = &self.peek().kind {
+            if name == "functional" {
+                if let Some(Token {
+                    kind: TokenKind::Ident(_),
+                    ..
+                }) = self.tokens.get(self.pos + 1)
+                {
+                    self.bump();
+                    let TokenKind::Ident(pname) = self.bump().kind else {
+                        unreachable!()
+                    };
+                    self.expect(TokenKind::Slash, "`/` in functional declaration")?;
+                    let t = self.bump();
+                    let TokenKind::Num(ar) = t.kind else {
+                        return Err(Error::Parse {
+                            offset: t.offset,
+                            detail: "expected arity".into(),
+                        });
+                    };
+                    self.expect(TokenKind::Dot, "`.` after declaration")?;
+                    return Ok(PStatement::FunctionalDecl {
+                        name: pname,
+                        arity: ar as usize,
+                    });
+                }
+            }
+        }
+        let first = self.atom_list()?;
+        if self.at(TokenKind::Arrow) {
+            self.bump();
+            let mut heads = self.atom_list()?;
+            if heads.len() != 1 {
+                return Err(Error::Parse {
+                    offset: self.peek().offset,
+                    detail: "a rule must have exactly one head atom".into(),
+                });
+            }
+            self.expect(TokenKind::Dot, "`.` after rule")?;
+            Ok(PStatement::Rule(PRule {
+                head: heads.pop().expect("checked length"),
+                body: first,
+            }))
+        } else {
+            self.expect(TokenKind::Dot, "`.` after fact")?;
+            if first.len() != 1 {
+                return Err(Error::Parse {
+                    offset: self.peek().offset,
+                    detail: "a fact must be a single atom".into(),
+                });
+            }
+            Ok(PStatement::Rule(PRule {
+                head: first.into_iter().next().expect("checked length"),
+                body: vec![],
+            }))
+        }
+    }
+
+    fn atom_list(&mut self) -> Result<Vec<PAtom>> {
+        let mut out = vec![self.atom()?];
+        while self.at(TokenKind::Comma) {
+            self.bump();
+            out.push(self.atom()?);
+        }
+        Ok(out)
+    }
+
+    fn atom(&mut self) -> Result<PAtom> {
+        let t = self.bump();
+        let offset = t.offset;
+        let TokenKind::Ident(pred) = t.kind else {
+            return Err(Error::Parse {
+                offset,
+                detail: "expected a predicate name".into(),
+            });
+        };
+        if !pred.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+            return Err(Error::Parse {
+                offset,
+                detail: format!("predicate `{pred}` must start with an uppercase letter"),
+            });
+        }
+        let mut args = Vec::new();
+        if self.at(TokenKind::LParen) {
+            self.bump();
+            if !self.at(TokenKind::RParen) {
+                args.push(self.term()?);
+                while self.at(TokenKind::Comma) {
+                    self.bump();
+                    args.push(self.term()?);
+                }
+            }
+            self.expect(TokenKind::RParen, "`)` after arguments")?;
+        }
+        Ok(PAtom { pred, args, offset })
+    }
+
+    fn term(&mut self) -> Result<PTerm> {
+        let t = self.bump();
+        let mut base = match t.kind {
+            TokenKind::Num(n) => PTerm::Num(n),
+            TokenKind::Ident(name) => {
+                if self.at(TokenKind::LParen) {
+                    self.bump();
+                    let mut args = vec![self.term()?];
+                    while self.at(TokenKind::Comma) {
+                        self.bump();
+                        args.push(self.term()?);
+                    }
+                    self.expect(TokenKind::RParen, "`)` after function arguments")?;
+                    PTerm::App(name, args)
+                } else {
+                    PTerm::Ident(name)
+                }
+            }
+            _ => {
+                return Err(Error::Parse {
+                    offset: t.offset,
+                    detail: "expected a term".into(),
+                });
+            }
+        };
+        while self.at(TokenKind::Plus) {
+            self.bump();
+            let t = self.bump();
+            let TokenKind::Num(n) = t.kind else {
+                return Err(Error::Parse {
+                    offset: t.offset,
+                    detail: "expected a number after `+`".into(),
+                });
+            };
+            base = PTerm::Plus(Box::new(base), n);
+        }
+        Ok(base)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_meets_example() {
+        let src = "Meets(t, x), Next(x, y) -> Meets(t+1, y).\n\
+                   Meets(0, Tony). Next(Tony, Jan). Next(Jan, Tony).";
+        let stmts = parse_source(src).unwrap();
+        assert_eq!(stmts.len(), 4);
+        let PStatement::Rule(rule) = &stmts[0] else {
+            panic!("expected a rule");
+        };
+        assert_eq!(rule.body.len(), 2);
+        assert_eq!(rule.head.pred, "Meets");
+        assert_eq!(
+            rule.head.args[0],
+            PTerm::Plus(Box::new(PTerm::Ident("t".into())), 1)
+        );
+    }
+
+    #[test]
+    fn parses_mixed_applications() {
+        let src = "At(s, p1), Connected(p1, p2) -> At(move(s, p1, p2), p2).";
+        let stmts = parse_source(src).unwrap();
+        let PStatement::Rule(rule) = &stmts[0] else {
+            panic!()
+        };
+        assert_eq!(
+            rule.head.args[0],
+            PTerm::App(
+                "move".into(),
+                vec![
+                    PTerm::Ident("s".into()),
+                    PTerm::Ident("p1".into()),
+                    PTerm::Ident("p2".into()),
+                ]
+            )
+        );
+    }
+
+    #[test]
+    fn parses_queries_and_decls() {
+        let stmts = parse_source("?- Member(s, A).\nfunctional Member/2.").unwrap();
+        assert!(matches!(stmts[0], PStatement::Query(_)));
+        assert_eq!(
+            stmts[1],
+            PStatement::FunctionalDecl {
+                name: "Member".into(),
+                arity: 2
+            }
+        );
+    }
+
+    #[test]
+    fn nullary_atoms_parse() {
+        let stmts = parse_source("Halt -> Stop.").unwrap();
+        let PStatement::Rule(rule) = &stmts[0] else {
+            panic!()
+        };
+        assert!(rule.head.args.is_empty());
+        assert!(rule.body[0].args.is_empty());
+    }
+
+    #[test]
+    fn errors_are_positioned() {
+        let err = parse_source("Meets(t x).").unwrap_err();
+        assert!(matches!(err, Error::Parse { .. }));
+        let err = parse_source("meets(t).").unwrap_err();
+        let Error::Parse { detail, .. } = err else {
+            panic!()
+        };
+        assert!(detail.contains("uppercase"));
+    }
+
+    #[test]
+    fn two_headed_rules_rejected() {
+        assert!(parse_source("P(0) -> Q(0), R(0).").is_err());
+    }
+
+    #[test]
+    fn iterated_plus() {
+        let stmts = parse_source("P(t+1+2).").unwrap();
+        let PStatement::Rule(rule) = &stmts[0] else {
+            panic!()
+        };
+        assert_eq!(
+            rule.head.args[0],
+            PTerm::Plus(
+                Box::new(PTerm::Plus(Box::new(PTerm::Ident("t".into())), 1)),
+                2
+            )
+        );
+    }
+}

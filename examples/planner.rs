@@ -1,0 +1,73 @@
+//! Situation-calculus planning (§1).
+//!
+//! "Here the functional variable s plays the role of a state (situation).
+//! Function symbols correspond to operators available to a robot [Gre69]."
+//! The robot moves between connected positions; the answer to
+//! `{y : At(y, P)}` — all sequences of moves that lead the robot to `P` —
+//! is infinite but finitely representable, "because there are only finitely
+//! many positions that the robot can assume. … On every possible infinite
+//! path, there must be a cycle."
+//!
+//! Run with: `cargo run --example planner`
+
+use fundb_parser::Workspace;
+
+fn main() {
+    let mut ws = Workspace::new();
+    // A small office floor: P0 — P1 — P2, with a side room P3 off P1.
+    ws.parse(
+        "At(s, p1), Connected(p1, p2) -> At(move(s, p1, p2), p2).
+
+         At(0, P0).
+         Connected(P0, P1). Connected(P1, P0).
+         Connected(P1, P2). Connected(P2, P1).
+         Connected(P1, P3). Connected(P3, P1).",
+    )
+    .expect("well-formed planning program");
+
+    let spec = ws.graph_spec().expect("domain-independent program");
+    println!("=== Plan-space specification ===");
+    println!(
+        "clusters: {} ({} deep), successor edges: {}, primary database: {} tuples",
+        spec.cluster_count(),
+        spec.active_count,
+        spec.edge_count(),
+        spec.primary_size()
+    );
+
+    // Yes-no plan checks: does a concrete sequence of moves reach P2?
+    println!("\n=== Plan verification ===");
+    for plan in [
+        "At(move(move(0, P0, P1), P1, P2), P2)",
+        "At(move(move(0, P0, P1), P1, P3), P2)",
+        "At(move(move(move(move(0, P0, P1), P1, P0), P0, P1), P1, P2), P2)",
+    ] {
+        println!("{}\n  -> {}", plan, ws.holds(&spec, plan).unwrap());
+    }
+
+    // The infinite answer {y : At(y, P2)}: enumerate the shortest plans.
+    let q = ws.parse_query("At(y, P2)").unwrap();
+    let ans = q.answer_incremental(&spec, &ws.interner).unwrap();
+    println!(
+        "\n=== All plans reaching P2 (infinite; finitely specified by {} cluster tuples) ===",
+        ans.size()
+    );
+    println!("shortest plans (breadth-first):");
+    for (path, _) in ans.enumerate_terms(&spec, 5) {
+        let moves: Vec<String> = path
+            .iter()
+            .map(|f| ws.interner.resolve(f.sym()).to_string())
+            .collect();
+        println!("  0 -> {}", moves.join(" -> "));
+    }
+
+    // Once the robot returns to a visited position, the congruence collapses
+    // the plans: representing one cycle traversal is enough.
+    let plan_a = "At(move(move(0, P0, P1), P1, P0), P0)"; // back at P0
+    let plan_b = "At(0, P0)"; // never moved
+    println!(
+        "\nplan-A at P0: {}, plan-B at P0: {} (their states coincide — the cycle is collapsed)",
+        ws.holds(&spec, plan_a).unwrap(),
+        ws.holds(&spec, plan_b).unwrap()
+    );
+}

@@ -1,0 +1,509 @@
+//! Differential and property-based tests.
+//!
+//! The engine, the graph specification, the equational specification, the
+//! minimized specification and the temporal fast path must all agree with
+//! each other — and with the bounded-depth naive materialization baseline
+//! where the latter is exact (forward programs) or sound (general
+//! programs) — on randomly generated functional deductive databases.
+
+mod common;
+
+use common::{all_paths, random_program, GenConfig};
+use fundb_core::{normalize, to_pure, BoundedMaterialization, Engine, EqSpec, GraphSpec};
+use proptest::prelude::*;
+
+const DEPTH: usize = 4;
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        .. ProptestConfig::default()
+    })]
+
+    /// Forward programs: bounded materialization is exact up to its depth,
+    /// so engine answers and baseline answers coincide there.
+    #[test]
+    fn engine_matches_naive_on_forward_programs(seed in any::<u64>()) {
+        let mut gen = random_program(
+            GenConfig { forward_only: true, ..GenConfig::default() },
+            seed,
+        );
+        let normal = normalize(&gen.program, &mut gen.interner);
+        let pure = to_pure(&normal, &gen.db, &mut gen.interner).unwrap();
+        let mat = BoundedMaterialization::run(&pure, DEPTH + 2, &mut gen.interner);
+        let mut engine = Engine::build(&gen.program, &gen.db, &mut gen.interner).unwrap();
+        engine.solve();
+        for path in all_paths(&gen.funcs, DEPTH) {
+            for &p in &gen.preds {
+                for &c in &gen.consts {
+                    prop_assert_eq!(
+                        engine.holds(p, &path, &[c]),
+                        mat.holds(p, &path, &[c]),
+                        "pred {:?} path {:?} const {:?}", p, path, c
+                    );
+                }
+            }
+        }
+    }
+
+    /// General programs: everything the baseline derives is in the least
+    /// fixpoint (naive ⊆ engine).
+    #[test]
+    fn naive_is_sound_on_general_programs(seed in any::<u64>()) {
+        let mut gen = random_program(GenConfig::default(), seed);
+        let normal = normalize(&gen.program, &mut gen.interner);
+        let pure = to_pure(&normal, &gen.db, &mut gen.interner).unwrap();
+        let mat = BoundedMaterialization::run(&pure, DEPTH + 2, &mut gen.interner);
+        let mut engine = Engine::build(&gen.program, &gen.db, &mut gen.interner).unwrap();
+        engine.solve();
+        for path in all_paths(&gen.funcs, DEPTH) {
+            for &p in &gen.preds {
+                for &c in &gen.consts {
+                    if mat.holds(p, &path, &[c]) {
+                        prop_assert!(
+                            engine.holds(p, &path, &[c]),
+                            "naive derived a fact the engine misses: {:?} {:?}", p, path
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The graph specification answers exactly like the engine, and the
+    /// equational and minimized specifications answer exactly like the
+    /// graph specification.
+    #[test]
+    fn specifications_agree(seed in any::<u64>()) {
+        let mut gen = random_program(GenConfig::default(), seed);
+        let mut engine = Engine::build(&gen.program, &gen.db, &mut gen.interner).unwrap();
+        let spec = GraphSpec::from_engine(&mut engine);
+        let minimized = spec.minimized();
+        let mut eq = EqSpec::from_graph(&spec);
+        for path in all_paths(&gen.funcs, DEPTH) {
+            for &p in &gen.preds {
+                for &c in &gen.consts {
+                    let expected = engine.holds(p, &path, &[c]);
+                    prop_assert_eq!(spec.holds(p, &path, &[c]), expected);
+                    prop_assert_eq!(minimized.holds(p, &path, &[c]), expected);
+                    prop_assert_eq!(eq.holds(p, &path, &[c]), expected);
+                }
+            }
+        }
+        // Relational stores agree too.
+        for &c in &gen.consts {
+            let expected = engine.holds_relational(gen.rel, &[c]);
+            prop_assert_eq!(spec.holds_relational(gen.rel, &[c]), expected);
+            prop_assert_eq!(eq.holds_relational(gen.rel, &[c]), expected);
+        }
+    }
+
+    /// The quotient interpretation of a random program is a model
+    /// (Proposition 3.2, mechanically).
+    #[test]
+    fn quotient_is_model_on_random_programs(seed in any::<u64>()) {
+        let mut gen = random_program(GenConfig::default(), seed);
+        let mut engine = Engine::build(&gen.program, &gen.db, &mut gen.interner).unwrap();
+        engine.solve();
+        let spec = GraphSpec::from_engine(&mut engine);
+        prop_assert!(fundb_core::QuotientModel::new(&spec).is_model_of(engine.compiled()));
+    }
+
+    /// Minimization is idempotent and never enlarges the spec.
+    #[test]
+    fn minimization_is_idempotent(seed in any::<u64>()) {
+        let mut gen = random_program(GenConfig::default(), seed);
+        let mut engine = Engine::build(&gen.program, &gen.db, &mut gen.interner).unwrap();
+        let spec = GraphSpec::from_engine(&mut engine);
+        let m1 = spec.minimized();
+        let m2 = m1.minimized();
+        prop_assert!(m1.cluster_count() <= spec.cluster_count());
+        prop_assert_eq!(m1.cluster_count(), m2.cluster_count());
+        prop_assert_eq!(m1.primary_size(), m2.primary_size());
+    }
+
+    /// Normalization preserves the semantics of the original predicates:
+    /// the engine over the raw program and over the (explicitly)
+    /// pre-normalized program answer identically.
+    #[test]
+    fn normalization_preserves_answers(seed in any::<u64>()) {
+        let mut gen = random_program(GenConfig::default(), seed);
+        let normal = normalize(&gen.program, &mut gen.interner);
+        let mut e1 = Engine::build(&gen.program, &gen.db, &mut gen.interner).unwrap();
+        let mut e2 = Engine::build(&normal, &gen.db, &mut gen.interner).unwrap();
+        e1.solve();
+        e2.solve();
+        for path in all_paths(&gen.funcs, DEPTH) {
+            for &p in &gen.preds {
+                for &c in &gen.consts {
+                    prop_assert_eq!(
+                        e1.holds(p, &path, &[c]),
+                        e2.holds(p, &path, &[c])
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Congruence-closure laws on random equation sets (the [DST80] substrate).
+mod congruence_laws {
+    use fundb_congruence::CongruenceClosure;
+    use fundb_term::{Func, Interner};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn setup(seed: u64) -> (CongruenceClosure, Vec<Func>, Vec<Vec<Func>>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut i = Interner::new();
+        let funcs: Vec<Func> = (0..2).map(|k| Func(i.intern(&format!("f{k}")))).collect();
+        let mut cc = CongruenceClosure::new();
+        let mut terms: Vec<Vec<Func>> = Vec::new();
+        for _ in 0..8 {
+            let len = rng.gen_range(0..5usize);
+            let t: Vec<Func> = (0..len).map(|_| funcs[rng.gen_range(0..2)]).collect();
+            terms.push(t);
+        }
+        for _ in 0..3 {
+            let a = terms[rng.gen_range(0..terms.len())].clone();
+            let b = terms[rng.gen_range(0..terms.len())].clone();
+            cc.equate_paths(&a, &b);
+        }
+        (cc, funcs, terms)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+        /// Reflexivity, symmetry, transitivity.
+        #[test]
+        fn equivalence_laws(seed in any::<u64>()) {
+            let (mut cc, _, terms) = setup(seed);
+            for a in &terms {
+                prop_assert!(cc.congruent_paths(a, a));
+            }
+            for a in &terms {
+                for b in &terms {
+                    prop_assert_eq!(cc.congruent_paths(a, b), cc.congruent_paths(b, a));
+                }
+            }
+            for a in &terms {
+                for b in &terms {
+                    for c in &terms {
+                        if cc.congruent_paths(a, b) && cc.congruent_paths(b, c) {
+                            prop_assert!(cc.congruent_paths(a, c));
+                        }
+                    }
+                }
+            }
+        }
+
+        /// Congruence: a ≅ b ⇒ f(a) ≅ f(b).
+        #[test]
+        fn congruence_law(seed in any::<u64>()) {
+            let (mut cc, funcs, terms) = setup(seed);
+            for a in &terms {
+                for b in &terms {
+                    if cc.congruent_paths(a, b) {
+                        for &f in &funcs {
+                            let mut fa = a.clone();
+                            fa.push(f);
+                            let mut fb = b.clone();
+                            fb.push(f);
+                            prop_assert!(cc.congruent_paths(&fa, &fb));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Parser round-trips: rendering a parsed rule and re-parsing it is stable.
+mod parser_roundtrip {
+    use fundb_parser::Workspace;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn display_parse_display_is_identity(
+            head_off in 0usize..3,
+            body_extra in 0usize..2,
+            use_rel in any::<bool>(),
+        ) {
+            let head_term = match head_off {
+                0 => "t".to_string(),
+                n => format!("t+{n}"),
+            };
+            let mut body = vec!["P(t, x)".to_string()];
+            for k in 0..body_extra {
+                body.push(format!("Q{k}(t, x)"));
+            }
+            if use_rel {
+                body.push("R(x)".to_string());
+            }
+            let src = format!("{} -> P({head_term}, x).\nP(0, A).", body.join(", "));
+            let mut ws1 = Workspace::new();
+            ws1.parse(&src).unwrap();
+            let rendered: Vec<String> = ws1
+                .program
+                .rules
+                .iter()
+                .map(|r| fundb_core::program::display_rule(r, &ws1.interner).to_string())
+                .collect();
+            // Re-parse the rendered rules (plus the original facts).
+            let mut ws2 = Workspace::new();
+            ws2.parse(&format!("{}\nP(0, A).", rendered.join("\n"))).unwrap();
+            let rendered2: Vec<String> = ws2
+                .program
+                .rules
+                .iter()
+                .map(|r| fundb_core::program::display_rule(r, &ws2.interner).to_string())
+                .collect();
+            prop_assert_eq!(rendered, rendered2);
+        }
+    }
+}
+
+/// The temporal fast path agrees with the general engine on random forward
+/// temporal programs, and serialization round-trips preserve every answer.
+mod temporal_and_io {
+    use super::common::{all_paths, random_program, GenConfig};
+    use fundb_core::{read_spec, write_spec, Engine, GraphSpec, SpecBundle};
+    use fundb_temporal::{classify, TemporalClass, TemporalSpec};
+    use fundb_term::FxHashMap;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+        /// Single-symbol forward programs: lasso answers == engine answers.
+        #[test]
+        fn temporal_fast_path_matches_engine(seed in any::<u64>()) {
+            let mut gen = random_program(
+                GenConfig { funcs: 1, forward_only: true, ..GenConfig::default() },
+                seed,
+            );
+            prop_assume!(
+                classify(&gen.program, &gen.db, &gen.interner) == TemporalClass::Forward
+            );
+            let spec =
+                TemporalSpec::compute(&gen.program, &gen.db, &mut gen.interner).unwrap();
+            let mut engine =
+                Engine::build(&gen.program, &gen.db, &mut gen.interner).unwrap();
+            engine.solve();
+            let f = gen.funcs[0];
+            for n in 0..(2 * (spec.rho() + spec.lambda()) + 4) {
+                for &p in &gen.preds {
+                    for &c in &gen.consts {
+                        prop_assert_eq!(
+                            spec.holds(p, n as u64, &[c]),
+                            engine.holds(p, &vec![f; n], &[c]),
+                            "seed {} pred {:?} n {}", seed, p, n
+                        );
+                    }
+                }
+            }
+        }
+
+        /// write_spec → read_spec preserves membership on random programs.
+        #[test]
+        fn spec_io_round_trips(seed in any::<u64>()) {
+            let mut gen = random_program(GenConfig::default(), seed);
+            let mut engine =
+                Engine::build(&gen.program, &gen.db, &mut gen.interner).unwrap();
+            let spec = GraphSpec::from_engine(&mut engine);
+            let text = write_spec(
+                &SpecBundle { spec: spec.clone(), sym_map: FxHashMap::default() },
+                &gen.interner,
+            );
+            let mut fresh = fundb_term::Interner::new();
+            let bundle = read_spec(&text, &mut fresh).unwrap();
+            // Translate symbols through names.
+            for path in all_paths(&gen.funcs, 3) {
+                let path2: Vec<fundb_term::Func> = path
+                    .iter()
+                    .map(|f| fundb_term::Func(
+                        fresh.get(gen.interner.resolve(f.sym())).unwrap_or_else(|| {
+                            fresh.intern(gen.interner.resolve(f.sym()))
+                        }),
+                    ))
+                    .collect();
+                for &p in &gen.preds {
+                    let p2 = match fresh.get(gen.interner.resolve(p.sym())) {
+                        Some(s) => fundb_term::Pred(s),
+                        None => continue, // predicate absent from the spec: empty everywhere
+                    };
+                    for &c in &gen.consts {
+                        let Some(c2) = fresh.get(gen.interner.resolve(c.sym())) else {
+                            prop_assert!(!spec.holds(p, &path, &[c]));
+                            continue;
+                        };
+                        prop_assert_eq!(
+                            spec.holds(p, &path, &[c]),
+                            bundle.spec.holds(p2, &path2, &[fundb_term::Cst(c2)]),
+                            "seed {} path {:?}", seed, path
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Theorem 3.1 / Lemma 3.1, empirically: state equivalence on deep terms is
+/// a congruence — deep terms with equal slices have successors with equal
+/// slices, for every function symbol.
+mod congruence_theorem {
+    use super::common::{all_paths, random_program, GenConfig};
+    use fundb_core::{Engine, GraphSpec};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+        #[test]
+        fn deep_state_equivalence_is_a_congruence(seed in any::<u64>()) {
+            let mut gen = random_program(GenConfig::default(), seed);
+            let mut engine =
+                Engine::build(&gen.program, &gen.db, &mut gen.interner).unwrap();
+            engine.solve();
+            let c = engine.compiled().c;
+            let spec = GraphSpec::from_engine(&mut engine);
+            let paths: Vec<_> = all_paths(&gen.funcs, 4)
+                .into_iter()
+                .filter(|p| p.len() > c)
+                .collect();
+            for p1 in &paths {
+                for p2 in &paths {
+                    if engine.state_of_path(p1) != engine.state_of_path(p2) {
+                        continue;
+                    }
+                    for &f in &gen.funcs {
+                        let (mut q1, mut q2) = (p1.clone(), p2.clone());
+                        q1.push(f);
+                        q2.push(f);
+                        prop_assert_eq!(
+                            engine.state_of_path(&q1),
+                            engine.state_of_path(&q2),
+                            "seed {}: {:?} ∼ {:?} but f-successors differ", seed, p1, p2
+                        );
+                    }
+                }
+            }
+            // And the finite representation theorem itself: finitely many
+            // clusters (trivially true but asserts the machinery agrees).
+            prop_assert!(spec.cluster_count() >= 1);
+        }
+    }
+}
+
+/// Full syntax round trip: rendering a random core program through the
+/// concrete syntax and re-elaborating it yields a semantically identical
+/// program (same engine answers).
+mod syntax_roundtrip {
+    use super::common::{all_paths, random_program, GenConfig};
+    use fundb_core::program::{display_atom, display_rule};
+    use fundb_core::Engine;
+    use fundb_parser::Workspace;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        #[test]
+        fn render_reparse_preserves_semantics(seed in any::<u64>()) {
+            let mut gen = random_program(GenConfig::default(), seed);
+            // Render to concrete syntax.
+            let mut src = String::new();
+            for r in &gen.program.rules {
+                src.push_str(&display_rule(r, &gen.interner).to_string());
+                src.push('\n');
+            }
+            for f in &gen.db.facts {
+                src.push_str(&format!("{}.\n", display_atom(f, &gen.interner)));
+            }
+            // Re-parse and solve.
+            let mut ws = Workspace::new();
+            ws.parse(&src).expect("rendered program re-parses");
+            let spec = ws.graph_spec().expect("still domain-independent");
+            // Solve the original.
+            let mut engine = Engine::build(&gen.program, &gen.db, &mut gen.interner).unwrap();
+            engine.solve();
+            // Compare answers, translating symbols by name.
+            for path in all_paths(&gen.funcs, 3) {
+                // A symbol the program never uses cannot appear in the
+                // rendered source; terms over it are not in the LFP at all.
+                let translated: Option<Vec<fundb_term::Func>> = path
+                    .iter()
+                    .map(|f| {
+                        ws.interner
+                            .get(gen.interner.resolve(f.sym()))
+                            .map(fundb_term::Func)
+                    })
+                    .collect();
+                let Some(path2) = translated else {
+                    for &p in &gen.preds {
+                        for &c in &gen.consts {
+                            prop_assert!(!engine.holds(p, &path, &[c]));
+                        }
+                    }
+                    continue;
+                };
+                for &p in &gen.preds {
+                    let Some(p2) = ws.interner.get(gen.interner.resolve(p.sym())) else {
+                        continue;
+                    };
+                    for &c in &gen.consts {
+                        let Some(c2) = ws.interner.get(gen.interner.resolve(c.sym())) else {
+                            prop_assert!(!engine.holds(p, &path, &[c]));
+                            continue;
+                        };
+                        prop_assert_eq!(
+                            engine.holds(p, &path, &[c]),
+                            spec.holds(fundb_term::Pred(p2), &path2, &[fundb_term::Cst(c2)]),
+                            "seed {} path {:?}", seed, path
+                        );
+                    }
+                }
+            }
+        }
+
+        /// Fuzzing the spec reader: single-line drops/duplications of a valid
+        /// file never panic.
+        #[test]
+        fn spec_reader_survives_mutations(seed in any::<u64>()) {
+            let mut gen = random_program(GenConfig::default(), seed);
+            let mut engine = Engine::build(&gen.program, &gen.db, &mut gen.interner).unwrap();
+            let spec = fundb_core::GraphSpec::from_engine(&mut engine);
+            let text = fundb_core::write_spec(
+                &fundb_core::SpecBundle { spec, sym_map: Default::default() },
+                &gen.interner,
+            );
+            let lines: Vec<&str> = text.lines().collect();
+            for k in 0..lines.len() {
+                let dropped: String = lines
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != k)
+                    .map(|(_, l)| format!("{l}\n"))
+                    .collect();
+                let mut i = fundb_term::Interner::new();
+                let _ = fundb_core::read_spec(&dropped, &mut i);
+                let duped: String = lines
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(j, l)| {
+                        let n = if j == k { 2 } else { 1 };
+                        std::iter::repeat_n(format!("{l}\n"), n)
+                    })
+                    .collect();
+                let mut i = fundb_term::Interner::new();
+                let _ = fundb_core::read_spec(&duped, &mut i);
+            }
+        }
+    }
+}

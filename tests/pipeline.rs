@@ -1,0 +1,411 @@
+//! Cross-crate pipeline tests: parse → validate → normalize → mixed→pure →
+//! compile → solve → specify → answer, with stress and edge cases.
+
+use fundb_core::{analysis, normalize, to_pure, BoundedMaterialization, EqSpec};
+use fundb_parser::Workspace;
+use fundb_temporal::TemporalSpec;
+
+/// Very deep query terms must work without stack overflow or quadratic
+/// blowup (regression: the derived recursive Drop/Clone on FTerm).
+#[test]
+fn million_deep_terms() {
+    let mut ws = Workspace::new();
+    ws.parse("Even(t) -> Even(t+2).\nEven(0).").unwrap();
+    let spec = ws.graph_spec().unwrap();
+    assert!(ws.holds(&spec, "Even(1000000)").unwrap());
+    assert!(!ws.holds(&spec, "Even(1000001)").unwrap());
+    // Temporal spec answers O(1) at any distance.
+    let tspec = TemporalSpec::compute(&ws.program, &ws.db, &mut ws.interner).unwrap();
+    let even = fundb_term::Pred(ws.interner.get("Even").unwrap());
+    assert!(tspec.holds(even, u64::MAX - 1, &[]));
+    assert!(!tspec.holds(even, u64::MAX, &[]));
+}
+
+/// Rules with several functional variables are projected correctly.
+#[test]
+fn multiple_functional_variables() {
+    let mut ws = Workspace::new();
+    // Win(x) holds if x occurs in SOME list (s) and SOME other list has B
+    // (unrelated functional variables in one rule body).
+    ws.parse(
+        "P(x) -> Member(ext(0, x), x).
+         P(y), Member(s, x) -> Member(ext(s, y), x).
+         P(y), Member(s, x) -> Member(ext(s, y), y).
+         Member(s, x), Member(u, B) -> Win(x).
+         P(A). P(B).",
+    )
+    .unwrap();
+    let spec = ws.graph_spec().unwrap();
+    assert!(ws.holds(&spec, "Win(A)").unwrap());
+    assert!(ws.holds(&spec, "Win(B)").unwrap());
+}
+
+/// Deep non-ground terms in heads and bodies are normalized away (depth 3).
+#[test]
+fn deep_rule_terms() {
+    let mut ws = Workspace::new();
+    ws.parse("Tick(t) -> Tick(t+3).\nTick(t+3) -> Seen(t).\nTick(0).")
+        .unwrap();
+    let spec = ws.graph_spec().unwrap();
+    // Tick at multiples of 3.
+    for n in 0..15usize {
+        assert_eq!(
+            ws.holds(&spec, &format!("Tick({n})")).unwrap(),
+            n % 3 == 0,
+            "Tick({n})"
+        );
+        // Seen(t) iff Tick(t+3) iff t multiple of 3.
+        assert_eq!(
+            ws.holds(&spec, &format!("Seen({n})")).unwrap(),
+            n % 3 == 0,
+            "Seen({n})"
+        );
+    }
+}
+
+/// An empty program and database still produce a (trivial) specification.
+#[test]
+fn empty_everything() {
+    let mut ws = Workspace::new();
+    let spec = ws.graph_spec().unwrap();
+    assert_eq!(spec.cluster_count(), 1);
+    let report = analysis::analyze(&spec);
+    assert!(report.finite);
+    assert_eq!(report.functional_fact_count, Some(0));
+}
+
+/// Pure Datalog programs (no function symbols at all) work end to end:
+/// the extension degenerates gracefully to its base.
+#[test]
+fn plain_datalog_degenerates() {
+    let mut ws = Workspace::new();
+    ws.parse(
+        "Edge(x, y) -> Path(x, y).
+         Path(x, y), Edge(y, z) -> Path(x, z).
+         Edge(A, B). Edge(B, C). Edge(C, D).",
+    )
+    .unwrap();
+    let spec = ws.graph_spec().unwrap();
+    assert!(ws.holds(&spec, "Path(A, D)").unwrap());
+    assert!(!ws.holds(&spec, "Path(D, A)").unwrap());
+    assert_eq!(spec.cluster_count(), 1); // only the root term 0
+    let report = analysis::analyze(&spec);
+    assert!(report.finite);
+}
+
+/// Facts deeper than every rule term enlarge the top region (c tracks the
+/// database too).
+#[test]
+fn deep_facts_extend_top_region() {
+    let mut ws = Workspace::new();
+    ws.parse("Hot(t) -> Warm(t+1).\nHot(5).").unwrap();
+    let spec = ws.graph_spec().unwrap();
+    assert_eq!(spec.c, 5);
+    assert!(ws.holds(&spec, "Warm(6)").unwrap());
+    assert!(!ws.holds(&spec, "Warm(5)").unwrap());
+    let report = analysis::analyze(&spec);
+    assert!(report.finite);
+    assert_eq!(report.functional_fact_count, Some(2));
+}
+
+/// The engine, both specifications and the baseline agree on a program
+/// mixing every feature: mixed symbols, relational predicates, backward
+/// rules, ground terms.
+#[test]
+fn kitchen_sink_agreement() {
+    let mut ws = Workspace::new();
+    ws.parse(
+        "Obj(x) -> Has(put(0, x), x).
+         Obj(y), Has(s, x) -> Has(put(s, y), x).
+         Obj(y), Has(s, x) -> Has(put(s, y), y).
+         Has(put(s, x), x) -> WasPut(x).
+         Obj(A). Obj(B).",
+    )
+    .unwrap();
+    let spec = ws.graph_spec().unwrap();
+    let mut eq = EqSpec::from_graph(&spec);
+
+    let normal = normalize(&ws.program, &mut ws.interner);
+    let pure = to_pure(&normal, &ws.db, &mut ws.interner).unwrap();
+    let mat = BoundedMaterialization::run(&pure, 4, &mut ws.interner);
+
+    // WasPut is derived through a backward rule.
+    assert!(ws.holds(&spec, "WasPut(A)").unwrap());
+    assert!(ws.holds(&spec, "WasPut(B)").unwrap());
+
+    // Graph and equational spec agree with the bounded materialization on
+    // its horizon.
+    let has = fundb_term::Pred(ws.interner.get("Has").unwrap());
+    let puta = fundb_term::Func(ws.interner.get("put[A]").unwrap());
+    let putb = fundb_term::Func(ws.interner.get("put[B]").unwrap());
+    let a = fundb_term::Cst(ws.interner.get("A").unwrap());
+    let b = fundb_term::Cst(ws.interner.get("B").unwrap());
+    let mut paths: Vec<Vec<fundb_term::Func>> = vec![vec![]];
+    let mut frontier = vec![vec![]];
+    for _ in 0..4 {
+        let mut next = Vec::new();
+        for p in &frontier {
+            for &f in &[puta, putb] {
+                let mut q = p.clone();
+                q.push(f);
+                next.push(q);
+            }
+        }
+        paths.extend(next.iter().cloned());
+        frontier = next;
+    }
+    for path in &paths {
+        for &c in &[a, b] {
+            let g = spec.holds(has, path, &[c]);
+            assert_eq!(g, eq.holds(has, path, &[c]), "eq vs graph at {path:?}");
+            if mat.holds(has, path, &[c]) {
+                assert!(g, "naive derived a fact the spec misses at {path:?}");
+            }
+            if path.len() <= 3 {
+                // Forward program: the baseline is exact within horizon-1.
+                assert_eq!(g, mat.holds(has, path, &[c]), "exactness at {path:?}");
+            }
+        }
+    }
+}
+
+/// Incremental workspace building: parse in several fragments, ask between
+/// fragments, then extend.
+#[test]
+fn incremental_workspace() {
+    let mut ws = Workspace::new();
+    ws.parse("Run(t) -> Run(t+2).").unwrap();
+    ws.parse("Run(0).").unwrap();
+    let spec1 = ws.graph_spec().unwrap();
+    assert!(ws.holds(&spec1, "Run(4)").unwrap());
+    assert!(!ws.holds(&spec1, "Run(1)").unwrap());
+    // Add a second seed shifting the parity coverage.
+    ws.parse("Run(1).").unwrap();
+    let spec2 = ws.graph_spec().unwrap();
+    assert!(ws.holds(&spec2, "Run(4)").unwrap());
+    assert!(ws.holds(&spec2, "Run(7)").unwrap());
+}
+
+/// Errors carry enough context to act on.
+#[test]
+fn error_reporting() {
+    let mut ws = Workspace::new();
+    let err = ws.parse("P(0").unwrap_err();
+    assert!(matches!(err, fundb_core::Error::Parse { .. }));
+
+    let mut ws2 = Workspace::new();
+    ws2.parse("functional Q/1.\nR(x) -> Q(s).\nR(A).").unwrap();
+    let err = ws2.graph_spec().unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("range-restricted"), "got: {msg}");
+}
+
+/// Incremental fact updates: monotone re-solving matches a full rebuild.
+#[test]
+fn incremental_updates_match_rebuild() {
+    use fundb_core::Engine;
+    let mut ws = Workspace::new();
+    ws.parse(
+        "Meets(t, x), Next(x, y) -> Meets(t+1, y).
+         Meets(0, Tony). Next(Tony, Jan).",
+    )
+    .unwrap();
+    let mut engine = ws.engine().unwrap();
+    let meets = fundb_term::Pred(ws.interner.get("Meets").unwrap());
+    let next = fundb_term::Pred(ws.interner.get("Next").unwrap());
+    let plus1 = fundb_term::Func(ws.interner.get("+1").unwrap());
+    let tony = fundb_term::Cst(ws.interner.get("Tony").unwrap());
+    let jan = fundb_term::Cst(ws.interner.get("Jan").unwrap());
+
+    // Without Next(Jan, Tony) the rotation stops at day 1.
+    assert!(engine.holds(meets, &[plus1], &[jan]));
+    assert!(!engine.holds(meets, &[plus1, plus1], &[tony]));
+
+    // Add the missing relational fact incrementally and re-solve.
+    engine
+        .add_fact_relational(next, &[jan, tony], &ws.interner)
+        .unwrap();
+    engine.solve();
+    assert!(engine.holds(meets, &[plus1, plus1], &[tony]));
+    for n in 0..20usize {
+        let who = if n % 2 == 0 { tony } else { jan };
+        assert!(engine.holds(meets, &vec![plus1; n], &[who]), "day {n}");
+    }
+
+    // Adding a functional fact at the root also works.
+    engine
+        .add_fact_functional(meets, &[], &[jan], &ws.interner)
+        .unwrap();
+    engine.solve();
+    assert!(
+        engine.holds(meets, &[plus1], &[tony]),
+        "Jan day 0 ⇒ Tony day 1"
+    );
+
+    // The incrementally updated engine equals a fresh rebuild.
+    let mut ws2 = Workspace::new();
+    ws2.parse(
+        "Meets(t, x), Next(x, y) -> Meets(t+1, y).
+         Meets(0, Tony). Meets(0, Jan). Next(Tony, Jan). Next(Jan, Tony).",
+    )
+    .unwrap();
+    let fresh = ws2.engine().unwrap();
+    let meets2 = fundb_term::Pred(ws2.interner.get("Meets").unwrap());
+    let plus2 = fundb_term::Func(ws2.interner.get("+1").unwrap());
+    let tony2 = fundb_term::Cst(ws2.interner.get("Tony").unwrap());
+    let jan2 = fundb_term::Cst(ws2.interner.get("Jan").unwrap());
+    for n in 0..15usize {
+        for (w, w2) in [(tony, tony2), (jan, jan2)] {
+            assert_eq!(
+                engine.holds(meets, &vec![plus1; n], &[w]),
+                fresh.holds(meets2, &vec![plus2; n], &[w2]),
+                "n={n}"
+            );
+        }
+    }
+
+    // Vocabulary violations are rejected with a rebuild hint.
+    let ghost = fundb_term::Cst(ws.interner.intern("Ghost"));
+    let err = engine
+        .add_fact_relational(next, &[ghost, tony], &ws.interner)
+        .unwrap_err();
+    assert!(err.to_string().contains("rebuild"));
+    let _ = Engine::build(&ws.program, &ws.db, &mut ws.interner).unwrap();
+}
+
+/// `EqSpec::minimize_equations` preserves every membership answer. Raw
+/// Algorithm Q output is already irredundant (each equation names a distinct
+/// potential term); redundancy appears after bisimulation minimization,
+/// whose merges include congruence consequences (once a ≅ aa is known,
+/// ab ≅ aab follows).
+#[test]
+fn equation_minimization_preserves_answers() {
+    let mut ws = Workspace::new();
+    ws.parse(
+        "P(x) -> Member(ext(0, x), x).
+         P(y), Member(s, x) -> Member(ext(s, y), y).
+         P(y), Member(s, x) -> Member(ext(s, y), x).
+         P(A). P(B).",
+    )
+    .unwrap();
+    let spec = ws.graph_spec().unwrap().minimized();
+    let mut eq_full = EqSpec::from_graph(&spec);
+    let mut eq_min = eq_full.clone();
+    let removed = eq_min.minimize_equations();
+    assert!(removed > 0, "minimized-spec merges carry redundancy");
+    assert!(eq_min.equation_count() < eq_full.equation_count());
+
+    let member = fundb_term::Pred(ws.interner.get("Member").unwrap());
+    let exta = fundb_term::Func(ws.interner.get("ext[A]").unwrap());
+    let extb = fundb_term::Func(ws.interner.get("ext[B]").unwrap());
+    let a = fundb_term::Cst(ws.interner.get("A").unwrap());
+    let b = fundb_term::Cst(ws.interner.get("B").unwrap());
+    let mut paths: Vec<Vec<fundb_term::Func>> = vec![vec![]];
+    let mut frontier: Vec<Vec<fundb_term::Func>> = vec![vec![]];
+    for _ in 0..4 {
+        let mut next = Vec::new();
+        for pth in &frontier {
+            for f in [exta, extb] {
+                let mut q = pth.clone();
+                q.push(f);
+                next.push(q);
+            }
+        }
+        paths.extend(next.iter().cloned());
+        frontier = next;
+    }
+    for pth in &paths {
+        for c in [a, b] {
+            assert_eq!(
+                eq_full.holds(member, pth, &[c]),
+                eq_min.holds(member, pth, &[c]),
+                "path {pth:?}"
+            );
+        }
+    }
+    // Idempotent.
+    assert_eq!(eq_min.minimize_equations(), 0);
+}
+
+/// `explain`: derivations of facts in the (infinite) fixpoint, produced via
+/// the traced bounded materialization.
+#[test]
+fn explanations_trace_back_to_facts() {
+    use fundb_core::BoundedMaterialization;
+    let mut ws = Workspace::new();
+    ws.parse(
+        "Meets(t, x), Next(x, y) -> Meets(t+1, y).
+         Meets(0, Tony). Next(Tony, Jan). Next(Jan, Tony).",
+    )
+    .unwrap();
+    let normal = normalize(&ws.program, &mut ws.interner);
+    let pure = to_pure(&normal, &ws.db, &mut ws.interner).unwrap();
+    let mat = BoundedMaterialization::run_traced(&pure, 6, &mut ws.interner);
+
+    let meets = fundb_term::Pred(ws.interner.get("Meets").unwrap());
+    let plus1 = fundb_term::Func(ws.interner.get("+1").unwrap());
+    let tony = fundb_term::Cst(ws.interner.get("Tony").unwrap());
+    let d = mat
+        .explain(meets, &[plus1, plus1], &[tony])
+        .expect("Meets(2, Tony) holds and is traced");
+    // The proof chains two applications of the scheduling rule down to the
+    // day-0 fact and the Next edges.
+    let text = fundb_datalog::Provenance::render(&d, &ws.interner);
+    assert!(
+        text.contains("[given]"),
+        "bottoms out in EDB facts:\n{text}"
+    );
+    assert!(
+        text.matches("by rule").count() >= 2,
+        "two rule applications:\n{text}"
+    );
+    // Depth-2 proof: Meets(2,Tony) ← Meets(1,Jan) ← Meets(0,Tony).
+    fn depth(d: &fundb_datalog::Derivation) -> usize {
+        1 + d.premises.iter().map(depth).max().unwrap_or(0)
+    }
+    assert!(depth(&d) >= 3);
+    // Unsupported facts have no explanation.
+    assert!(mat.explain(meets, &[plus1], &[tony]).is_none());
+}
+
+/// Wide functional predicates: several non-functional arguments joined
+/// through one functional variable, including repeated variables.
+#[test]
+fn wide_predicates_and_repeated_variables() {
+    let mut ws = Workspace::new();
+    ws.parse(
+        "% Transfer(t, from, to, item): item moves each step along Route.
+         Transfer(t, a, b, i), Route(b, c) -> Transfer(t+1, b, c, i).
+         % Loop detection: a transfer that starts and ends at the same place.
+         Transfer(t, p, p, i) -> SelfLoop(i).
+         Transfer(0, W1, W2, Gold).
+         Route(W2, W3). Route(W3, W2). Route(W2, W2).",
+    )
+    .unwrap();
+    let spec = ws.graph_spec().unwrap();
+    assert!(ws.holds(&spec, "Transfer(0, W1, W2, Gold)").unwrap());
+    assert!(ws.holds(&spec, "Transfer(1, W2, W3, Gold)").unwrap());
+    assert!(ws.holds(&spec, "Transfer(1, W2, W2, Gold)").unwrap());
+    assert!(ws.holds(&spec, "Transfer(2, W3, W2, Gold)").unwrap());
+    assert!(!ws.holds(&spec, "Transfer(1, W3, W2, Gold)").unwrap());
+    // The repeated-variable rule fires on the W2→W2 hop.
+    assert!(ws.holds(&spec, "SelfLoop(Gold)").unwrap());
+    // Deep time points still resolve through the finite spec.
+    assert!(ws.holds(&spec, "Transfer(101, W2, W2, Gold)").unwrap());
+}
+
+/// Nullary predicates work in both kinds.
+#[test]
+fn nullary_predicates() {
+    let mut ws = Workspace::new();
+    ws.parse(
+        "functional Tick/1.
+         Tick(t) -> Tick(t+1).
+         Tick(t) -> Alive.
+         Tick(0).",
+    )
+    .unwrap();
+    let spec = ws.graph_spec().unwrap();
+    assert!(ws.holds(&spec, "Tick(7)").unwrap());
+    assert!(ws.holds(&spec, "Alive").unwrap());
+}
