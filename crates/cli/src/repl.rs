@@ -114,6 +114,7 @@ impl Repl {
                      :show           print the specification\n\
                      :minimize       print the bisimulation-minimized spec\n\
                      :analyze        finiteness report\n\
+                     :stats          LFP engine counters for the session program\n\
                      :save <path>    write the spec to a .fspec file\n\
                      :limit <n>      set the query enumeration limit\n\
                      :load <path>    parse a program file into the session\n\
@@ -144,11 +145,7 @@ impl Repl {
                             .chain(self.ws.db.facts.iter())
                         {
                             if atom.fterm().is_some() {
-                                let name = self
-                                    .ws
-                                    .interner
-                                    .resolve(atom.pred().sym())
-                                    .to_string();
+                                let name = self.ws.interner.resolve(atom.pred().sym()).to_string();
                                 let arity = atom.args().len() + 1;
                                 if !declared.contains(&(name.clone(), arity)) {
                                     declared.push((name, arity));
@@ -227,6 +224,39 @@ impl Repl {
                         }
                     )
                 })?;
+            }
+            Some("stats") => {
+                // Solve the session program with the LFP engine and report
+                // its instrumentation counters (semi-naive delta sizes,
+                // join probes, index hits).
+                let program = self.ws.program.clone();
+                let db = self.ws.db.clone();
+                match fundb_core::Engine::build(&program, &db, &mut self.ws.interner) {
+                    Ok(mut engine) => {
+                        engine.solve();
+                        let s = engine.stats();
+                        writeln!(
+                            out,
+                            "passes: {}, top evals: {}, uniform evals: {}, memo entries: {}",
+                            s.passes,
+                            s.top_evals,
+                            s.uniform_evals,
+                            engine.memo_len()
+                        )?;
+                        writeln!(
+                            out,
+                            "delta atoms per pass: {:?} (total {})",
+                            s.pass_deltas, s.delta_atoms
+                        )?;
+                        writeln!(
+                            out,
+                            "datalog rounds: {}, derived rows: {}, join probes: {}, \
+                             index hits: {}",
+                            s.datalog_rounds, s.derived_rows, s.join_probes, s.index_hits
+                        )?;
+                    }
+                    Err(e) => writeln!(out, "error: {e}")?,
+                }
             }
             Some("save") => match parts.next() {
                 Some(path) => {
@@ -448,6 +478,22 @@ mod tests {
         assert!(out.contains("unknown command `:bogus`"));
         let out2 = feed(&mut repl, &[":check P(0)"]);
         assert!(out2.contains("true"));
+    }
+
+    #[test]
+    fn stats_reports_engine_counters() {
+        let mut repl = Repl::new();
+        let out = feed(
+            &mut repl,
+            &[
+                "Meets(t, x), Next(x, y) -> Meets(t+1, y).",
+                "Meets(0, Tony). Next(Tony, Jan). Next(Jan, Tony).",
+                ":stats",
+            ],
+        );
+        assert!(out.contains("passes:"), "{out}");
+        assert!(out.contains("delta atoms per pass:"), "{out}");
+        assert!(out.contains("join probes:"), "{out}");
     }
 
     #[test]

@@ -1,0 +1,157 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment cannot reach crates.io, so this crate implements
+//! the small benchmarking surface the workspace's `benches/` use:
+//! `criterion_group!`/`criterion_main!`, benchmark groups,
+//! `bench_function`/`bench_with_input`, `Bencher::iter`, and `BenchmarkId`.
+//! Timing is a plain median-of-samples wall clock — adequate for the
+//! relative comparisons the benches exist to demonstrate, with none of
+//! upstream's statistics machinery.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\ngroup: {name}");
+        BenchmarkGroup {
+            _parent: self,
+            sample_size: 20,
+        }
+    }
+}
+
+/// A named benchmark identifier (`function_name/parameter`).
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("function", parameter)`.
+    pub fn new(function: &str, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark with no explicit input.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        b.report(&id.to_string());
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b, input);
+        b.report(&id.to_string());
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Timer handed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, `sample_size` times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warm-up run outside the measurement.
+        black_box(routine());
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed());
+        }
+    }
+
+    fn report(&mut self, label: &str) {
+        if self.samples.is_empty() {
+            println!("  {label:<40} (no samples)");
+            return;
+        }
+        self.samples.sort_unstable();
+        let median = self.samples[self.samples.len() / 2];
+        let lo = self.samples[0];
+        let hi = self.samples[self.samples.len() - 1];
+        println!(
+            "  {label:<40} median {:>12.3?}  [{:.3?} … {:.3?}]  ({} samples)",
+            median,
+            lo,
+            hi,
+            self.samples.len()
+        );
+    }
+}
+
+/// Declares a function that runs a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a benchmark binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,28 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// The strategy returned by [`vec`].
+pub struct VecStrategy<S> {
+    elem: S,
+    sizes: Range<usize>,
+}
+
+/// A `Vec` whose length is drawn from `sizes` and whose elements are drawn
+/// from `elem`.
+pub fn vec<S: Strategy>(elem: S, sizes: Range<usize>) -> VecStrategy<S> {
+    assert!(sizes.start < sizes.end, "empty size range");
+    VecStrategy { elem, sizes }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = self.sizes.end - self.sizes.start;
+        let len = self.sizes.start + (rng.next_u64() as usize % span);
+        (0..len).map(|_| self.elem.generate(rng)).collect()
+    }
+}

@@ -1,0 +1,172 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so this crate reimplements
+//! the subset of proptest this workspace uses: the [`proptest!`] macro with
+//! an optional `#![proptest_config(..)]` header, integer-range and
+//! `any::<T>()` strategies, `proptest::collection::vec`, and the
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assume!` macros.
+//!
+//! Differences from upstream, chosen deliberately:
+//!
+//! * **Deterministic by default.** Case generation is a pure function of the
+//!   test name and the case index, so CI failures replay locally without a
+//!   persistence handshake. Set `PROPTEST_SEED` to explore a different
+//!   stream, and `PROPTEST_CASES` to override every suite's case count.
+//! * **Seed replay, not byte replay.** `*.proptest-regressions` files are
+//!   still honored: every `shrinks to seed = N` / `seed = N` annotation is
+//!   replayed *by value* before novel cases run — the first `any::<u64>()`
+//!   draw of the test yields exactly `N`. (Upstream stores opaque byte
+//!   seeds; the value annotation is the portable part.)
+//! * **No shrinking.** On failure the panic message carries the full input
+//!   assignment, which for the seed-driven generators used here is already
+//!   minimal.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-import surface mirrored from upstream.
+pub mod prelude {
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+pub use test_runner::{ProptestConfig, TestCaseError, TestRng};
+
+/// Declares property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+///     #[test]
+///     fn my_property(seed in any::<u64>()) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Internal expansion of [`proptest!`]: one zero-argument `#[test]` wrapper
+/// per declared property.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+      )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg = $cfg;
+                $crate::test_runner::run_property(
+                    file!(),
+                    stringify!($name),
+                    __cfg,
+                    |__rng: &mut $crate::test_runner::TestRng| {
+                        let mut __inputs = ::std::string::String::new();
+                        $(
+                            let __value =
+                                $crate::strategy::Strategy::generate(&($strat), __rng);
+                            if !__inputs.is_empty() { __inputs.push_str(", "); }
+                            __inputs.push_str(&::std::format!(
+                                "{} = {:?}", stringify!($arg), __value
+                            ));
+                            let $arg = __value;
+                        )+
+                        let __result = (|| -> ::std::result::Result<
+                            (),
+                            $crate::test_runner::TestCaseError,
+                        > { $body ::std::result::Result::Ok(()) })();
+                        match __result {
+                            ::std::result::Result::Err(
+                                $crate::test_runner::TestCaseError::Fail(msg),
+                            ) => ::std::result::Result::Err(
+                                $crate::test_runner::TestCaseError::Fail(::std::format!(
+                                    "{msg}\n  inputs: {__inputs}"
+                                )),
+                            ),
+                            other => other,
+                        }
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Fails the current test case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(::std::format!(
+                    "assertion failed: {}", stringify!($cond)
+                )),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(::std::format!(
+                    "assertion failed: {} — {}",
+                    stringify!($cond),
+                    ::std::format!($($fmt)+)
+                )),
+            );
+        }
+    };
+}
+
+/// Fails the current test case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __l = $left;
+        let __r = $right;
+        if !(__l == __r) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(::std::format!(
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left), stringify!($right), __l, __r
+                )),
+            );
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let __l = $left;
+        let __r = $right;
+        if !(__l == __r) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(::std::format!(
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n  {}",
+                    stringify!($left), stringify!($right), __l, __r,
+                    ::std::format!($($fmt)+)
+                )),
+            );
+        }
+    }};
+}
+
+/// Discards the current test case (it counts as neither pass nor failure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}

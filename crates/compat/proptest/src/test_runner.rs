@@ -1,0 +1,246 @@
+//! The case runner: configuration, RNG, regression replay, reporting.
+
+use std::path::{Path, PathBuf};
+
+/// Per-suite configuration (`#![proptest_config(..)]`). Only the fields this
+/// workspace sets are meaningful; the rest exist so struct-update syntax
+/// against `default()` keeps working if tests add them later.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of novel cases to run (before `PROPTEST_CASES` override).
+    pub cases: u32,
+    /// Maximum rejected (`prop_assume!`) draws before the suite errors.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// Assertion failure: the property is false for this input.
+    Fail(String),
+    /// `prop_assume!` rejection: the input is outside the property's domain.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Constructs a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// Deterministic generator handed to strategies.
+///
+/// `forced` values are yielded verbatim by the first `next_u64` calls — the
+/// mechanism behind regression-seed replay (`seed = N` annotations).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    s: [u64; 4],
+    forced: Vec<u64>,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl TestRng {
+    /// A generator whose stream is a pure function of `seed`.
+    pub fn from_seed(seed: u64) -> TestRng {
+        let mut sm = seed;
+        TestRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+            forced: Vec::new(),
+        }
+    }
+
+    /// A generator that yields `value` on the first draw, then continues
+    /// pseudo-randomly (seeded from the value).
+    pub fn forced(value: u64) -> TestRng {
+        let mut rng = TestRng::from_seed(value ^ 0xA076_1D64_78BD_642F);
+        rng.forced.push(value);
+        rng
+    }
+
+    /// The next 64 bits (forced values first, then xoshiro256**).
+    pub fn next_u64(&mut self) -> u64 {
+        if let Some(v) = self.forced.pop() {
+            return v;
+        }
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// FNV-1a, used to give every test its own deterministic base stream.
+fn fnv1a(text: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in text.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_0000_01b3);
+    }
+    h
+}
+
+/// Locates `<file stem>.proptest-regressions` next to the test source.
+/// `file` is `file!()` from the macro expansion, whose base directory
+/// depends on how cargo invoked rustc — try the obvious candidates.
+fn regression_file(file: &str) -> Option<PathBuf> {
+    let source = Path::new(file);
+    let mut candidates = Vec::new();
+    candidates.push(source.with_extension("proptest-regressions"));
+    if source.is_relative() {
+        if let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") {
+            let m = Path::new(&manifest);
+            candidates.push(m.join(source).with_extension("proptest-regressions"));
+            // Test targets declared as `../../tests/foo.rs` compile with a
+            // workspace-root-relative path; walk up from the manifest too.
+            for ancestor in m.ancestors().skip(1).take(3) {
+                candidates.push(ancestor.join(source).with_extension("proptest-regressions"));
+            }
+        }
+    }
+    candidates.into_iter().find(|c| c.is_file())
+}
+
+/// Extracts replay values from a regressions file: every `seed = N`
+/// annotation (upstream writes these as `# shrinks to seed = N`).
+fn parse_regression_seeds(text: &str) -> Vec<u64> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') && !line.contains("seed") {
+            continue;
+        }
+        if let Some(pos) = line.find("seed =") {
+            let tail = line[pos + "seed =".len()..].trim();
+            let digits: String = tail.chars().take_while(|c| c.is_ascii_digit()).collect();
+            if let Ok(v) = digits.parse::<u64>() {
+                out.push(v);
+            }
+        }
+    }
+    out
+}
+
+/// Runs one property: replays regression seeds, then novel cases.
+///
+/// Environment:
+/// * `PROPTEST_CASES` overrides the configured case count.
+/// * `PROPTEST_SEED` perturbs the deterministic base stream.
+pub fn run_property(
+    file: &str,
+    name: &str,
+    cfg: ProptestConfig,
+    mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    // 1. Regression replay: checked-in seeds always re-run first.
+    if let Some(path) = regression_file(file) {
+        let text = std::fs::read_to_string(&path).unwrap_or_default();
+        for seed in parse_regression_seeds(&text) {
+            let mut rng = TestRng::forced(seed);
+            match case(&mut rng) {
+                Ok(()) | Err(TestCaseError::Reject(_)) => {}
+                Err(TestCaseError::Fail(msg)) => panic!(
+                    "[{name}] regression case from {} failed (seed = {seed}):\n{msg}",
+                    path.display()
+                ),
+            }
+        }
+    }
+
+    // 2. Novel cases.
+    let cases = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+        .unwrap_or(cfg.cases);
+    let base = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(|s| s ^ fnv1a(name))
+        .unwrap_or_else(|| fnv1a(name));
+
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let mut index = 0u64;
+    while passed < cases {
+        let case_seed =
+            base.wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15)) ^ index.rotate_left(32);
+        index += 1;
+        let mut rng = TestRng::from_seed(case_seed);
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(why)) => {
+                rejected += 1;
+                if rejected > cfg.max_global_rejects {
+                    panic!(
+                        "[{name}] too many prop_assume! rejections \
+                         ({rejected}); last: {why}"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => panic!(
+                "[{name}] case {passed} failed (case seed = {case_seed}; \
+                 set PROPTEST_SEED to vary the stream):\n{msg}"
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forced_rng_yields_value_first() {
+        let mut rng = TestRng::forced(12345);
+        assert_eq!(rng.next_u64(), 12345);
+        // Stream continues deterministically afterwards.
+        let a = rng.next_u64();
+        let mut rng2 = TestRng::forced(12345);
+        rng2.next_u64();
+        assert_eq!(a, rng2.next_u64());
+    }
+
+    #[test]
+    fn parses_upstream_regression_format() {
+        let text = "# comment\n\
+                    cc c643b43703df4c60 # shrinks to seed = 11365369558672328680\n\
+                    cc deadbeef # shrinks to seed = 11579703684924507865\n";
+        assert_eq!(
+            parse_regression_seeds(text),
+            vec![11365369558672328680, 11579703684924507865]
+        );
+    }
+
+    #[test]
+    fn deterministic_without_env() {
+        let mut a = TestRng::from_seed(fnv1a("x"));
+        let mut b = TestRng::from_seed(fnv1a("x"));
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

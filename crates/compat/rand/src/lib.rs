@@ -1,0 +1,172 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! the *subset* of the `rand 0.8` API its tests and benches actually use:
+//! `StdRng`, `SeedableRng::seed_from_u64`, `Rng::gen_range` over integer
+//! ranges, and `Rng::gen_bool`. The generator is a SplitMix64-seeded
+//! xoshiro256** — not the upstream ChaCha12, so streams differ from real
+//! `rand`, but every use in this workspace only needs a deterministic,
+//! well-mixed sequence per seed.
+
+/// Random number generator front-end methods (the used subset).
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform sample from an integer range (`a..b` or `a..=b`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample(self.next_u64())
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability out of range"
+        );
+        // 53 uniform mantissa bits, exactly like rand's f64 sampling.
+        let f = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        f < p
+    }
+}
+
+/// Seedable construction (the used subset).
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Integer types [`SampleRange`] can produce (maps through `u128` so one
+/// blanket impl covers every width, keeping literal-type inference identical
+/// to upstream's single `SampleRange` impl per range shape).
+pub trait UniformInt: Copy + PartialOrd {
+    /// Widens (sign bits folded in for signed types).
+    fn to_u128(self) -> u128;
+    /// Narrows (inverse of [`UniformInt::to_u128`]).
+    fn from_u128(v: u128) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn to_u128(self) -> u128 {
+                self as u128
+            }
+            fn from_u128(v: u128) -> $t {
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+/// Integer ranges a generator can sample from.
+pub trait SampleRange<T> {
+    /// Maps 64 random bits onto the range.
+    fn sample(self, bits: u64) -> T;
+}
+
+impl<T: UniformInt> SampleRange<T> for core::ops::Range<T> {
+    fn sample(self, bits: u64) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let span = self.end.to_u128().wrapping_sub(self.start.to_u128());
+        T::from_u128(self.start.to_u128().wrapping_add(bits as u128 % span))
+    }
+}
+
+impl<T: UniformInt> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample(self, bits: u64) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        let span = hi.to_u128().wrapping_sub(lo.to_u128()).wrapping_add(1);
+        T::from_u128(lo.to_u128().wrapping_add(bits as u128 % span))
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic xoshiro256** generator (stand-in for rand's `StdRng`).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: usize = r.gen_range(0..5usize);
+            assert!(x < 5);
+            let y: usize = r.gen_range(0..=1usize);
+            assert!(y <= 1);
+            let z: u8 = r.gen_range(3u8..7);
+            assert!((3..7).contains(&z));
+        }
+    }
+
+    #[test]
+    fn gen_bool_is_calibrated() {
+        let mut r = StdRng::seed_from_u64(1);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.4)).count();
+        assert!((3_500..4_500).contains(&hits), "hits={hits}");
+    }
+}

@@ -56,6 +56,11 @@ pub struct CompiledProgram {
     /// Tagged rules with no functional variable: fire once, over fixed
     /// nodes and non-functional predicates.
     pub fixed_rules: Vec<dl::Rule>,
+    /// Predicate → (rule, body position) index over [`Self::star_rules`]:
+    /// the positions a semi-naive delta of that predicate can feed.
+    pub star_plan: dl::DeltaPlan,
+    /// Same index over [`Self::fixed_rules`].
+    pub fixed_plan: dl::DeltaPlan,
     /// Functional database facts: `(node, P, ā)`.
     pub seeds: Vec<(NodeId, Pred, Box<[Cst]>)>,
     /// Relational database facts.
@@ -88,6 +93,8 @@ impl CompiledProgram {
             tree: TermTree::new(),
             star_rules: Vec::new(),
             fixed_rules: Vec::new(),
+            star_plan: dl::DeltaPlan::default(),
+            fixed_plan: dl::DeltaPlan::default(),
             seeds: Vec::new(),
             nf_facts: Vec::new(),
             here_tag: FxHashMap::default(),
@@ -111,6 +118,8 @@ impl CompiledProgram {
                 cp.fixed_rules.push(compiled);
             }
         }
+        cp.star_plan = dl::DeltaPlan::new(&cp.star_rules);
+        cp.fixed_plan = dl::DeltaPlan::new(&cp.fixed_rules);
 
         for fact in &pure.db.facts {
             match fact {

@@ -43,6 +43,32 @@ struct Entry {
     child_seeds: FxHashMap<Func, State>,
 }
 
+/// A persistent local evaluation: one Datalog database per top-region node,
+/// per demanded uniform seed, and one for the fixed rules, kept alive
+/// between global passes so each pass resumes the semi-naive fixpoint from
+/// its low-water marks instead of re-deriving everything.
+///
+/// The snapshot fields record which input atoms have already been injected,
+/// so a pass only feeds the *delta* of each input into the database. Rows
+/// injected from an earlier pass are never retracted: every input
+/// (top-region states, memoized uniform states, the boundary seeds, the
+/// relational store) grows monotonically, and the uniform least fixpoint is
+/// monotone in its seed, so a row that was true of an earlier, smaller
+/// input is still true of the final one.
+#[derive(Default)]
+struct LocalCtx {
+    db: dl::Database,
+    eval: dl::IncrementalEval,
+    /// Here-state atoms already present in `db`.
+    injected_here: State,
+    /// Per child symbol, child-state atoms already present in `db`.
+    injected_child: FxHashMap<Func, State>,
+    /// Per fixed-location tag, fixed-node atoms already examined.
+    injected_fixed: FxHashMap<Pred, State>,
+    /// Per relational predicate, rows of the global store already injected.
+    nf_cursors: FxHashMap<Pred, usize>,
+}
+
 /// A position in the (infinite) term tree, as the engine sees it: either a
 /// materialized top-region node (depth ≤ c) or a uniform node identified by
 /// its seed. Two terms with the same cursor have identical subtrees, which
@@ -69,11 +95,12 @@ pub struct Engine {
     memo: FxHashMap<State, Entry>,
     here_by_pred: FxHashMap<Pred, Pred>,
     child_by_f: FxHashMap<Func, FxHashMap<Pred, Pred>>,
-    /// Shared copies of the compiled rules: local evaluations need the rule
-    /// slice while `self` is mutably borrowed, and an `Arc` clone is O(1)
-    /// where a `Vec<Rule>` clone per node per pass is not.
-    star_rules: std::sync::Arc<[dl::Rule]>,
-    fixed_rules: std::sync::Arc<[dl::Rule]>,
+    /// Persistent per-node evaluation contexts (see [`LocalCtx`]).
+    top_ctx: FxHashMap<NodeId, LocalCtx>,
+    /// Persistent per-seed evaluation contexts.
+    memo_ctx: FxHashMap<State, LocalCtx>,
+    /// Persistent context for the fixed (no-functional-variable) rules.
+    fixed_ctx: LocalCtx,
     solved: bool,
     stats: EngineStats,
 }
@@ -81,7 +108,7 @@ pub struct Engine {
 /// Instrumentation counters reported by [`Engine::stats`]: useful for the
 /// benchmark harness and for understanding where a hard instance spends its
 /// time.
-#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct EngineStats {
     /// Global fixpoint passes until convergence.
     pub passes: usize,
@@ -89,6 +116,30 @@ pub struct EngineStats {
     pub top_evals: usize,
     /// Stabilization runs of uniform seeds (memo-table work).
     pub uniform_evals: usize,
+    /// Per pass, the number of new abstract atoms absorbed into the global
+    /// stores (top region, boundary seeds, memo entries, relational store).
+    /// The final pass is always 0 — it verifies the fixpoint.
+    pub pass_deltas: Vec<usize>,
+    /// Total of [`Self::pass_deltas`].
+    pub delta_atoms: usize,
+    /// Candidate rows enumerated by rule-body scans across all local
+    /// evaluations.
+    pub join_probes: usize,
+    /// Selections answered through a predicate-argument index.
+    pub index_hits: usize,
+    /// Semi-naive rounds summed over all local evaluations.
+    pub datalog_rounds: usize,
+    /// Rows derived by local Datalog evaluations (before absorption).
+    pub derived_rows: usize,
+}
+
+impl EngineStats {
+    fn absorb(&mut self, es: dl::EvalStats) {
+        self.datalog_rounds += es.rounds;
+        self.derived_rows += es.derived;
+        self.join_probes += es.join_probes;
+        self.index_hits += es.index_hits;
+    }
 }
 
 impl Engine {
@@ -132,8 +183,6 @@ impl Engine {
             child_by_f.entry(f).or_default().insert(p, t);
         }
 
-        let star_rules: std::sync::Arc<[dl::Rule]> = cp.star_rules.clone().into();
-        let fixed_rules: std::sync::Arc<[dl::Rule]> = cp.fixed_rules.clone().into();
         Engine {
             cp,
             atoms,
@@ -145,8 +194,9 @@ impl Engine {
             memo: FxHashMap::default(),
             here_by_pred,
             child_by_f,
-            star_rules,
-            fixed_rules,
+            top_ctx: FxHashMap::default(),
+            memo_ctx: FxHashMap::default(),
+            fixed_ctx: LocalCtx::default(),
             solved: false,
             stats: EngineStats::default(),
         }
@@ -178,12 +228,20 @@ impl Engine {
     }
 
     /// Runs the global fixpoint. Idempotent.
+    ///
+    /// Evaluation is semi-naive at both levels: each pass feeds only the
+    /// *delta* of every input into the persistent local contexts, and each
+    /// local Datalog run resumes from its low-water marks, so work is
+    /// proportional to what is newly derivable rather than to everything
+    /// derived so far. The final pass absorbs nothing ([`EngineStats::
+    /// pass_deltas`] ends in 0) and only verifies the fixpoint.
     pub fn solve(&mut self) {
         if self.solved {
             return;
         }
         loop {
             self.stats.passes += 1;
+            let before = self.stats.delta_atoms;
             let mut changed = false;
             changed |= self.eval_fixed_rules();
             let nodes = self.top_nodes.clone();
@@ -192,6 +250,7 @@ impl Engine {
                 changed |= self.eval_top_node(node);
             }
             changed |= self.uniform_pass();
+            self.stats.pass_deltas.push(self.stats.delta_atoms - before);
             if !changed {
                 break;
             }
@@ -200,8 +259,8 @@ impl Engine {
     }
 
     /// Instrumentation counters accumulated by [`Engine::solve`].
-    pub fn stats(&self) -> EngineStats {
-        self.stats
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
     }
 
     // --- incremental updates -------------------------------------------------
@@ -404,28 +463,74 @@ impl Engine {
         if self.cp.fixed_rules.is_empty() {
             return false;
         }
-        let mut db = dl::Database::new();
-        self.inject_fixed_and_nf(&mut db);
-        let rules = std::sync::Arc::clone(&self.fixed_rules);
-        dl::evaluate(&mut db, &rules);
-        self.absorb_global(&db)
+        let mut ctx = std::mem::take(&mut self.fixed_ctx);
+        self.inject_fixed_and_nf_diff(&mut ctx);
+        let lens = Self::row_counts(&ctx.db);
+        let es = ctx
+            .eval
+            .run(&mut ctx.db, &self.cp.fixed_rules, &self.cp.fixed_plan);
+        self.stats.absorb(es);
+
+        let mut changed = false;
+        for (tagged, rel) in ctx.db.iter() {
+            let from = lens.get(&tagged).copied().unwrap_or(0);
+            if rel.len() == from {
+                continue;
+            }
+            match self.cp.untag(tagged) {
+                Some((p, Loc::Fixed(n))) => {
+                    for row in rel.rows_from(from) {
+                        let id = self.atoms.intern(p, row);
+                        ctx.injected_fixed.entry(tagged).or_default().insert(id);
+                        if self
+                            .top
+                            .get_mut(&n)
+                            .expect("fixed nodes are in the top region")
+                            .insert(id)
+                        {
+                            changed = true;
+                            self.stats.delta_atoms += 1;
+                        }
+                    }
+                }
+                Some(_) => unreachable!("fixed rules mention no here/child tags"),
+                None => {
+                    for row in rel.rows_from(from) {
+                        if !self.nf.contains(tagged, row) {
+                            self.nf.insert(tagged, row.clone());
+                            changed = true;
+                            self.stats.delta_atoms += 1;
+                        }
+                    }
+                }
+            }
+        }
+        self.fixed_ctx = ctx;
+        changed
     }
 
-    /// Evaluates the star rules at a top-region node.
+    /// Evaluates the star rules at a top-region node, resuming the node's
+    /// persistent context from the previous pass.
     fn eval_top_node(&mut self, node: NodeId) -> bool {
         if self.cp.star_rules.is_empty() {
             return false;
         }
-        let depth = self.tree.depth(node);
-        let at_boundary = depth == self.cp.c;
+        let at_boundary = self.tree.depth(node) == self.cp.c;
+        let mut ctx = self.top_ctx.remove(&node).unwrap_or_default();
 
-        let mut db = dl::Database::new();
-        // Here.
+        // Inject the delta of every input.
         let here_state = self.top[&node].clone();
-        self.fill_tagged_single(&mut db, &here_state, /*here*/ None);
-        // Children.
-        let mut injected_children: FxHashMap<Func, State> = FxHashMap::default();
-        for &f in self.cp.funcs.symbols().to_vec().iter() {
+        Self::inject_state_diff(
+            &self.atoms,
+            &mut ctx.db,
+            &here_state,
+            &mut ctx.injected_here,
+            &self.here_by_pred,
+        );
+        for &f in self.cp.funcs.symbols() {
+            let Some(lookup) = self.child_by_f.get(&f) else {
+                continue;
+            };
             let child_state = if at_boundary {
                 let seed = self.boundary.get(&(node, f)).cloned().unwrap_or_default();
                 self.memo
@@ -439,48 +544,80 @@ impl Engine {
                     .expect("top region is fully materialized");
                 self.top[&child].clone()
             };
-            self.fill_tagged_single(&mut db, &child_state, Some(f));
-            injected_children.insert(f, child_state);
+            let snap = ctx.injected_child.entry(f).or_default();
+            Self::inject_state_diff(&self.atoms, &mut ctx.db, &child_state, snap, lookup);
         }
-        self.inject_fixed_and_nf(&mut db);
+        self.inject_fixed_and_nf_diff(&mut ctx);
 
-        let rules = std::sync::Arc::clone(&self.star_rules);
-        dl::evaluate(&mut db, &rules);
+        // Resume the local fixpoint; rows past `lens` are this run's output.
+        let lens = Self::row_counts(&ctx.db);
+        let es = ctx
+            .eval
+            .run(&mut ctx.db, &self.cp.star_rules, &self.cp.star_plan);
+        self.stats.absorb(es);
 
-        // Absorb.
-        let mut changed = self.absorb_global(&db);
-        for (tagged, rel) in db.iter() {
+        let mut changed = false;
+        for (tagged, rel) in ctx.db.iter() {
+            let from = lens.get(&tagged).copied().unwrap_or(0);
+            if rel.len() == from {
+                continue;
+            }
             match self.cp.untag(tagged) {
                 Some((p, Loc::Here)) => {
-                    for row in rel.rows() {
+                    for row in rel.rows_from(from) {
                         let id = self.atoms.intern(p, row);
+                        ctx.injected_here.insert(id);
                         if self.top.get_mut(&node).unwrap().insert(id) {
                             changed = true;
+                            self.stats.delta_atoms += 1;
                         }
                     }
                 }
                 Some((p, Loc::Child(f))) => {
-                    let injected = &injected_children[&f];
-                    for row in rel.rows() {
+                    for row in rel.rows_from(from) {
                         let id = self.atoms.intern(p, row);
-                        if injected.contains(id) {
-                            continue;
-                        }
+                        ctx.injected_child.entry(f).or_default().insert(id);
                         if at_boundary {
                             if self.boundary.entry((node, f)).or_default().insert(id) {
                                 changed = true;
+                                self.stats.delta_atoms += 1;
                             }
                         } else {
                             let child = self.tree.get_child(node, f).unwrap();
                             if self.top.get_mut(&child).unwrap().insert(id) {
                                 changed = true;
+                                self.stats.delta_atoms += 1;
                             }
                         }
                     }
                 }
-                _ => {}
+                Some((p, Loc::Fixed(n))) => {
+                    for row in rel.rows_from(from) {
+                        let id = self.atoms.intern(p, row);
+                        ctx.injected_fixed.entry(tagged).or_default().insert(id);
+                        if self
+                            .top
+                            .get_mut(&n)
+                            .expect("fixed nodes are in the top region")
+                            .insert(id)
+                        {
+                            changed = true;
+                            self.stats.delta_atoms += 1;
+                        }
+                    }
+                }
+                None => {
+                    for row in rel.rows_from(from) {
+                        if !self.nf.contains(tagged, row) {
+                            self.nf.insert(tagged, row.clone());
+                            changed = true;
+                            self.stats.delta_atoms += 1;
+                        }
+                    }
+                }
             }
         }
+        self.top_ctx.insert(node, ctx);
         changed
     }
 
@@ -517,17 +654,26 @@ impl Engine {
     }
 
     /// Stabilizes one uniform seed against the current memo/top/nf and
-    /// stores the result. Returns the entry and whether anything changed.
+    /// stores the result, resuming the seed's persistent context. Returns
+    /// the entry and whether anything changed.
     fn process_seed(&mut self, seed: &State) -> (Entry, bool) {
         let mut entry = self.memo.get(seed).cloned().unwrap_or_default();
         entry.state.union_with(seed);
+        let mut ctx = self.memo_ctx.remove(seed).unwrap_or_default();
         let mut changed_global = false;
 
         loop {
-            let mut db = dl::Database::new();
-            self.fill_tagged_single(&mut db, &entry.state.clone(), None);
-            let mut injected_children: FxHashMap<Func, State> = FxHashMap::default();
-            for &f in self.cp.funcs.symbols().to_vec().iter() {
+            Self::inject_state_diff(
+                &self.atoms,
+                &mut ctx.db,
+                &entry.state,
+                &mut ctx.injected_here,
+                &self.here_by_pred,
+            );
+            for &f in self.cp.funcs.symbols() {
+                let Some(lookup) = self.child_by_f.get(&f) else {
+                    continue;
+                };
                 let child_state = entry
                     .child_seeds
                     .get(&f)
@@ -538,34 +684,68 @@ impl Engine {
                             .unwrap_or_else(|| cs.clone())
                     })
                     .unwrap_or_default();
-                self.fill_tagged_single(&mut db, &child_state, Some(f));
-                injected_children.insert(f, child_state);
+                let snap = ctx.injected_child.entry(f).or_default();
+                Self::inject_state_diff(&self.atoms, &mut ctx.db, &child_state, snap, lookup);
             }
-            self.inject_fixed_and_nf(&mut db);
+            self.inject_fixed_and_nf_diff(&mut ctx);
 
-            let rules = std::sync::Arc::clone(&self.star_rules);
-            dl::evaluate(&mut db, &rules);
+            let lens = Self::row_counts(&ctx.db);
+            let es = ctx
+                .eval
+                .run(&mut ctx.db, &self.cp.star_rules, &self.cp.star_plan);
+            self.stats.absorb(es);
 
-            changed_global |= self.absorb_global(&db);
             let mut local_changed = false;
-            for (tagged, rel) in db.iter() {
+            for (tagged, rel) in ctx.db.iter() {
+                let from = lens.get(&tagged).copied().unwrap_or(0);
+                if rel.len() == from {
+                    continue;
+                }
                 match self.cp.untag(tagged) {
                     Some((p, Loc::Here)) => {
-                        for row in rel.rows() {
+                        for row in rel.rows_from(from) {
                             let id = self.atoms.intern(p, row);
-                            local_changed |= entry.state.insert(id);
-                        }
-                    }
-                    Some((p, Loc::Child(f))) => {
-                        let injected = &injected_children[&f];
-                        for row in rel.rows() {
-                            let id = self.atoms.intern(p, row);
-                            if !injected.contains(id) {
-                                local_changed |= entry.child_seeds.entry(f).or_default().insert(id);
+                            ctx.injected_here.insert(id);
+                            if entry.state.insert(id) {
+                                local_changed = true;
+                                self.stats.delta_atoms += 1;
                             }
                         }
                     }
-                    _ => {}
+                    Some((p, Loc::Child(f))) => {
+                        for row in rel.rows_from(from) {
+                            let id = self.atoms.intern(p, row);
+                            ctx.injected_child.entry(f).or_default().insert(id);
+                            if entry.child_seeds.entry(f).or_default().insert(id) {
+                                local_changed = true;
+                                self.stats.delta_atoms += 1;
+                            }
+                        }
+                    }
+                    Some((p, Loc::Fixed(n))) => {
+                        for row in rel.rows_from(from) {
+                            let id = self.atoms.intern(p, row);
+                            ctx.injected_fixed.entry(tagged).or_default().insert(id);
+                            if self
+                                .top
+                                .get_mut(&n)
+                                .expect("fixed nodes are in the top region")
+                                .insert(id)
+                            {
+                                changed_global = true;
+                                self.stats.delta_atoms += 1;
+                            }
+                        }
+                    }
+                    None => {
+                        for row in rel.rows_from(from) {
+                            if !self.nf.contains(tagged, row) {
+                                self.nf.insert(tagged, row.clone());
+                                changed_global = true;
+                                self.stats.delta_atoms += 1;
+                            }
+                        }
+                    }
                 }
             }
             if !local_changed {
@@ -573,6 +753,7 @@ impl Engine {
             }
         }
 
+        self.memo_ctx.insert(seed.clone(), ctx);
         let stored = self.memo.get(seed);
         let entry_changed = stored != Some(&entry);
         if entry_changed {
@@ -581,73 +762,57 @@ impl Engine {
         (entry, entry_changed || changed_global)
     }
 
-    /// Inserts a state's atoms into the here- or child-tagged relations.
-    fn fill_tagged_single(&self, db: &mut dl::Database, state: &State, child: Option<Func>) {
-        let lookup = match child {
-            None => &self.here_by_pred,
-            Some(f) => match self.child_by_f.get(&f) {
-                Some(m) => m,
-                None => return,
-            },
-        };
+    /// Injects the atoms of `state` not yet recorded in `snap` into the
+    /// tagged relations of `db`, and records them. Atoms whose predicate
+    /// has no tag at this location are recorded but not injected — no rule
+    /// can read them there.
+    fn inject_state_diff(
+        atoms: &AtomInterner,
+        db: &mut dl::Database,
+        state: &State,
+        snap: &mut State,
+        lookup: &FxHashMap<Pred, Pred>,
+    ) {
         for id in state.iter() {
-            let (p, args) = self.atoms.resolve(id);
+            if !snap.insert(id) {
+                continue;
+            }
+            let (p, args) = atoms.resolve(id);
             if let Some(&tag) = lookup.get(&p) {
                 db.insert(tag, args.into());
             }
         }
     }
 
-    /// Injects fixed-node slices and all non-functional facts.
-    fn inject_fixed_and_nf(&self, db: &mut dl::Database) {
+    /// Injects the delta of the fixed-node slices and of the non-functional
+    /// store into a local context.
+    fn inject_fixed_and_nf_diff(&self, ctx: &mut LocalCtx) {
         for (p, n, tag) in self.cp.fixed_tags() {
             let state = &self.top[&n];
+            let snap = ctx.injected_fixed.entry(tag).or_default();
             for id in state.iter() {
+                if !snap.insert(id) {
+                    continue;
+                }
                 let (pp, args) = self.atoms.resolve(id);
                 if pp == p {
-                    db.insert(tag, args.into());
+                    ctx.db.insert(tag, args.into());
                 }
             }
         }
         for (p, rel) in self.nf.iter() {
-            for row in rel.rows() {
-                db.insert(p, row.clone());
+            let cur = ctx.nf_cursors.entry(p).or_insert(0);
+            for row in rel.rows_from(*cur) {
+                ctx.db.insert(p, row.clone());
             }
+            *cur = rel.len();
         }
     }
 
-    /// Absorbs derivations that escape the local star: fixed-node heads and
-    /// relational heads. Returns whether the global stores changed.
-    fn absorb_global(&mut self, db: &dl::Database) -> bool {
-        let mut changed = false;
-        for (tagged, rel) in db.iter() {
-            match self.cp.untag(tagged) {
-                Some((p, Loc::Fixed(n))) => {
-                    for row in rel.rows() {
-                        let id = self.atoms.intern(p, row);
-                        if self
-                            .top
-                            .get_mut(&n)
-                            .expect("fixed nodes are in the top region")
-                            .insert(id)
-                        {
-                            changed = true;
-                        }
-                    }
-                }
-                Some(_) => {}
-                None => {
-                    // Plain relational predicate.
-                    for row in rel.rows() {
-                        if !self.nf.contains(tagged, row) {
-                            self.nf.insert(tagged, row.clone());
-                            changed = true;
-                        }
-                    }
-                }
-            }
-        }
-        changed
+    /// Per-predicate row counts of a local database: rows beyond these are
+    /// the output of the next evaluation run.
+    fn row_counts(db: &dl::Database) -> FxHashMap<Pred, usize> {
+        db.iter().map(|(p, r)| (p, r.len())).collect()
     }
 }
 

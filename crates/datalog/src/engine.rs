@@ -3,13 +3,17 @@
 //! [`evaluate`] runs semi-naive iteration: in every round each rule is
 //! evaluated once per body atom, with that atom restricted to the tuples
 //! derived in the previous round (the delta) — a derivation is only
-//! attempted if it could not have been made before. [`evaluate_naive`]
-//! re-derives everything each round and exists as a differential-testing
-//! oracle and as the textbook baseline.
+//! attempted if it could not have been made before. [`IncrementalEval`]
+//! extends this across calls: it keeps the per-predicate low-water marks
+//! between runs, so a caller can insert new facts into an already-saturated
+//! database and resume the fixpoint from just those facts, driven by a
+//! [`DeltaPlan`] that maps each predicate to the rule positions that can
+//! consume it. [`evaluate_naive`] re-derives everything each round and
+//! exists as a differential-testing oracle and as the textbook baseline.
 
 use crate::rel::{Database, Tuple};
 use crate::rule::{Atom, Rule, Term};
-use fundb_term::{Cst, FxHashMap, Var};
+use fundb_term::{Cst, FxHashMap, Pred, Var};
 
 /// Counters reported by evaluation.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
@@ -18,57 +22,142 @@ pub struct EvalStats {
     pub rounds: usize,
     /// Number of new facts derived (excluding the initial database).
     pub derived: usize,
+    /// Number of candidate rows enumerated by body-atom scans.
+    pub join_probes: usize,
+    /// Number of selections answered through a per-column index.
+    pub index_hits: usize,
+}
+
+impl EvalStats {
+    /// Accumulates another run's counters into `self`.
+    pub fn absorb(&mut self, other: EvalStats) {
+        self.rounds += other.rounds;
+        self.derived += other.derived;
+        self.join_probes += other.join_probes;
+        self.index_hits += other.index_hits;
+    }
+}
+
+/// A predicate-argument index over a rule set: for each predicate, the
+/// `(rule, body position)` pairs that can consume a new fact of that
+/// predicate. Semi-naive rounds only re-run those positions, so rules
+/// without a delta-matching subgoal are never touched.
+#[derive(Clone, Debug, Default)]
+pub struct DeltaPlan {
+    by_pred: FxHashMap<Pred, Vec<(u32, u32)>>,
+}
+
+impl DeltaPlan {
+    /// Builds the plan for a rule set.
+    pub fn new(rules: &[Rule]) -> DeltaPlan {
+        let mut by_pred: FxHashMap<Pred, Vec<(u32, u32)>> = FxHashMap::default();
+        for (ri, rule) in rules.iter().enumerate() {
+            for (ai, atom) in rule.body.iter().enumerate() {
+                by_pred
+                    .entry(atom.pred)
+                    .or_default()
+                    .push((ri as u32, ai as u32));
+            }
+        }
+        DeltaPlan { by_pred }
+    }
+
+    /// The `(rule, body position)` pairs that consume facts of `p`.
+    pub fn positions(&self, p: Pred) -> &[(u32, u32)] {
+        self.by_pred.get(&p).map_or(&[], Vec::as_slice)
+    }
+}
+
+/// A resumable semi-naive fixpoint: owns the low-water marks of one
+/// database, so [`IncrementalEval::run`] can be called repeatedly as the
+/// caller injects new facts, re-deriving only their consequences.
+#[derive(Clone, Debug, Default)]
+pub struct IncrementalEval {
+    marks: FxHashMap<Pred, usize>,
+    started: bool,
+}
+
+impl IncrementalEval {
+    /// A fresh evaluation (first `run` performs the full initial round).
+    pub fn new() -> IncrementalEval {
+        IncrementalEval::default()
+    }
+
+    /// Runs the fixpoint to saturation and returns this run's counters.
+    ///
+    /// The first call evaluates every rule over the whole database (and
+    /// fires empty-body rules); later calls treat rows inserted since the
+    /// previous call as the delta and only re-run the plan positions that
+    /// can see them. The caller must pass the same `rules`/`plan` pair on
+    /// every call.
+    pub fn run(&mut self, db: &mut Database, rules: &[Rule], plan: &DeltaPlan) -> EvalStats {
+        let mut stats = EvalStats::default();
+        let mut first = !self.started;
+        self.started = true;
+        loop {
+            stats.rounds += 1;
+            let mut buffer: Vec<(Pred, Tuple)> = Vec::new();
+
+            if first {
+                for rule in rules {
+                    if rule.body.is_empty() {
+                        let mut subst = FxHashMap::default();
+                        fire_head(rule, &mut subst, &mut buffer);
+                    } else {
+                        // Every atom reads the full database exactly once.
+                        join_from(db, rule, 0, None, &self.marks, &mut buffer, &mut stats);
+                    }
+                }
+            } else {
+                // Only the rule positions whose predicate has fresh rows.
+                let mut work: Vec<(u32, u32)> = Vec::new();
+                for (p, rel) in db.iter() {
+                    if rel.len() > self.marks.get(&p).copied().unwrap_or(0) {
+                        work.extend_from_slice(plan.positions(p));
+                    }
+                }
+                if work.is_empty() {
+                    return stats;
+                }
+                work.sort_unstable();
+                work.dedup();
+                for (ri, ai) in work {
+                    join_from(
+                        db,
+                        &rules[ri as usize],
+                        0,
+                        Some(ai as usize),
+                        &self.marks,
+                        &mut buffer,
+                        &mut stats,
+                    );
+                }
+            }
+
+            // Advance marks to the end of the pre-insertion rows.
+            for (p, rel) in db.iter() {
+                self.marks.insert(p, rel.len());
+            }
+
+            let mut changed = false;
+            for (p, t) in buffer {
+                if db.insert(p, t) {
+                    changed = true;
+                    stats.derived += 1;
+                }
+            }
+            first = false;
+            if !changed {
+                return stats;
+            }
+        }
+    }
 }
 
 /// Evaluates `rules` over `db` to the least fixpoint, semi-naively.
 pub fn evaluate(db: &mut Database, rules: &[Rule]) -> EvalStats {
-    let mut stats = EvalStats::default();
-    // Low-water marks: per predicate, the row count at the start of the
-    // previous round. Tuples at index ≥ mark form the delta.
-    let mut marks: FxHashMap<fundb_term::Pred, usize> = FxHashMap::default();
-    let mut first_round = true;
-
-    loop {
-        stats.rounds += 1;
-        // Snapshot current row counts: everything beyond `marks` is delta.
-        let mut buffer: Vec<(fundb_term::Pred, Tuple)> = Vec::new();
-
-        for rule in rules {
-            if rule.body.is_empty() {
-                if first_round {
-                    let mut subst = FxHashMap::default();
-                    fire_head(rule, &mut subst, &mut buffer);
-                }
-                continue;
-            }
-            if first_round {
-                // Every atom reads the full database exactly once.
-                join_from(db, rule, 0, None, &marks, &mut buffer);
-            } else {
-                // One pass per delta position.
-                for delta_idx in 0..rule.body.len() {
-                    join_from(db, rule, 0, Some(delta_idx), &marks, &mut buffer);
-                }
-            }
-        }
-
-        // Advance marks to the end of the pre-insertion rows.
-        for (p, rel) in db.iter() {
-            marks.insert(p, rel.len());
-        }
-
-        let mut changed = false;
-        for (p, t) in buffer {
-            if db.insert(p, t) {
-                changed = true;
-                stats.derived += 1;
-            }
-        }
-        first_round = false;
-        if !changed {
-            return stats;
-        }
-    }
+    let plan = DeltaPlan::new(rules);
+    IncrementalEval::new().run(db, rules, &plan)
 }
 
 /// Evaluates `rules` naively (full re-derivation each round). Same fixpoint
@@ -83,7 +172,15 @@ pub fn evaluate_naive(db: &mut Database, rules: &[Rule]) -> EvalStats {
                 let mut subst = FxHashMap::default();
                 fire_head(rule, &mut subst, &mut buffer);
             } else {
-                join_from(db, rule, 0, None, &FxHashMap::default(), &mut buffer);
+                join_from(
+                    db,
+                    rule,
+                    0,
+                    None,
+                    &FxHashMap::default(),
+                    &mut buffer,
+                    &mut stats,
+                );
             }
         }
         let mut changed = false;
@@ -172,6 +269,7 @@ fn query_rec(
 
 /// Recursive join over the rule body; when `delta_idx` is `Some(j)`, atom `j`
 /// ranges only over the delta rows of its relation (rows past the mark).
+#[allow(clippy::too_many_arguments)]
 fn join_from(
     db: &Database,
     rule: &Rule,
@@ -179,11 +277,13 @@ fn join_from(
     delta_idx: Option<usize>,
     marks: &FxHashMap<fundb_term::Pred, usize>,
     out: &mut Vec<(fundb_term::Pred, Tuple)>,
+    stats: &mut EvalStats,
 ) {
     let mut subst = FxHashMap::default();
-    join_rec(db, rule, idx, delta_idx, marks, &mut subst, out);
+    join_rec(db, rule, idx, delta_idx, marks, &mut subst, out, stats);
 }
 
+#[allow(clippy::too_many_arguments)]
 fn join_rec(
     db: &Database,
     rule: &Rule,
@@ -192,6 +292,7 @@ fn join_rec(
     marks: &FxHashMap<fundb_term::Pred, usize>,
     subst: &mut FxHashMap<Var, Cst>,
     out: &mut Vec<(fundb_term::Pred, Tuple)>,
+    stats: &mut EvalStats,
 ) {
     if idx == rule.body.len() {
         fire_head(rule, subst, out);
@@ -216,8 +317,12 @@ fn join_rec(
                 Term::Var(v) => subst.get(v).copied(),
             })
             .collect();
+        if pattern.iter().any(Option::is_some) {
+            stats.index_hits += 1;
+        }
         rel.select(&pattern).collect()
     };
+    stats.join_probes += rows.len();
     for row in rows {
         let mut bound = smallvec_like();
         let mut ok = true;
@@ -244,7 +349,7 @@ fn join_rec(
             }
         }
         if ok {
-            join_rec(db, rule, idx + 1, delta_idx, marks, subst, out);
+            join_rec(db, rule, idx + 1, delta_idx, marks, subst, out, stats);
         }
         for var in bound {
             subst.remove(&var);
@@ -403,6 +508,76 @@ mod tests {
         let db = Database::new();
         let body = vec![Atom::new(fx.edge, vec![Term::Var(fx.x), Term::Var(fx.y)])];
         assert!(query(&db, &body, &[fx.x]).is_empty());
+    }
+
+    #[test]
+    fn resume_derives_only_consequences_of_new_facts() {
+        let mut fx = fixture();
+        let rules = transitive_closure_rules(&fx);
+        let plan = DeltaPlan::new(&rules);
+        let mut db = chain_db(&mut fx, 10);
+        let mut eval = IncrementalEval::new();
+        let first = eval.run(&mut db, &rules, &plan);
+        assert_eq!(first.derived, 10 * 11 / 2);
+
+        // Resuming a saturated database is a no-op.
+        let idle = eval.run(&mut db, &rules, &plan);
+        assert_eq!(idle.derived, 0);
+        assert_eq!(idle.join_probes, 0);
+
+        // Extend the chain by one edge: v10 → v11.
+        let v10 = Cst(fx.i.intern("v10"));
+        let v11 = Cst(fx.i.intern("v11"));
+        db.insert(fx.edge, vec![v10, v11].into_boxed_slice());
+        let resumed = eval.run(&mut db, &rules, &plan);
+        // Exactly the 11 new paths ending at v11, nothing re-derived.
+        assert_eq!(resumed.derived, 11);
+        assert_eq!(db.relation(fx.path).unwrap().len(), 11 * 12 / 2);
+
+        // The resumed result matches a from-scratch evaluation.
+        let mut fresh = chain_db(&mut fx, 11);
+        evaluate(&mut fresh, &rules);
+        assert_eq!(db.dump(&fx.i), fresh.dump(&fx.i));
+    }
+
+    #[test]
+    fn delta_plan_maps_predicates_to_positions() {
+        let mut fx = fixture();
+        let rules = transitive_closure_rules(&fx);
+        let plan = DeltaPlan::new(&rules);
+        // Edge appears in rule 0 position 0 and rule 1 position 1.
+        assert_eq!(plan.positions(fx.edge), &[(0, 0), (1, 1)]);
+        // Path appears only in rule 1 position 0.
+        assert_eq!(plan.positions(fx.path), &[(1, 0)]);
+        // Unknown predicates have no positions.
+        let ghost = Pred(fx.i.intern("Ghost"));
+        assert!(plan.positions(ghost).is_empty());
+    }
+
+    #[test]
+    fn probe_and_index_counters_move() {
+        let mut fx = fixture();
+        let rules = transitive_closure_rules(&fx);
+        let mut db = chain_db(&mut fx, 6);
+        let stats = evaluate(&mut db, &rules);
+        assert!(stats.join_probes > 0);
+        // The recursive rule joins Edge on a bound column every round.
+        assert!(stats.index_hits > 0);
+    }
+
+    #[test]
+    fn empty_body_rules_do_not_refire_on_resume() {
+        let mut fx = fixture();
+        let a = Cst(fx.i.intern("a"));
+        let rules = vec![Rule::new(
+            Atom::new(fx.edge, vec![Term::Const(a), Term::Const(a)]),
+            vec![],
+        )];
+        let plan = DeltaPlan::new(&rules);
+        let mut db = Database::new();
+        let mut eval = IncrementalEval::new();
+        assert_eq!(eval.run(&mut db, &rules, &plan).derived, 1);
+        assert_eq!(eval.run(&mut db, &rules, &plan).derived, 0);
     }
 
     #[test]

@@ -10,7 +10,8 @@
 //! * [`Relation`]s of constant tuples with set semantics,
 //! * positive Horn [`Rule`]s over [`Atom`]s with variables and constants,
 //! * naive and semi-naive bottom-up fixpoint evaluation ([`evaluate`],
-//!   [`evaluate_naive`]),
+//!   [`evaluate_naive`]), resumable across fact insertions via
+//!   [`IncrementalEval`] and [`DeltaPlan`],
 //! * conjunctive [`query`] evaluation over a database.
 //!
 //! It is used by `fundb-core` in three roles: the *local* rule firings of the
@@ -25,7 +26,7 @@ pub mod provenance;
 pub mod rel;
 pub mod rule;
 
-pub use engine::{evaluate, evaluate_naive, query, EvalStats};
+pub use engine::{evaluate, evaluate_naive, query, DeltaPlan, EvalStats, IncrementalEval};
 pub use provenance::{evaluate_traced, Derivation, Justification, Provenance};
 pub use rel::{Database, Relation, Tuple};
 pub use rule::{Atom, Rule, Term};

@@ -98,6 +98,62 @@ proptest! {
         }
     }
 
+    /// Four-way agreement on forward programs: the semi-naive engine, the
+    /// naive bounded materialization, the graph specification and the
+    /// equational specification answer identically on every atom up to
+    /// `DEPTH` — and the engine's final pass is always a pure
+    /// verification pass (absorbs nothing).
+    #[test]
+    fn four_way_agreement_on_forward_programs(seed in any::<u64>()) {
+        let mut gen = random_program(
+            GenConfig { forward_only: true, ..GenConfig::default() },
+            seed,
+        );
+        let normal = normalize(&gen.program, &mut gen.interner);
+        let pure = to_pure(&normal, &gen.db, &mut gen.interner).unwrap();
+        let mat = BoundedMaterialization::run(&pure, DEPTH + 2, &mut gen.interner);
+        let mut engine = Engine::build(&gen.program, &gen.db, &mut gen.interner).unwrap();
+        engine.solve();
+        let spec = GraphSpec::from_engine(&mut engine);
+        let mut eq = EqSpec::from_graph(&spec);
+        for path in all_paths(&gen.funcs, DEPTH) {
+            for &p in &gen.preds {
+                for &c in &gen.consts {
+                    let expected = engine.holds(p, &path, &[c]);
+                    prop_assert_eq!(
+                        mat.holds(p, &path, &[c]), expected,
+                        "naive disagrees: {:?} {:?} {:?}", p, path, c
+                    );
+                    prop_assert_eq!(
+                        spec.holds(p, &path, &[c]), expected,
+                        "graph spec disagrees: {:?} {:?} {:?}", p, path, c
+                    );
+                    prop_assert_eq!(
+                        eq.holds(p, &path, &[c]), expected,
+                        "eq spec disagrees: {:?} {:?} {:?}", p, path, c
+                    );
+                }
+            }
+        }
+        prop_assert_eq!(engine.stats().pass_deltas.last(), Some(&0));
+        prop_assert_eq!(
+            engine.stats().pass_deltas.iter().sum::<usize>(),
+            engine.stats().delta_atoms
+        );
+    }
+
+    /// Solving twice never changes anything: the second `solve()` on an
+    /// already-solved engine is a strict no-op on every counter.
+    #[test]
+    fn resolve_is_idempotent(seed in any::<u64>()) {
+        let mut gen = random_program(GenConfig::default(), seed);
+        let mut engine = Engine::build(&gen.program, &gen.db, &mut gen.interner).unwrap();
+        engine.solve();
+        let stats = engine.stats().clone();
+        engine.solve();
+        prop_assert_eq!(engine.stats(), &stats);
+    }
+
     /// The quotient interpretation of a random program is a model
     /// (Proposition 3.2, mechanically).
     #[test]
