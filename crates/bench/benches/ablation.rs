@@ -36,7 +36,7 @@ fn transitive_closure(n: usize) -> (dl::Database, Vec<dl::Rule>) {
     let mut db = dl::Database::new();
     let nodes: Vec<Cst> = (0..=n).map(|k| Cst(i.intern(&format!("v{k}")))).collect();
     for w in nodes.windows(2) {
-        db.insert(edge, vec![w[0], w[1]].into_boxed_slice());
+        db.insert(edge, &[w[0], w[1]]);
     }
     (db, rules)
 }

@@ -254,6 +254,12 @@ impl Repl {
                              index hits: {}",
                             s.datalog_rounds, s.derived_rows, s.join_probes, s.index_hits
                         )?;
+                        writeln!(
+                            out,
+                            "eval threads: {} (override with FUNDB_THREADS; \
+                             results are thread-count independent)",
+                            engine.threads()
+                        )?;
                     }
                     Err(e) => writeln!(out, "error: {e}")?,
                 }
@@ -494,6 +500,7 @@ mod tests {
         assert!(out.contains("passes:"), "{out}");
         assert!(out.contains("delta atoms per pass:"), "{out}");
         assert!(out.contains("join probes:"), "{out}");
+        assert!(out.contains("eval threads:"), "{out}");
     }
 
     #[test]

@@ -160,24 +160,21 @@ impl CongrForm {
                 let mut row = Vec::with_capacity(args.len() + 1);
                 row.push(tc);
                 row.extend_from_slice(args);
-                db.insert(p, row.into_boxed_slice());
+                db.insert(p, &row);
             }
         }
         for (a, b) in &eq.equations {
-            db.insert(
-                eq_pred,
-                vec![term_consts[a], term_consts[b]].into_boxed_slice(),
-            );
+            db.insert(eq_pred, &[term_consts[a], term_consts[b]]);
         }
         let c_size = db.fact_count();
         for p in &paths {
             let tc = term_consts[p];
-            db.insert(eq_pred, vec![tc, tc].into_boxed_slice());
+            db.insert(eq_pred, &[tc, tc]);
             for &f in eq.funcs.symbols() {
                 let mut q = p.clone();
                 q.push(f);
                 if let Some(&fc) = term_consts.get(&q) {
-                    db.insert(apply_pred[&f], vec![tc, fc].into_boxed_slice());
+                    db.insert(apply_pred[&f], &[tc, fc]);
                 }
             }
         }

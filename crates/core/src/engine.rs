@@ -101,6 +101,9 @@ pub struct Engine {
     memo_ctx: FxHashMap<State, LocalCtx>,
     /// Persistent context for the fixed (no-functional-variable) rules.
     fixed_ctx: LocalCtx,
+    /// Worker-thread override for local Datalog evaluations (`None` =
+    /// `FUNDB_THREADS` / machine default).
+    threads: Option<usize>,
     solved: bool,
     stats: EngineStats,
 }
@@ -174,7 +177,7 @@ impl Engine {
         }
         let mut nf = dl::Database::new();
         for (pred, args) in &cp.nf_facts {
-            nf.insert(*pred, args.clone());
+            nf.insert(*pred, args);
         }
 
         let here_by_pred = cp.here_tags().collect();
@@ -197,9 +200,37 @@ impl Engine {
             top_ctx: FxHashMap::default(),
             memo_ctx: FxHashMap::default(),
             fixed_ctx: LocalCtx::default(),
+            threads: None,
             solved: false,
             stats: EngineStats::default(),
         }
+    }
+
+    /// Pins the worker-thread count used by local Datalog evaluations
+    /// (`None` restores the `FUNDB_THREADS` / machine-parallelism default).
+    /// Thread count never changes results or stats: parallel rounds merge
+    /// worker buffers in task order, byte-identical to sequential.
+    pub fn set_threads(&mut self, threads: Option<usize>) {
+        self.threads = threads;
+        self.fixed_ctx.eval.set_threads(threads);
+        for ctx in self.top_ctx.values_mut() {
+            ctx.eval.set_threads(threads);
+        }
+        for ctx in self.memo_ctx.values_mut() {
+            ctx.eval.set_threads(threads);
+        }
+    }
+
+    /// The worker-thread count local evaluations will use.
+    pub fn threads(&self) -> usize {
+        self.threads.unwrap_or_else(dl::default_threads)
+    }
+
+    /// A fresh local context configured with this engine's thread knob.
+    fn new_ctx(&self) -> LocalCtx {
+        let mut ctx = LocalCtx::default();
+        ctx.eval.set_threads(self.threads);
+        ctx
     }
 
     /// Convenience pipeline: validate → normalize → mixed→pure → compile →
@@ -332,7 +363,7 @@ impl Engine {
     ) -> Result<()> {
         self.check_vocabulary(pred, args, interner)?;
         if !self.nf.contains(pred, args) {
-            self.nf.insert(pred, args.into());
+            self.nf.insert(pred, args);
             self.solved = false;
         }
         Ok(())
@@ -497,7 +528,7 @@ impl Engine {
                 None => {
                     for row in rel.rows_from(from) {
                         if !self.nf.contains(tagged, row) {
-                            self.nf.insert(tagged, row.clone());
+                            self.nf.insert(tagged, row);
                             changed = true;
                             self.stats.delta_atoms += 1;
                         }
@@ -516,7 +547,7 @@ impl Engine {
             return false;
         }
         let at_boundary = self.tree.depth(node) == self.cp.c;
-        let mut ctx = self.top_ctx.remove(&node).unwrap_or_default();
+        let mut ctx = self.top_ctx.remove(&node).unwrap_or_else(|| self.new_ctx());
 
         // Inject the delta of every input.
         let here_state = self.top[&node].clone();
@@ -609,7 +640,7 @@ impl Engine {
                 None => {
                     for row in rel.rows_from(from) {
                         if !self.nf.contains(tagged, row) {
-                            self.nf.insert(tagged, row.clone());
+                            self.nf.insert(tagged, row);
                             changed = true;
                             self.stats.delta_atoms += 1;
                         }
@@ -659,7 +690,7 @@ impl Engine {
     fn process_seed(&mut self, seed: &State) -> (Entry, bool) {
         let mut entry = self.memo.get(seed).cloned().unwrap_or_default();
         entry.state.union_with(seed);
-        let mut ctx = self.memo_ctx.remove(seed).unwrap_or_default();
+        let mut ctx = self.memo_ctx.remove(seed).unwrap_or_else(|| self.new_ctx());
         let mut changed_global = false;
 
         loop {
@@ -740,7 +771,7 @@ impl Engine {
                     None => {
                         for row in rel.rows_from(from) {
                             if !self.nf.contains(tagged, row) {
-                                self.nf.insert(tagged, row.clone());
+                                self.nf.insert(tagged, row);
                                 changed_global = true;
                                 self.stats.delta_atoms += 1;
                             }
@@ -779,7 +810,7 @@ impl Engine {
             }
             let (p, args) = atoms.resolve(id);
             if let Some(&tag) = lookup.get(&p) {
-                db.insert(tag, args.into());
+                db.insert(tag, args);
             }
         }
     }
@@ -796,14 +827,14 @@ impl Engine {
                 }
                 let (pp, args) = self.atoms.resolve(id);
                 if pp == p {
-                    ctx.db.insert(tag, args.into());
+                    ctx.db.insert(tag, args);
                 }
             }
         }
         for (p, rel) in self.nf.iter() {
             let cur = ctx.nf_cursors.entry(p).or_insert(0);
             for row in rel.rows_from(*cur) {
-                ctx.db.insert(p, row.clone());
+                ctx.db.insert(p, row);
             }
             *cur = rel.len();
         }

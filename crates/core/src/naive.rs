@@ -118,11 +118,11 @@ impl BoundedMaterialization {
                     let mut row = Vec::with_capacity(args.len() + 1);
                     row.push(tc);
                     row.extend(args.iter().map(|a| a.as_const().unwrap()));
-                    db.insert(*pred, row.into_boxed_slice());
+                    db.insert(*pred, &row);
                 }
                 Atom::Relational { pred, args } => {
-                    let row: Box<[Cst]> = args.iter().map(|a| a.as_const().unwrap()).collect();
-                    db.insert(*pred, row);
+                    let row: Vec<Cst> = args.iter().map(|a| a.as_const().unwrap()).collect();
+                    db.insert(*pred, &row);
                 }
             }
         }

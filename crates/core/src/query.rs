@@ -338,9 +338,11 @@ fn eval_rec(
     }
     let atom = &body[idx];
     // Collect candidate tuples for this atom.
-    let candidates: Vec<Vec<Cst>> = match atom {
+    // Candidate rows are borrowed straight from the spec — no per-row
+    // clone just to read them.
+    let candidates: Vec<&[Cst]> = match atom {
         Atom::Relational { pred, .. } => match spec.nf.relation(*pred) {
-            Some(rel) => rel.rows().iter().map(|r| r.to_vec()).collect(),
+            Some(rel) => rel.rows().collect(),
             None => Vec::new(),
         },
         Atom::Functional { pred, fterm, .. } => {
@@ -355,7 +357,7 @@ fn eval_rec(
             };
             spec.slice(node)
                 .filter(|(p, _)| *p == *pred)
-                .map(|(_, args)| args.to_vec())
+                .map(|(_, args)| args)
                 .collect()
         }
     };

@@ -99,7 +99,7 @@ impl<'a> QuotientModel<'a> {
                 Some(f) => cp.tag_of(p, Loc::Child(f)),
             };
             if let Some(tag) = tag {
-                db.insert(tag, args.into());
+                db.insert(tag, args);
             }
         }
     }
@@ -117,13 +117,13 @@ impl<'a> QuotientModel<'a> {
             for id in state.iter() {
                 let (pp, args) = self.spec.atoms.resolve(id);
                 if pp == p {
-                    db.insert(tag, args.into());
+                    db.insert(tag, args);
                 }
             }
         }
         for (p, rel) in self.spec.nf.iter() {
             for row in rel.rows() {
-                db.insert(p, row.clone());
+                db.insert(p, row);
             }
         }
     }

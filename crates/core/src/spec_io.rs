@@ -286,8 +286,8 @@ pub fn read_spec(text: &str, interner: &mut Interner) -> Result<SpecBundle> {
                     return Err(err(lineno, "malformed `nf`"));
                 }
                 let pred = Pred(interner.intern(rest[0]));
-                let row: Box<[Cst]> = rest[1..].iter().map(|n| Cst(interner.intern(n))).collect();
-                nf.insert(pred, row);
+                let row: Vec<Cst> = rest[1..].iter().map(|n| Cst(interner.intern(n))).collect();
+                nf.insert(pred, &row);
             }
             "merge" => {
                 if rest.len() != 2 {

@@ -1,4 +1,4 @@
-//! Naive and semi-naive bottom-up evaluation.
+//! Naive and semi-naive bottom-up evaluation, optionally parallel.
 //!
 //! [`evaluate`] runs semi-naive iteration: in every round each rule is
 //! evaluated once per body atom, with that atom restricted to the tuples
@@ -8,14 +8,27 @@
 //! between runs, so a caller can insert new facts into an already-saturated
 //! database and resume the fixpoint from just those facts, driven by a
 //! [`DeltaPlan`] that maps each predicate to the rule positions that can
-//! consume it. [`evaluate_naive`] re-derives everything each round and
-//! exists as a differential-testing oracle and as the textbook baseline.
+//! consume it.
+//!
+//! Each round's work is a list of independent *tasks* (a rule, plus for
+//! delta rounds the delta atom and a contiguous chunk of its fresh rows).
+//! When the round is large enough, tasks are executed by scoped worker
+//! threads, each filling a private derived-tuple buffer; buffers are merged
+//! back in task order, so row insertion order — and with it every pinned
+//! statistic and spec output — is byte-identical to a sequential run
+//! regardless of thread count. [`evaluate_naive`] re-derives everything
+//! each round and exists as a differential-testing oracle and as the
+//! textbook baseline.
 
-use crate::rel::{Database, Tuple};
+use crate::rel::Database;
 use crate::rule::{Atom, Rule, Term};
 use fundb_term::{Cst, FxHashMap, Pred, Var};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
-/// Counters reported by evaluation.
+/// Counters reported by evaluation. Deliberately identical across thread
+/// counts: a parallel run partitions the same probes over workers and sums
+/// them back, so stats equality is part of the determinism contract.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct EvalStats {
     /// Number of fixpoint rounds (including the final no-change round).
@@ -68,19 +81,79 @@ impl DeltaPlan {
     }
 }
 
+/// Delta rows a round must see before parallel execution pays for the
+/// thread scaffolding; smaller rounds run sequentially on the caller's
+/// thread.
+pub const DEFAULT_MIN_PARALLEL_ROWS: usize = 4096;
+
+/// Threads the evaluator uses when none are configured explicitly: the
+/// `FUNDB_THREADS` environment variable if set to a positive integer,
+/// otherwise the machine's available parallelism.
+pub fn default_threads() -> usize {
+    static CACHE: OnceLock<usize> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        match std::env::var("FUNDB_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            Some(n) if n >= 1 => n,
+            _ => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        }
+    })
+}
+
 /// A resumable semi-naive fixpoint: owns the low-water marks of one
 /// database, so [`IncrementalEval::run`] can be called repeatedly as the
 /// caller injects new facts, re-deriving only their consequences.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct IncrementalEval {
     marks: FxHashMap<Pred, usize>,
     started: bool,
+    /// Worker threads per round; `None` defers to [`default_threads`].
+    threads: Option<usize>,
+    /// Rounds with fewer delta rows than this run sequentially.
+    min_parallel_rows: usize,
+}
+
+impl Default for IncrementalEval {
+    fn default() -> Self {
+        IncrementalEval {
+            marks: FxHashMap::default(),
+            started: false,
+            threads: None,
+            min_parallel_rows: DEFAULT_MIN_PARALLEL_ROWS,
+        }
+    }
 }
 
 impl IncrementalEval {
     /// A fresh evaluation (first `run` performs the full initial round).
     pub fn new() -> IncrementalEval {
         IncrementalEval::default()
+    }
+
+    /// Pins the worker-thread count (1 = always sequential). Builder form.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.set_threads(Some(threads));
+        self
+    }
+
+    /// Sets the worker-thread count; `None` restores the
+    /// [`default_threads`] resolution (`FUNDB_THREADS` / machine cores).
+    pub fn set_threads(&mut self, threads: Option<usize>) {
+        self.threads = threads.map(|n| n.max(1));
+    }
+
+    /// Lowers/raises the sequential-fallback threshold. Builder form;
+    /// mostly for tests that want to force the parallel path on tiny data.
+    pub fn with_parallel_threshold(mut self, min_rows: usize) -> Self {
+        self.min_parallel_rows = min_rows;
+        self
+    }
+
+    /// The thread count this evaluator will use.
+    pub fn effective_threads(&self) -> usize {
+        self.threads.unwrap_or_else(default_threads)
     }
 
     /// Runs the fixpoint to saturation and returns this run's counters.
@@ -91,22 +164,28 @@ impl IncrementalEval {
     /// can see them. The caller must pass the same `rules`/`plan` pair on
     /// every call.
     pub fn run(&mut self, db: &mut Database, rules: &[Rule], plan: &DeltaPlan) -> EvalStats {
+        let threads = self.effective_threads();
         let mut stats = EvalStats::default();
         let mut first = !self.started;
         self.started = true;
         loop {
             stats.rounds += 1;
-            let mut buffer: Vec<(Pred, Tuple)> = Vec::new();
+            let mut tasks: Vec<Task> = Vec::new();
+            // Total delta rows the round will scan, for the parallel/
+            // sequential decision (first rounds count whole relations).
+            let mut round_rows = 0usize;
 
             if first {
-                for rule in rules {
-                    if rule.body.is_empty() {
-                        let mut subst = FxHashMap::default();
-                        fire_head(rule, &mut subst, &mut buffer);
-                    } else {
-                        // Every atom reads the full database exactly once.
-                        join_from(db, rule, 0, None, &self.marks, &mut buffer, &mut stats);
-                    }
+                for (ri, rule) in rules.iter().enumerate() {
+                    tasks.push(Task {
+                        rule: ri as u32,
+                        delta: None,
+                    });
+                    round_rows += rule
+                        .body
+                        .first()
+                        .and_then(|a| db.relation(a.pred))
+                        .map_or(0, |r| r.len());
                 }
             } else {
                 // Only the rule positions whose predicate has fresh rows.
@@ -122,15 +201,53 @@ impl IncrementalEval {
                 work.sort_unstable();
                 work.dedup();
                 for (ri, ai) in work {
-                    join_from(
-                        db,
-                        &rules[ri as usize],
-                        0,
-                        Some(ai as usize),
-                        &self.marks,
-                        &mut buffer,
-                        &mut stats,
-                    );
+                    let pred = rules[ri as usize].body[ai as usize].pred;
+                    let start = self.marks.get(&pred).copied().unwrap_or(0);
+                    let end = db.relation(pred).map_or(start, |r| r.len());
+                    round_rows += end - start;
+                    // Only a leading delta atom may be chunked: its rows are
+                    // the outermost loop, so splitting the range partitions
+                    // the work exactly. Chunking an inner delta atom would
+                    // re-enumerate every prefix binding once per chunk.
+                    if ai == 0 && end - start >= 2 * MIN_CHUNK_ROWS {
+                        let chunks = (threads * TASKS_PER_THREAD)
+                            .min((end - start).div_ceil(MIN_CHUNK_ROWS))
+                            .max(1);
+                        let size = (end - start).div_ceil(chunks);
+                        let mut lo = start;
+                        while lo < end {
+                            let hi = (lo + size).min(end);
+                            tasks.push(Task {
+                                rule: ri,
+                                delta: Some(DeltaRange {
+                                    atom: ai,
+                                    start: lo,
+                                    end: hi,
+                                }),
+                            });
+                            lo = hi;
+                        }
+                    } else {
+                        tasks.push(Task {
+                            rule: ri,
+                            delta: Some(DeltaRange {
+                                atom: ai,
+                                start,
+                                end,
+                            }),
+                        });
+                    }
+                }
+            }
+
+            let mut buffer = DerivedBuffer::default();
+            let parallel =
+                threads > 1 && tasks.len() > 1 && round_rows >= self.min_parallel_rows.max(1);
+            if parallel {
+                run_tasks_parallel(db, rules, &tasks, threads, &mut buffer, &mut stats);
+            } else {
+                for task in &tasks {
+                    run_task(db, rules, *task, &mut buffer, &mut stats);
                 }
             }
 
@@ -140,7 +257,7 @@ impl IncrementalEval {
             }
 
             let mut changed = false;
-            for (p, t) in buffer {
+            for (p, t) in buffer.iter() {
                 if db.insert(p, t) {
                     changed = true;
                     stats.derived += 1;
@@ -154,6 +271,129 @@ impl IncrementalEval {
     }
 }
 
+/// Minimum rows per delta chunk — below this the per-task overhead beats
+/// the parallelism.
+const MIN_CHUNK_ROWS: usize = 512;
+
+/// Chunks per worker thread, for load balancing under the work-stealing
+/// cursor (rule firings are skewed: some chunks derive nothing).
+const TASKS_PER_THREAD: usize = 4;
+
+/// One unit of round work: a rule, optionally restricted to a range of
+/// delta rows at one body atom.
+#[derive(Copy, Clone, Debug)]
+struct Task {
+    rule: u32,
+    delta: Option<DeltaRange>,
+}
+
+/// Delta restriction of a task: body atom `atom` ranges over dense row
+/// indexes `start..end` of its relation.
+#[derive(Copy, Clone, Debug)]
+struct DeltaRange {
+    atom: u32,
+    start: usize,
+    end: usize,
+}
+
+/// Flat buffer of derived head tuples: one `(pred, offset, arity)` entry
+/// per firing over a shared constant arena, so a round allocates O(1)
+/// buffers instead of one `Box<[Cst]>` per derived row.
+#[derive(Debug, Default)]
+struct DerivedBuffer {
+    heads: Vec<(Pred, u32, u32)>,
+    data: Vec<Cst>,
+}
+
+impl DerivedBuffer {
+    /// Grounds `rule`'s head under `subst` directly into the arena.
+    fn push_head(&mut self, rule: &Rule, subst: &FxHashMap<Var, Cst>) {
+        let start = u32::try_from(self.data.len()).expect("derived buffer overflow");
+        for t in &rule.head.args {
+            self.data.push(match t {
+                Term::Const(c) => *c,
+                Term::Var(v) => *subst.get(v).expect("unsafe rule: head variable unbound"),
+            });
+        }
+        self.heads
+            .push((rule.head.pred, start, rule.head.args.len() as u32));
+    }
+
+    /// Appends another buffer's rows after this one's (the deterministic
+    /// task-order merge).
+    fn absorb(&mut self, other: DerivedBuffer) {
+        let shift = u32::try_from(self.data.len()).expect("derived buffer overflow");
+        self.data.extend_from_slice(&other.data);
+        self.heads
+            .extend(other.heads.iter().map(|&(p, s, a)| (p, s + shift, a)));
+    }
+
+    /// Derived rows in firing order.
+    fn iter(&self) -> impl Iterator<Item = (Pred, &[Cst])> {
+        self.heads
+            .iter()
+            .map(|&(p, s, a)| (p, &self.data[s as usize..(s + a) as usize]))
+    }
+}
+
+/// Runs one task sequentially into `out`.
+fn run_task(
+    db: &Database,
+    rules: &[Rule],
+    task: Task,
+    out: &mut DerivedBuffer,
+    stats: &mut EvalStats,
+) {
+    let rule = &rules[task.rule as usize];
+    let mut subst = FxHashMap::default();
+    join_rec(db, rule, 0, task.delta, &mut subst, out, stats);
+}
+
+/// Executes `tasks` on `threads` scoped workers. A shared atomic cursor
+/// hands out tasks; each worker keeps `(task index, buffer, stats)`
+/// triples, and the results are merged in ascending task index, making the
+/// output indistinguishable from running the tasks in order on one thread.
+fn run_tasks_parallel(
+    db: &Database,
+    rules: &[Rule],
+    tasks: &[Task],
+    threads: usize,
+    out: &mut DerivedBuffer,
+    stats: &mut EvalStats,
+) {
+    let workers = threads.min(tasks.len());
+    let cursor = AtomicUsize::new(0);
+    let mut results: Vec<(usize, DerivedBuffer, EvalStats)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut done: Vec<(usize, DerivedBuffer, EvalStats)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= tasks.len() {
+                            return done;
+                        }
+                        let mut buf = DerivedBuffer::default();
+                        let mut st = EvalStats::default();
+                        run_task(db, rules, tasks[i], &mut buf, &mut st);
+                        done.push((i, buf, st));
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("evaluation worker panicked"))
+            .collect()
+    });
+    results.sort_unstable_by_key(|&(i, _, _)| i);
+    for (_, buf, st) in results {
+        out.absorb(buf);
+        stats.join_probes += st.join_probes;
+        stats.index_hits += st.index_hits;
+    }
+}
+
 /// Evaluates `rules` over `db` to the least fixpoint, semi-naively.
 pub fn evaluate(db: &mut Database, rules: &[Rule]) -> EvalStats {
     let plan = DeltaPlan::new(rules);
@@ -161,30 +401,26 @@ pub fn evaluate(db: &mut Database, rules: &[Rule]) -> EvalStats {
 }
 
 /// Evaluates `rules` naively (full re-derivation each round). Same fixpoint
-/// as [`evaluate`]; used as an oracle.
+/// as [`evaluate`]; used as an oracle. Always sequential.
 pub fn evaluate_naive(db: &mut Database, rules: &[Rule]) -> EvalStats {
     let mut stats = EvalStats::default();
     loop {
         stats.rounds += 1;
-        let mut buffer = Vec::new();
-        for rule in rules {
-            if rule.body.is_empty() {
-                let mut subst = FxHashMap::default();
-                fire_head(rule, &mut subst, &mut buffer);
-            } else {
-                join_from(
-                    db,
-                    rule,
-                    0,
-                    None,
-                    &FxHashMap::default(),
-                    &mut buffer,
-                    &mut stats,
-                );
-            }
+        let mut buffer = DerivedBuffer::default();
+        for (ri, _) in rules.iter().enumerate() {
+            run_task(
+                db,
+                rules,
+                Task {
+                    rule: ri as u32,
+                    delta: None,
+                },
+                &mut buffer,
+                &mut stats,
+            );
         }
         let mut changed = false;
-        for (p, t) in buffer {
+        for (p, t) in buffer.iter() {
             if db.insert(p, t) {
                 changed = true;
                 stats.derived += 1;
@@ -229,7 +465,8 @@ fn query_rec(
     let Some(rel) = db.relation(atom.pred) else {
         return;
     };
-    // Materialize matching rows up-front so `subst` can be mutated freely.
+    // The pattern is a snapshot of the current bindings, so the selection
+    // can borrow it while `subst` is rebound below.
     let pattern: Vec<Option<Cst>> = atom
         .args
         .iter()
@@ -238,8 +475,7 @@ fn query_rec(
             Term::Var(v) => subst.get(v).copied(),
         })
         .collect();
-    let matches: Vec<&Tuple> = rel.select(&pattern).collect();
-    for row in matches {
+    for row in rel.select(&pattern) {
         let mut bound = Vec::new();
         let mut ok = true;
         for (t, v) in atom.args.iter().zip(row.iter()) {
@@ -267,63 +503,49 @@ fn query_rec(
     }
 }
 
-/// Recursive join over the rule body; when `delta_idx` is `Some(j)`, atom `j`
-/// ranges only over the delta rows of its relation (rows past the mark).
-#[allow(clippy::too_many_arguments)]
-fn join_from(
-    db: &Database,
-    rule: &Rule,
-    idx: usize,
-    delta_idx: Option<usize>,
-    marks: &FxHashMap<fundb_term::Pred, usize>,
-    out: &mut Vec<(fundb_term::Pred, Tuple)>,
-    stats: &mut EvalStats,
-) {
-    let mut subst = FxHashMap::default();
-    join_rec(db, rule, idx, delta_idx, marks, &mut subst, out, stats);
-}
-
+/// Recursive join over the rule body; when the task carries a delta range,
+/// that atom ranges only over the given chunk of fresh rows.
 #[allow(clippy::too_many_arguments)]
 fn join_rec(
     db: &Database,
     rule: &Rule,
     idx: usize,
-    delta_idx: Option<usize>,
-    marks: &FxHashMap<fundb_term::Pred, usize>,
+    delta: Option<DeltaRange>,
     subst: &mut FxHashMap<Var, Cst>,
-    out: &mut Vec<(fundb_term::Pred, Tuple)>,
+    out: &mut DerivedBuffer,
     stats: &mut EvalStats,
 ) {
     if idx == rule.body.len() {
-        fire_head(rule, subst, out);
+        out.push_head(rule, subst);
         return;
     }
     let atom = &rule.body[idx];
     let Some(rel) = db.relation(atom.pred) else {
         return;
     };
-    // Delta atoms scan the (short) fresh suffix; other atoms go through the
-    // indexed selection with the bindings established so far.
-    let rows: Vec<&Tuple> = if delta_idx == Some(idx) {
-        rel.rows_from(marks.get(&atom.pred).copied().unwrap_or(0))
-            .iter()
-            .collect()
-    } else {
-        let pattern: Vec<Option<Cst>> = atom
-            .args
-            .iter()
-            .map(|t| match t {
-                Term::Const(c) => Some(*c),
-                Term::Var(v) => subst.get(v).copied(),
-            })
-            .collect();
-        if pattern.iter().any(Option::is_some) {
-            stats.index_hits += 1;
+    // Delta atoms scan their (short) chunk of the fresh suffix; other atoms
+    // go through the indexed selection with the bindings established so far.
+    let delta_here = delta.filter(|d| d.atom as usize == idx);
+    let pattern: Vec<Option<Cst>>;
+    let rows: SelectOrRange<'_, '_> = match delta_here {
+        Some(d) => SelectOrRange::Range(rel.rows_range(d.start, d.end)),
+        None => {
+            pattern = atom
+                .args
+                .iter()
+                .map(|t| match t {
+                    Term::Const(c) => Some(*c),
+                    Term::Var(v) => subst.get(v).copied(),
+                })
+                .collect();
+            if pattern.iter().any(Option::is_some) {
+                stats.index_hits += 1;
+            }
+            SelectOrRange::Select(rel.select(&pattern))
         }
-        rel.select(&pattern).collect()
     };
-    stats.join_probes += rows.len();
     for row in rows {
+        stats.join_probes += 1;
         let mut bound = smallvec_like();
         let mut ok = true;
         for (t, v) in atom.args.iter().zip(row.iter()) {
@@ -349,7 +571,7 @@ fn join_rec(
             }
         }
         if ok {
-            join_rec(db, rule, idx + 1, delta_idx, marks, subst, out, stats);
+            join_rec(db, rule, idx + 1, delta, subst, out, stats);
         }
         for var in bound {
             subst.remove(&var);
@@ -357,12 +579,22 @@ fn join_rec(
     }
 }
 
-fn fire_head(
-    rule: &Rule,
-    subst: &mut FxHashMap<Var, Cst>,
-    out: &mut Vec<(fundb_term::Pred, Tuple)>,
-) {
-    out.push((rule.head.pred, rule.head.ground(subst)));
+/// Either a delta-range scan or an indexed selection, as one iterator type.
+enum SelectOrRange<'a, 'p> {
+    Range(crate::rel::Rows<'a>),
+    Select(crate::rel::Select<'a, 'p>),
+}
+
+impl<'a> Iterator for SelectOrRange<'a, '_> {
+    type Item = &'a [Cst];
+
+    #[inline]
+    fn next(&mut self) -> Option<&'a [Cst]> {
+        match self {
+            SelectOrRange::Range(r) => r.next(),
+            SelectOrRange::Select(s) => s.next(),
+        }
+    }
 }
 
 /// Tiny inline buffer for per-atom freshly-bound variables (atoms rarely
@@ -426,7 +658,7 @@ mod tests {
             .map(|k| Cst(fx.i.intern(&format!("v{k}"))))
             .collect();
         for w in nodes.windows(2) {
-            db.insert(fx.edge, vec![w[0], w[1]].into_boxed_slice());
+            db.insert(fx.edge, &[w[0], w[1]]);
         }
         db
     }
@@ -528,7 +760,7 @@ mod tests {
         // Extend the chain by one edge: v10 → v11.
         let v10 = Cst(fx.i.intern("v10"));
         let v11 = Cst(fx.i.intern("v11"));
-        db.insert(fx.edge, vec![v10, v11].into_boxed_slice());
+        db.insert(fx.edge, &[v10, v11]);
         let resumed = eval.run(&mut db, &rules, &plan);
         // Exactly the 11 new paths ending at v11, nothing re-derived.
         assert_eq!(resumed.derived, 11);
@@ -587,12 +819,77 @@ mod tests {
         let mut db = Database::new();
         let nodes: Vec<Cst> = (0..5).map(|k| Cst(fx.i.intern(&format!("c{k}")))).collect();
         for k in 0..5 {
-            db.insert(
-                fx.edge,
-                vec![nodes[k], nodes[(k + 1) % 5]].into_boxed_slice(),
-            );
+            db.insert(fx.edge, &[nodes[k], nodes[(k + 1) % 5]]);
         }
         evaluate(&mut db, &rules);
         assert_eq!(db.relation(fx.path).unwrap().len(), 25);
+    }
+
+    /// Runs TC on a chain with an explicit thread count and a threshold of
+    /// 1 (every round eligible for the parallel path), returning the row
+    /// order of `Path` and the stats.
+    fn run_parallel_tc(fx: &mut Fixture, n: usize, threads: usize) -> (Vec<Vec<Cst>>, EvalStats) {
+        let rules = transitive_closure_rules(fx);
+        let plan = DeltaPlan::new(&rules);
+        let mut db = chain_db(fx, n);
+        let mut eval = IncrementalEval::new()
+            .with_threads(threads)
+            .with_parallel_threshold(1);
+        let stats = eval.run(&mut db, &rules, &plan);
+        let rows = db
+            .relation(fx.path)
+            .unwrap()
+            .rows()
+            .map(<[Cst]>::to_vec)
+            .collect();
+        (rows, stats)
+    }
+
+    #[test]
+    fn parallel_rounds_are_byte_identical_to_sequential() {
+        let mut fx = fixture();
+        let (seq_rows, seq_stats) = run_parallel_tc(&mut fx, 40, 1);
+        for threads in [2, 4, 8] {
+            let (rows, stats) = run_parallel_tc(&mut fx, 40, threads);
+            assert_eq!(rows, seq_rows, "row order diverged at {threads} threads");
+            assert_eq!(stats, seq_stats, "stats diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn chunked_delta_ranges_partition_exactly() {
+        // A chain long enough that delta rounds exceed 2 * MIN_CHUNK_ROWS
+        // and the leading Path atom of the recursive rule gets chunked.
+        let mut fx = fixture();
+        let (seq_rows, seq_stats) = run_parallel_tc(&mut fx, 2 * MIN_CHUNK_ROWS + 70, 1);
+        let (par_rows, par_stats) = run_parallel_tc(&mut fx, 2 * MIN_CHUNK_ROWS + 70, 4);
+        assert_eq!(par_rows, seq_rows);
+        assert_eq!(par_stats, seq_stats);
+    }
+
+    #[test]
+    fn small_rounds_fall_back_to_sequential() {
+        // Default threshold: a 10-edge chain never reaches it, so the run
+        // must behave exactly like threads = 1 (this is implicit — the
+        // assertion is that results and stats still match).
+        let mut fx = fixture();
+        let rules = transitive_closure_rules(&fx);
+        let plan = DeltaPlan::new(&rules);
+        let mut db = chain_db(&mut fx, 10);
+        let stats = IncrementalEval::new()
+            .with_threads(8)
+            .run(&mut db, &rules, &plan);
+        assert_eq!(stats.derived, 10 * 11 / 2);
+    }
+
+    #[test]
+    fn thread_knobs_resolve() {
+        let e = IncrementalEval::new().with_threads(3);
+        assert_eq!(e.effective_threads(), 3);
+        let mut e = IncrementalEval::new();
+        e.set_threads(Some(0)); // clamped to 1
+        assert_eq!(e.effective_threads(), 1);
+        e.set_threads(None);
+        assert!(e.effective_threads() >= 1);
     }
 }

@@ -26,7 +26,10 @@ pub mod provenance;
 pub mod rel;
 pub mod rule;
 
-pub use engine::{evaluate, evaluate_naive, query, DeltaPlan, EvalStats, IncrementalEval};
+pub use engine::{
+    default_threads, evaluate, evaluate_naive, query, DeltaPlan, EvalStats, IncrementalEval,
+    DEFAULT_MIN_PARALLEL_ROWS,
+};
 pub use provenance::{evaluate_traced, Derivation, Justification, Provenance};
-pub use rel::{Database, Relation, Tuple};
+pub use rel::{Database, Relation, RowId, RowPool, Tuple};
 pub use rule::{Atom, Rule, Term};

@@ -146,7 +146,7 @@ pub fn evaluate_traced(db: &mut Database, rules: &[Rule]) -> (EvalStats, Provena
 
         let mut changed = false;
         for (p, t, just) in buffer {
-            if db.insert(p, t.clone()) {
+            if db.insert(p, &t) {
                 changed = true;
                 stats.derived += 1;
                 prov.why.entry((p, t)).or_insert(just);
@@ -190,9 +190,8 @@ fn trace_join(
     let Some(rel) = db.relation(atom.pred) else {
         return;
     };
-    let rows: Vec<&Tuple> = if delta_idx == Some(idx) {
+    let rows: Vec<&[Cst]> = if delta_idx == Some(idx) {
         rel.rows_from(marks.get(&atom.pred).copied().unwrap_or(0))
-            .iter()
             .collect()
     } else {
         let pattern: Vec<Option<Cst>> = atom
@@ -265,7 +264,7 @@ mod tests {
         let nodes: Vec<Cst> = (0..4).map(|k| Cst(i.intern(&format!("v{k}")))).collect();
         let mut db = Database::new();
         for w in nodes.windows(2) {
-            db.insert(edge, vec![w[0], w[1]].into_boxed_slice());
+            db.insert(edge, &[w[0], w[1]]);
         }
         (i, db, rules, edge, path, nodes)
     }

@@ -1,26 +1,103 @@
-//! Relations and databases of constant tuples.
+//! Relations and databases of constant tuples over a pooled row-store.
+//!
+//! Tuples live in a [`RowPool`]: a flat `Vec<Cst>` arena where row `i` of an
+//! arity-`a` relation occupies `data[i*a .. (i+1)*a]`. Each tuple's constants
+//! are stored exactly once; duplicate elimination goes through a
+//! hash-of-slice table mapping a row hash to the [`RowId`]s carrying it (the
+//! candidate rows are compared against the arena, so no second owned copy of
+//! the tuple ever exists), and the per-column indexes keep pushing `u32`
+//! row ids.
 
-use fundb_term::{Cst, FxHashMap, FxHashSet, Interner, Pred};
+use fundb_term::{Cst, FxHashMap, FxHasher, Interner, Pred};
 use std::fmt;
+use std::hash::Hasher;
 
-/// A tuple of constants. Boxed slice: tuples are immutable once inserted.
+/// An owned tuple of constants, used at API boundaries that must carry rows
+/// outside a relation (provenance records, staged insertions). Inside a
+/// [`Relation`] rows are pooled and only ever borrowed as `&[Cst]`.
 pub type Tuple = Box<[Cst]>;
 
-/// Shared empty bucket for index misses (a bound value that never occurs).
-static EMPTY_BUCKET: Vec<u32> = Vec::new();
+/// Handle to one row of a [`RowPool`] (dense insertion index).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct RowId(pub u32);
+
+impl RowId {
+    /// The dense index of this row (0-based insertion order).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Flat arena of fixed-arity rows: row `i` is `data[i*arity .. (i+1)*arity]`.
+#[derive(Clone, Debug, Default)]
+pub struct RowPool {
+    arity: usize,
+    data: Vec<Cst>,
+}
+
+impl RowPool {
+    /// An empty pool of the given arity.
+    pub fn new(arity: usize) -> Self {
+        RowPool {
+            arity,
+            data: Vec::new(),
+        }
+    }
+
+    /// Number of rows in the pool. Arity-0 rows occupy no arena space, so
+    /// for them the count lives in the owning relation and this reports 0.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len().checked_div(self.arity).unwrap_or(0)
+    }
+
+    /// Whether the pool holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The row at dense index `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[Cst] {
+        let a = self.arity;
+        &self.data[i * a..i * a + a]
+    }
+
+    /// Appends a row, returning its handle. The caller is responsible for
+    /// deduplication.
+    fn push(&mut self, t: &[Cst], next_id: usize) -> RowId {
+        debug_assert_eq!(t.len(), self.arity);
+        self.data.extend_from_slice(t);
+        RowId(u32::try_from(next_id).expect("relation overflow"))
+    }
+}
+
+/// Fx hash of a row's constants, used to key the dedup table.
+#[inline]
+fn hash_row(t: &[Cst]) -> u64 {
+    let mut h = FxHasher::default();
+    for c in t {
+        h.write_usize(c.index());
+    }
+    h.finish()
+}
 
 /// A set-semantics relation of fixed arity.
 ///
-/// Tuples are stored in insertion order (`rows`, so evaluation is
-/// deterministic and semi-naive deltas are contiguous suffixes), in a hash
-/// set for O(1) duplicate elimination, and in per-column hash indexes so
-/// selections with bound columns avoid full scans.
+/// Rows are stored once, in insertion order, in a [`RowPool`] (so evaluation
+/// is deterministic and semi-naive deltas are contiguous suffixes of the
+/// arena). A hash-of-slice table dedups inserts without materializing a
+/// second copy, and per-column hash indexes let selections with bound
+/// columns avoid full scans.
 #[derive(Clone, Debug)]
 pub struct Relation {
-    arity: usize,
-    rows: Vec<Tuple>,
-    set: FxHashSet<Tuple>,
-    /// `index[col][value]` = indices of rows with `row[col] == value`.
+    pool: RowPool,
+    len: usize,
+    /// `dedup[hash_row(t)]` = ids of rows hashing to that value; candidates
+    /// are confirmed by comparing slices in the pool.
+    dedup: FxHashMap<u64, Vec<u32>>,
+    /// `index[col][value]` = ids of rows with `row[col] == value`.
     index: Vec<FxHashMap<Cst, Vec<u32>>>,
 }
 
@@ -28,86 +105,189 @@ impl Relation {
     /// Creates an empty relation of the given arity.
     pub fn new(arity: usize) -> Self {
         Relation {
-            arity,
-            rows: Vec::new(),
-            set: FxHashSet::default(),
+            pool: RowPool::new(arity),
+            len: 0,
+            dedup: FxHashMap::default(),
             index: (0..arity).map(|_| FxHashMap::default()).collect(),
         }
     }
 
     /// The arity of the relation.
     pub fn arity(&self) -> usize {
-        self.arity
+        self.pool.arity
     }
 
     /// Number of tuples.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.len
     }
 
     /// Whether the relation has no tuples.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.len == 0
+    }
+
+    /// Inserts a tuple; returns its handle if it was new.
+    pub fn insert_row(&mut self, t: &[Cst]) -> Option<RowId> {
+        assert_eq!(t.len(), self.arity(), "arity mismatch on insert");
+        let h = hash_row(t);
+        let bucket = self.dedup.entry(h).or_default();
+        if bucket.iter().any(|&i| {
+            let a = self.pool.arity;
+            let i = i as usize;
+            &self.pool.data[i * a..i * a + a] == t
+        }) {
+            return None;
+        }
+        let id = self.pool.push(t, self.len);
+        bucket.push(id.0);
+        self.len += 1;
+        for (col, &v) in t.iter().enumerate() {
+            self.index[col].entry(v).or_default().push(id.0);
+        }
+        Some(id)
     }
 
     /// Inserts a tuple; returns `true` if it was new.
-    pub fn insert(&mut self, t: Tuple) -> bool {
-        assert_eq!(t.len(), self.arity, "arity mismatch on insert");
-        if self.set.contains(&t) {
-            return false;
-        }
-        self.set.insert(t.clone());
-        let row_idx = u32::try_from(self.rows.len()).expect("relation overflow");
-        for (col, &v) in t.iter().enumerate() {
-            self.index[col].entry(v).or_default().push(row_idx);
-        }
-        self.rows.push(t);
-        true
+    pub fn insert(&mut self, t: &[Cst]) -> bool {
+        self.insert_row(t).is_some()
     }
 
     /// Membership test.
     pub fn contains(&self, t: &[Cst]) -> bool {
-        self.set.contains(t)
+        if t.len() != self.arity() {
+            return false;
+        }
+        self.dedup
+            .get(&hash_row(t))
+            .is_some_and(|bucket| bucket.iter().any(|&i| self.row(RowId(i)) == t))
+    }
+
+    /// The row carried by a handle.
+    #[inline]
+    pub fn row(&self, id: RowId) -> &[Cst] {
+        debug_assert!(id.index() < self.len);
+        self.pool.row(id.index())
     }
 
     /// All tuples in insertion order.
-    pub fn rows(&self) -> &[Tuple] {
-        &self.rows
+    pub fn rows(&self) -> Rows<'_> {
+        self.rows_range(0, self.len)
     }
 
     /// Tuples inserted at or after index `from` (the semi-naive delta).
-    pub fn rows_from(&self, from: usize) -> &[Tuple] {
-        &self.rows[from..]
+    pub fn rows_from(&self, from: usize) -> Rows<'_> {
+        self.rows_range(from, self.len)
+    }
+
+    /// Tuples with dense indexes in `from..to` (a delta chunk).
+    pub fn rows_range(&self, from: usize, to: usize) -> Rows<'_> {
+        debug_assert!(from <= to && to <= self.len);
+        Rows {
+            pool: &self.pool,
+            next: from,
+            end: to,
+        }
     }
 
     /// Iterates tuples matching a pattern (`None` = wildcard). Uses the
     /// per-column index of the most selective bound column when there is
     /// one, falling back to a scan otherwise.
-    pub fn select<'a: 'p, 'p>(
-        &'a self,
-        pattern: &'p [Option<Cst>],
-    ) -> Box<dyn Iterator<Item = &'a Tuple> + 'p> {
-        debug_assert_eq!(pattern.len(), self.arity);
-        let matches = move |row: &&Tuple| {
-            row.iter()
-                .zip(pattern)
-                .all(|(v, p)| p.is_none_or(|c| c == *v))
-        };
+    pub fn select<'a, 'p>(&'a self, pattern: &'p [Option<Cst>]) -> Select<'a, 'p> {
+        debug_assert_eq!(pattern.len(), self.arity());
         // Pick the bound column with the smallest bucket.
-        let best: Option<&Vec<u32>> = pattern
+        let best: Option<&[u32]> = pattern
             .iter()
             .enumerate()
             .filter_map(|(col, p)| p.map(|c| self.index[col].get(&c)))
-            .map(|bucket| bucket.map_or(&EMPTY_BUCKET, |b| b))
+            .map(|bucket| bucket.map_or(&[][..], Vec::as_slice))
             .min_by_key(|b| b.len());
         match best {
-            Some(bucket) => Box::new(
-                bucket
-                    .iter()
-                    .map(move |&i| &self.rows[i as usize])
-                    .filter(matches),
-            ),
-            None => Box::new(self.rows.iter().filter(matches)),
+            Some(bucket) => Select::Indexed {
+                rel: self,
+                bucket: bucket.iter(),
+                pattern,
+            },
+            None => Select::Scan {
+                rows: self.rows(),
+                pattern,
+            },
+        }
+    }
+}
+
+/// Iterator over a contiguous range of a relation's rows.
+#[derive(Clone, Debug)]
+pub struct Rows<'a> {
+    pool: &'a RowPool,
+    next: usize,
+    end: usize,
+}
+
+impl<'a> Iterator for Rows<'a> {
+    type Item = &'a [Cst];
+
+    #[inline]
+    fn next(&mut self) -> Option<&'a [Cst]> {
+        if self.next == self.end {
+            return None;
+        }
+        let row = self.pool.row(self.next);
+        self.next += 1;
+        Some(row)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.end - self.next;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Rows<'_> {}
+
+fn pattern_matches(row: &[Cst], pattern: &[Option<Cst>]) -> bool {
+    row.iter()
+        .zip(pattern)
+        .all(|(v, p)| p.is_none_or(|c| c == *v))
+}
+
+/// Iterator returned by [`Relation::select`]: either walks an index bucket
+/// or scans the whole pool, filtering by the pattern either way.
+pub enum Select<'a, 'p> {
+    /// Walking the bucket of the most selective bound column.
+    Indexed {
+        /// The relation being selected from.
+        rel: &'a Relation,
+        /// Remaining row ids in the chosen bucket.
+        bucket: std::slice::Iter<'a, u32>,
+        /// The selection pattern (`None` = wildcard).
+        pattern: &'p [Option<Cst>],
+    },
+    /// No bound column: full scan.
+    Scan {
+        /// Remaining rows.
+        rows: Rows<'a>,
+        /// The selection pattern (`None` = wildcard).
+        pattern: &'p [Option<Cst>],
+    },
+}
+
+impl<'a> Iterator for Select<'a, '_> {
+    type Item = &'a [Cst];
+
+    fn next(&mut self) -> Option<&'a [Cst]> {
+        match self {
+            Select::Indexed {
+                rel,
+                bucket,
+                pattern,
+            } => bucket
+                .by_ref()
+                .map(|&i| rel.row(RowId(i)))
+                .find(|row| pattern_matches(row, pattern)),
+            Select::Scan { rows, pattern } => {
+                rows.by_ref().find(|row| pattern_matches(row, pattern))
+            }
         }
     }
 }
@@ -140,9 +320,8 @@ impl Database {
     }
 
     /// Inserts a fact; returns `true` if new.
-    pub fn insert(&mut self, p: Pred, t: Tuple) -> bool {
-        let arity = t.len();
-        self.relation_mut(p, arity).insert(t)
+    pub fn insert(&mut self, p: Pred, t: &[Cst]) -> bool {
+        self.relation_mut(p, t.len()).insert(t)
     }
 
     /// Membership test; absent predicates are empty.
@@ -197,10 +376,36 @@ mod tests {
         let mut i = Interner::new();
         let c = csts(&mut i, &["a", "b"]);
         let mut r = Relation::new(2);
-        assert!(r.insert(c.clone().into_boxed_slice()));
-        assert!(!r.insert(c.clone().into_boxed_slice()));
+        assert!(r.insert(&c));
+        assert!(!r.insert(&c));
         assert_eq!(r.len(), 1);
         assert!(r.contains(&c));
+    }
+
+    #[test]
+    fn rows_are_pooled_and_addressable() {
+        let mut i = Interner::new();
+        let v = csts(&mut i, &["a", "b", "c"]);
+        let mut r = Relation::new(2);
+        let id0 = r.insert_row(&[v[0], v[1]]).unwrap();
+        let id1 = r.insert_row(&[v[1], v[2]]).unwrap();
+        assert!(r.insert_row(&[v[0], v[1]]).is_none());
+        assert_eq!(id0, RowId(0));
+        assert_eq!(id1, RowId(1));
+        assert_eq!(r.row(id1), &[v[1], v[2]]);
+        let collected: Vec<&[Cst]> = r.rows().collect();
+        assert_eq!(collected, vec![&[v[0], v[1]][..], &[v[1], v[2]][..]]);
+    }
+
+    #[test]
+    fn arity_zero_rows_dedup() {
+        let mut r = Relation::new(0);
+        assert!(r.insert(&[]));
+        assert!(!r.insert(&[]));
+        assert_eq!(r.len(), 1);
+        assert!(r.contains(&[]));
+        assert_eq!(r.rows().count(), 1);
+        assert_eq!(r.row(RowId(0)), &[] as &[Cst]);
     }
 
     #[test]
@@ -209,9 +414,9 @@ mod tests {
         let v = csts(&mut i, &["a", "b", "c"]);
         let (a, b, c) = (v[0], v[1], v[2]);
         let mut r = Relation::new(2);
-        r.insert(vec![a, b].into_boxed_slice());
-        r.insert(vec![a, c].into_boxed_slice());
-        r.insert(vec![b, c].into_boxed_slice());
+        r.insert(&[a, b]);
+        r.insert(&[a, c]);
+        r.insert(&[b, c]);
         assert_eq!(r.select(&[Some(a), None]).count(), 2);
         assert_eq!(r.select(&[None, Some(c)]).count(), 2);
         assert_eq!(r.select(&[Some(b), Some(b)]).count(), 0);
@@ -223,11 +428,25 @@ mod tests {
         let mut i = Interner::new();
         let v = csts(&mut i, &["a", "b"]);
         let mut r = Relation::new(1);
-        r.insert(vec![v[0]].into_boxed_slice());
+        r.insert(&[v[0]]);
         let mark = r.len();
-        r.insert(vec![v[1]].into_boxed_slice());
-        assert_eq!(r.rows_from(mark).len(), 1);
-        assert_eq!(r.rows_from(mark)[0][0], v[1]);
+        r.insert(&[v[1]]);
+        let delta: Vec<&[Cst]> = r.rows_from(mark).collect();
+        assert_eq!(delta.len(), 1);
+        assert_eq!(delta[0][0], v[1]);
+    }
+
+    #[test]
+    fn rows_range_is_a_chunk() {
+        let mut i = Interner::new();
+        let v = csts(&mut i, &["a", "b", "c", "d"]);
+        let mut r = Relation::new(1);
+        for &c in &v {
+            r.insert(&[c]);
+        }
+        let chunk: Vec<&[Cst]> = r.rows_range(1, 3).collect();
+        assert_eq!(chunk, vec![&[v[1]][..], &[v[2]][..]]);
+        assert_eq!(r.rows_range(2, 2).count(), 0);
     }
 
     #[test]
@@ -237,7 +456,7 @@ mod tests {
         let a = Cst(i.intern("a"));
         let mut db = Database::new();
         assert!(db.relation(p).is_none());
-        assert!(db.insert(p, vec![a].into_boxed_slice()));
+        assert!(db.insert(p, &[a]));
         assert!(db.contains(p, &[a]));
         assert_eq!(db.fact_count(), 1);
     }
@@ -249,7 +468,7 @@ mod tests {
         let p = Pred(i.intern("P"));
         let a = Cst(i.intern("a"));
         let mut db = Database::new();
-        db.insert(p, vec![a].into_boxed_slice());
+        db.insert(p, &[a]);
         db.relation_mut(p, 2);
     }
 
@@ -260,8 +479,8 @@ mod tests {
         let q = Pred(i.intern("Q"));
         let v = csts(&mut i, &["b", "a"]);
         let mut db = Database::new();
-        db.insert(p, vec![v[0]].into_boxed_slice());
-        db.insert(q, vec![v[1], v[0]].into_boxed_slice());
+        db.insert(p, &[v[0]]);
+        db.insert(q, &[v[1], v[0]]);
         assert_eq!(db.dump(&i), vec!["P(b)".to_string(), "Q(a,b)".to_string()]);
     }
 }

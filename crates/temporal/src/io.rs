@@ -115,8 +115,8 @@ pub fn read_lasso(text: &str, interner: &mut Interner) -> Result<TemporalSpec> {
             }
             ["nf", pred, args @ ..] => {
                 let pred = Pred(interner.intern(pred));
-                let row: Box<[Cst]> = args.iter().map(|n| Cst(interner.intern(n))).collect();
-                nf.insert(pred, row);
+                let row: Vec<Cst> = args.iter().map(|n| Cst(interner.intern(n))).collect();
+                nf.insert(pred, &row);
             }
             ["end"] => {
                 ended = true;

@@ -165,8 +165,8 @@ pub(crate) fn evaluate_forward(
                 seeds.entry(pos).or_default().push((*pred, row));
             }
             Atom::Relational { pred, args } => {
-                let row: Box<[Cst]> = args.iter().map(|a| a.as_const().unwrap()).collect();
-                nf.insert(*pred, row);
+                let row: Vec<Cst> = args.iter().map(|a| a.as_const().unwrap()).collect();
+                nf.insert(*pred, &row);
             }
         }
     }
@@ -346,7 +346,7 @@ fn step_position(
                         unreachable!()
                     };
                     if !nf.contains(*pred, &row) {
-                        nf.insert(*pred, row.into());
+                        nf.insert(*pred, &row);
                         // NF growth is detected by the caller's outer loop.
                     }
                 } else {
@@ -391,7 +391,9 @@ fn fire_rec(
         return;
     }
     let atom = &rule.body[idx];
-    let candidates: Vec<Vec<Cst>> = match atom.offset {
+    // Candidate rows are borrowed from the interner / NF store — no
+    // per-row clone just to read them.
+    let candidates: Vec<&[Cst]> = match atom.offset {
         Some(off) => {
             let pos = m + off;
             match states.get(pos) {
@@ -399,13 +401,13 @@ fn fire_rec(
                     .iter()
                     .map(|id| atoms.resolve(id))
                     .filter(|(p, _)| *p == atom.pred)
-                    .map(|(_, args)| args.to_vec())
+                    .map(|(_, args)| args)
                     .collect(),
                 None => return,
             }
         }
         None => match nf.relation(atom.pred) {
-            Some(rel) => rel.rows().iter().map(|r| r.to_vec()).collect(),
+            Some(rel) => rel.rows().collect(),
             None => Vec::new(),
         },
     };

@@ -115,9 +115,11 @@ fn eval_rec(
         return;
     }
     let atom = &query.body[idx];
-    let candidates: Vec<Vec<Cst>> = match atom {
+    // Candidate rows are borrowed straight from the spec — no per-row
+    // clone just to read them.
+    let candidates: Vec<&[Cst]> = match atom {
         Atom::Relational { pred, .. } => match spec.nf.relation(*pred) {
-            Some(rel) => rel.rows().iter().map(|r| r.to_vec()).collect(),
+            Some(rel) => rel.rows().collect(),
             None => Vec::new(),
         },
         Atom::Functional { pred, fterm, .. } => {
@@ -131,7 +133,7 @@ fn eval_rec(
                 .iter()
                 .map(|id| spec.atoms.resolve(id))
                 .filter(|(p, _)| p == pred)
-                .map(|(_, args)| args.to_vec())
+                .map(|(_, args)| args)
                 .collect()
         }
     };

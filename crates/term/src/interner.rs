@@ -6,8 +6,9 @@
 //! the typed wrappers make it impossible to confuse the categories at the API
 //! level while keeping every handle a 4-byte copyable id.
 
-use crate::hash::FxHashMap;
+use crate::hash::{FxHashMap, FxHasher};
 use std::fmt;
+use std::hash::Hasher;
 
 /// An interned string handle. Ordering follows interning order, which the
 /// rest of the workspace uses as a stable, deterministic symbol order.
@@ -29,11 +30,20 @@ impl fmt::Debug for Sym {
 }
 
 /// A string interner. Interning the same string twice yields the same
-/// [`Sym`]; resolution is O(1).
+/// [`Sym`]; resolution is O(1). Each name is stored exactly once, in
+/// `names`; the lookup table maps a name's hash to the candidate ids and
+/// confirms against that single copy.
 #[derive(Default, Clone)]
 pub struct Interner {
     names: Vec<Box<str>>,
-    map: FxHashMap<Box<str>, u32>,
+    /// `map[hash(name)]` = ids of names with that hash.
+    map: FxHashMap<u64, Vec<u32>>,
+}
+
+fn hash_name(name: &str) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(name.as_bytes());
+    h.finish()
 }
 
 impl fmt::Debug for Interner {
@@ -50,19 +60,24 @@ impl Interner {
 
     /// Interns `name`, returning its stable handle.
     pub fn intern(&mut self, name: &str) -> Sym {
-        if let Some(&id) = self.map.get(name) {
+        let bucket = self.map.entry(hash_name(name)).or_default();
+        if let Some(&id) = bucket.iter().find(|&&id| &*self.names[id as usize] == name) {
             return Sym(id);
         }
         let id = u32::try_from(self.names.len()).expect("interner overflow");
-        let boxed: Box<str> = name.into();
-        self.names.push(boxed.clone());
-        self.map.insert(boxed, id);
+        self.names.push(name.into());
+        bucket.push(id);
         Sym(id)
     }
 
     /// Looks up an already-interned string without inserting.
     pub fn get(&self, name: &str) -> Option<Sym> {
-        self.map.get(name).map(|&id| Sym(id))
+        self.map.get(&hash_name(name)).and_then(|bucket| {
+            bucket
+                .iter()
+                .find(|&&id| &*self.names[id as usize] == name)
+                .map(|&id| Sym(id))
+        })
     }
 
     /// Resolves a handle back to its string.

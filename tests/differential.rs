@@ -202,6 +202,131 @@ proptest! {
     }
 }
 
+/// Thread-count independence: the parallel semi-naive fixpoint is an
+/// implementation detail, never an observable. Running the same program
+/// under 1, 2, 4 and 8 worker threads must produce byte-identical stores
+/// (same rows in the same insertion order) and identical statistics.
+mod thread_determinism {
+    use super::common::{all_paths, random_program, GenConfig};
+    use fundb_core::Engine;
+    use fundb_datalog as dl;
+    use fundb_term::{Cst, Interner, Pred, Var};
+    use proptest::prelude::*;
+
+    const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+    /// Transitive closure of a chain: many rounds, non-trivial deltas.
+    fn chain_tc(n: usize) -> (dl::Database, Vec<dl::Rule>) {
+        let mut i = Interner::new();
+        let edge = Pred(i.intern("Edge"));
+        let path = Pred(i.intern("Path"));
+        let (x, y, z) = (Var(i.intern("x")), Var(i.intern("y")), Var(i.intern("z")));
+        let rules = vec![
+            dl::Rule::new(
+                dl::Atom::new(path, vec![dl::Term::Var(x), dl::Term::Var(y)]),
+                vec![dl::Atom::new(
+                    edge,
+                    vec![dl::Term::Var(x), dl::Term::Var(y)],
+                )],
+            ),
+            dl::Rule::new(
+                dl::Atom::new(path, vec![dl::Term::Var(x), dl::Term::Var(z)]),
+                vec![
+                    dl::Atom::new(path, vec![dl::Term::Var(x), dl::Term::Var(y)]),
+                    dl::Atom::new(edge, vec![dl::Term::Var(y), dl::Term::Var(z)]),
+                ],
+            ),
+        ];
+        let mut db = dl::Database::new();
+        let nodes: Vec<Cst> = (0..=n).map(|k| Cst(i.intern(&format!("v{k}")))).collect();
+        for w in nodes.windows(2) {
+            db.insert(edge, &[w[0], w[1]]);
+        }
+        (db, rules)
+    }
+
+    /// Every relation's rows, in insertion order — the byte-level observable.
+    fn snapshot(db: &dl::Database) -> Vec<(usize, Vec<Vec<Cst>>)> {
+        let mut rels: Vec<(usize, Vec<Vec<Cst>>)> = db
+            .iter()
+            .map(|(p, rel)| (p.index(), rel.rows().map(<[Cst]>::to_vec).collect()))
+            .collect();
+        rels.sort_by_key(|(p, _)| *p);
+        rels
+    }
+
+    /// Deterministic (non-property) pin: row insertion order and every
+    /// statistic are identical across thread counts, with the parallel
+    /// threshold forced to 1 so even small rounds take the parallel path.
+    #[test]
+    fn row_order_and_stats_are_pinned_across_thread_counts() {
+        let run = |threads: usize| {
+            let (mut db, rules) = chain_tc(64);
+            let plan = dl::DeltaPlan::new(&rules);
+            let stats = dl::IncrementalEval::new()
+                .with_threads(threads)
+                .with_parallel_threshold(1)
+                .run(&mut db, &rules, &plan);
+            (snapshot(&db), stats)
+        };
+        let (rows1, stats1) = run(1);
+        assert_eq!(stats1.derived, 64 * 65 / 2);
+        for threads in &THREADS[1..] {
+            let (rows_n, stats_n) = run(*threads);
+            assert_eq!(rows_n, rows1, "row order diverged at {threads} threads");
+            assert_eq!(stats_n, stats1, "stats diverged at {threads} threads");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+        /// Four-way agreement across thread counts: engines solved under
+        /// 1, 2, 4 and 8 threads answer identically on every atom up to
+        /// depth 4 and report identical [`EngineStats`].
+        #[test]
+        fn engine_answers_and_stats_are_thread_count_independent(seed in any::<u64>()) {
+            let mut gen = random_program(
+                GenConfig { forward_only: true, ..GenConfig::default() },
+                seed,
+            );
+            let mut engines: Vec<Engine> = THREADS
+                .iter()
+                .map(|&n| {
+                    let mut e =
+                        Engine::build(&gen.program, &gen.db, &mut gen.interner).unwrap();
+                    e.set_threads(Some(n));
+                    e.solve();
+                    e
+                })
+                .collect();
+            let (seq, rest) = engines.split_at_mut(1);
+            for (k, e) in rest.iter_mut().enumerate() {
+                prop_assert_eq!(
+                    e.stats(),
+                    seq[0].stats(),
+                    "EngineStats diverged at {} threads", THREADS[k + 1]
+                );
+            }
+            for path in all_paths(&gen.funcs, super::DEPTH) {
+                for &p in &gen.preds {
+                    for &c in &gen.consts {
+                        let expected = seq[0].holds(p, &path, &[c]);
+                        for (k, e) in rest.iter_mut().enumerate() {
+                            prop_assert_eq!(
+                                e.holds(p, &path, &[c]),
+                                expected,
+                                "answers diverged at {} threads: {:?} {:?} {:?}",
+                                THREADS[k + 1], p, path, c
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Congruence-closure laws on random equation sets (the [DST80] substrate).
 mod congruence_laws {
     use fundb_congruence::CongruenceClosure;
