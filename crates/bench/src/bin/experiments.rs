@@ -8,10 +8,10 @@
 //! targets.
 //!
 //! Every run also appends a machine-readable trajectory to
-//! `BENCH_pr2.json` (override with `FUNDB_BENCH_JSON`): one record per
+//! `BENCH_pr3.json` (override with `FUNDB_BENCH_JSON`): one record per
 //! experiment with its wall time, plus detailed records (rows/s, join
-//! probes, threads) for the timed experiments. CI uploads the file so the
-//! bench history accumulates across PRs.
+//! probes, index hits/misses, threads) for the timed experiments. CI
+//! uploads the file so the bench history accumulates across PRs.
 
 use fundb_bench::{binary_counter, ring_planner, rotation, subset_lists};
 use fundb_core::{
@@ -129,8 +129,8 @@ impl Bench {
     /// Writes the trajectory file and returns its path.
     fn write(&self) -> std::io::Result<String> {
         let path =
-            std::env::var("FUNDB_BENCH_JSON").unwrap_or_else(|_| "BENCH_pr2.json".to_string());
-        let mut out = String::from("{\"schema\":\"fundb-bench-v1\",\"pr\":2,\"records\":[\n");
+            std::env::var("FUNDB_BENCH_JSON").unwrap_or_else(|_| "BENCH_pr3.json".to_string());
+        let mut out = String::from("{\"schema\":\"fundb-bench-v1\",\"pr\":3,\"records\":[\n");
         out.push_str(&self.records.join(",\n"));
         out.push_str("\n]}\n");
         std::fs::write(&path, out)?;
@@ -272,6 +272,8 @@ fn e4_yesno_complexity(bench: &mut Bench) {
                 ("temporal_ms", temporal_ms),
                 ("general_ms", general_ms),
                 ("join_probes", stats.join_probes as f64),
+                ("index_hits", stats.index_hits as f64),
+                ("index_misses", stats.index_misses as f64),
                 ("derived_rows", stats.derived_rows as f64),
                 (
                     "rows_per_s",
@@ -299,47 +301,68 @@ fn e5_graphspec_size(bench: &mut Bench) {
          must blow up",
     );
     println!(
-        "{:>18} {:>10} {:>10} {:>10} {:>12}",
-        "workload", "db size", "clusters", "|B|", "build (ms)"
+        "{:>18} {:>10} {:>10} {:>10} {:>12} {:>10}",
+        "workload", "db size", "clusters", "|B|", "build (ms)", "probes"
     );
     let mut rows: Vec<(String, usize)> = Vec::new();
+    // The engine is built explicitly (rather than via `ws.graph_spec()`)
+    // so the fixpoint's join-probe counters are visible alongside the
+    // build time.
     for k in [4usize, 8, 16, 32] {
         let mut ws = rotation(k);
         let t0 = Instant::now();
-        let spec = ws.graph_spec().unwrap();
+        let mut engine = ws.engine().unwrap();
+        let spec = fundb_core::GraphSpec::from_engine(&mut engine);
         let ms = t0.elapsed().as_secs_f64() * 1e3;
+        let stats = engine.stats().clone();
         println!(
-            "{:>18} {:>10} {:>10} {:>10} {:>12.2}",
+            "{:>18} {:>10} {:>10} {:>10} {:>12.2} {:>10}",
             format!("rotation({k})"),
             k + 1,
             spec.cluster_count(),
             spec.primary_size(),
-            ms
+            ms,
+            stats.join_probes
         );
         bench.push(
             "E5",
             &format!("rotation({k})"),
-            &[("build_ms", ms), ("clusters", spec.cluster_count() as f64)],
+            &[
+                ("build_ms", ms),
+                ("clusters", spec.cluster_count() as f64),
+                ("join_probes", stats.join_probes as f64),
+                ("index_hits", stats.index_hits as f64),
+                ("index_misses", stats.index_misses as f64),
+            ],
         );
         rows.push((format!("rotation({k})"), spec.cluster_count()));
     }
     for n in [2usize, 3, 4, 5] {
         let mut ws = subset_lists(n);
         let t0 = Instant::now();
-        let spec = ws.graph_spec().unwrap().minimized();
+        let mut engine = ws.engine().unwrap();
+        let spec = fundb_core::GraphSpec::from_engine(&mut engine).minimized();
         let ms = t0.elapsed().as_secs_f64() * 1e3;
+        let stats = engine.stats().clone();
         println!(
-            "{:>18} {:>10} {:>10} {:>10} {:>12.2}",
+            "{:>18} {:>10} {:>10} {:>10} {:>12.2} {:>10}",
             format!("subset_lists({n})"),
             n,
             spec.cluster_count(),
             spec.primary_size(),
-            ms
+            ms,
+            stats.join_probes
         );
         bench.push(
             "E5",
             &format!("subset_lists({n})"),
-            &[("build_ms", ms), ("clusters", spec.cluster_count() as f64)],
+            &[
+                ("build_ms", ms),
+                ("clusters", spec.cluster_count() as f64),
+                ("join_probes", stats.join_probes as f64),
+                ("index_hits", stats.index_hits as f64),
+                ("index_misses", stats.index_misses as f64),
+            ],
         );
         rows.push((format!("subset_lists({n})"), spec.cluster_count()));
     }
@@ -581,24 +604,34 @@ fn e11_parallel_scaling(bench: &mut Bench) {
     );
 
     /// Transitive closure of a chain with `n` edges: rules + fresh EDB.
-    fn tc_chain(n: usize) -> (Interner, dl::Database, Vec<dl::Rule>) {
+    /// `right` picks the recursion direction: left recursion keeps the
+    /// delta atom leading in written order; right recursion
+    /// (`Path(x,z) ← Edge(x,y), Path(y,z)`) puts it second, which the
+    /// compiled join programs hoist outermost — the workload that showed
+    /// the interpreter's worst probe blow-up.
+    fn tc_chain_dir(n: usize, right: bool) -> (Interner, dl::Database, Vec<dl::Rule>) {
         use dl::{Atom, Rule, Term};
         let mut i = Interner::new();
         let edge = Pred(i.intern("Edge"));
         let path = Pred(i.intern("Path"));
         let (x, y, z) = (Var(i.intern("x")), Var(i.intern("y")), Var(i.intern("z")));
+        let body = if right {
+            vec![
+                Atom::new(edge, vec![Term::Var(x), Term::Var(y)]),
+                Atom::new(path, vec![Term::Var(y), Term::Var(z)]),
+            ]
+        } else {
+            vec![
+                Atom::new(path, vec![Term::Var(x), Term::Var(y)]),
+                Atom::new(edge, vec![Term::Var(y), Term::Var(z)]),
+            ]
+        };
         let rules = vec![
             Rule::new(
                 Atom::new(path, vec![Term::Var(x), Term::Var(y)]),
                 vec![Atom::new(edge, vec![Term::Var(x), Term::Var(y)])],
             ),
-            Rule::new(
-                Atom::new(path, vec![Term::Var(x), Term::Var(z)]),
-                vec![
-                    Atom::new(path, vec![Term::Var(x), Term::Var(y)]),
-                    Atom::new(edge, vec![Term::Var(y), Term::Var(z)]),
-                ],
-            ),
+            Rule::new(Atom::new(path, vec![Term::Var(x), Term::Var(z)]), body),
         ];
         let mut db = dl::Database::new();
         let nodes: Vec<Cst> = (0..=n).map(|k| Cst(i.intern(&format!("v{k}")))).collect();
@@ -630,47 +663,55 @@ fn e11_parallel_scaling(bench: &mut Bench) {
         "{:>14} {:>8} {:>12} {:>12} {:>12} {:>12} {:>10}",
         "workload", "threads", "wall (ms)", "rows", "rows/s", "probes", "speedup"
     );
-    for &n in &[256usize, 1024, 2048] {
-        let mut seq: Option<(f64, u64, dl::EvalStats)> = None;
-        for &threads in &[1usize, 2, 4, 8] {
-            let (_i, mut db, rules) = tc_chain(n);
-            let plan = dl::DeltaPlan::new(&rules);
-            let mut eval = dl::IncrementalEval::new()
-                .with_threads(threads)
-                .with_parallel_threshold(1);
-            let t0 = Instant::now();
-            let stats = eval.run(&mut db, &rules, &plan);
-            let ms = t0.elapsed().as_secs_f64() * 1e3;
-            let hash = order_hash(&db);
-            let (base_ms, base_hash, base_stats) = *seq.get_or_insert((ms, hash, stats));
-            // Determinism contract: identical rows, order, and counters at
-            // every thread count.
-            assert_eq!(hash, base_hash, "row order diverged at {threads} threads");
-            assert_eq!(stats, base_stats, "stats diverged at {threads} threads");
-            let rows_per_s = stats.derived as f64 / (ms / 1e3).max(1e-9);
-            let speedup = base_ms / ms.max(1e-9);
-            println!(
-                "{:>14} {:>8} {:>12.2} {:>12} {:>12.0} {:>12} {:>9.2}x",
-                format!("tc_chain({n})"),
-                threads,
-                ms,
-                stats.derived,
-                rows_per_s,
-                stats.join_probes,
-                speedup
-            );
-            bench.push(
-                "E11",
-                &format!("tc_chain({n})"),
-                &[
-                    ("threads", threads as f64),
-                    ("wall_ms", ms),
-                    ("derived_rows", stats.derived as f64),
-                    ("rows_per_s", rows_per_s),
-                    ("join_probes", stats.join_probes as f64),
-                    ("speedup_vs_1t", speedup),
-                ],
-            );
+    let families: &[(&str, bool, &[usize])] = &[
+        ("tc_chain", false, &[256, 1024, 2048]),
+        ("tc_right", true, &[64, 256, 512]),
+    ];
+    for &(family, right, sizes) in families {
+        for &n in sizes {
+            let mut seq: Option<(f64, u64, dl::EvalStats)> = None;
+            for &threads in &[1usize, 2, 4, 8] {
+                let (_i, mut db, rules) = tc_chain_dir(n, right);
+                let plan = dl::DeltaPlan::new(&rules);
+                let mut eval = dl::IncrementalEval::new()
+                    .with_threads(threads)
+                    .with_parallel_threshold(1);
+                let t0 = Instant::now();
+                let stats = eval.run(&mut db, &rules, &plan);
+                let ms = t0.elapsed().as_secs_f64() * 1e3;
+                let hash = order_hash(&db);
+                let (base_ms, base_hash, base_stats) = *seq.get_or_insert((ms, hash, stats));
+                // Determinism contract: identical rows, order, and counters
+                // at every thread count.
+                assert_eq!(hash, base_hash, "row order diverged at {threads} threads");
+                assert_eq!(stats, base_stats, "stats diverged at {threads} threads");
+                let rows_per_s = stats.derived as f64 / (ms / 1e3).max(1e-9);
+                let speedup = base_ms / ms.max(1e-9);
+                println!(
+                    "{:>14} {:>8} {:>12.2} {:>12} {:>12.0} {:>12} {:>9.2}x",
+                    format!("{family}({n})"),
+                    threads,
+                    ms,
+                    stats.derived,
+                    rows_per_s,
+                    stats.join_probes,
+                    speedup
+                );
+                bench.push(
+                    "E11",
+                    &format!("{family}({n})"),
+                    &[
+                        ("threads", threads as f64),
+                        ("wall_ms", ms),
+                        ("derived_rows", stats.derived as f64),
+                        ("rows_per_s", rows_per_s),
+                        ("join_probes", stats.join_probes as f64),
+                        ("index_hits", stats.index_hits as f64),
+                        ("index_misses", stats.index_misses as f64),
+                        ("speedup_vs_1t", speedup),
+                    ],
+                );
+            }
         }
     }
 

@@ -228,7 +228,7 @@ impl Repl {
             Some("stats") => {
                 // Solve the session program with the LFP engine and report
                 // its instrumentation counters (semi-naive delta sizes,
-                // join probes, index hits).
+                // join probes, index hits/misses).
                 let program = self.ws.program.clone();
                 let db = self.ws.db.clone();
                 match fundb_core::Engine::build(&program, &db, &mut self.ws.interner) {
@@ -251,8 +251,12 @@ impl Repl {
                         writeln!(
                             out,
                             "datalog rounds: {}, derived rows: {}, join probes: {}, \
-                             index hits: {}",
-                            s.datalog_rounds, s.derived_rows, s.join_probes, s.index_hits
+                             index hits: {}, index misses: {}",
+                            s.datalog_rounds,
+                            s.derived_rows,
+                            s.join_probes,
+                            s.index_hits,
+                            s.index_misses
                         )?;
                         writeln!(
                             out,
@@ -500,6 +504,7 @@ mod tests {
         assert!(out.contains("passes:"), "{out}");
         assert!(out.contains("delta atoms per pass:"), "{out}");
         assert!(out.contains("join probes:"), "{out}");
+        assert!(out.contains("index misses:"), "{out}");
         assert!(out.contains("eval threads:"), "{out}");
     }
 

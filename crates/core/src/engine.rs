@@ -125,11 +125,15 @@ pub struct EngineStats {
     pub pass_deltas: Vec<usize>,
     /// Total of [`Self::pass_deltas`].
     pub delta_atoms: usize,
-    /// Candidate rows enumerated by rule-body scans across all local
+    /// Candidate rows enumerated by rule-body probes across all local
     /// evaluations.
     pub join_probes: usize,
-    /// Selections answered through a predicate-argument index.
+    /// Bound-column selections fully answered by a per-column or composite
+    /// index (see [`dl::EvalStats::index_hits`]).
     pub index_hits: usize,
+    /// Bound-column selections that fell back to a partial single-column
+    /// cover because no full index was available.
+    pub index_misses: usize,
     /// Semi-naive rounds summed over all local evaluations.
     pub datalog_rounds: usize,
     /// Rows derived by local Datalog evaluations (before absorption).
@@ -142,6 +146,7 @@ impl EngineStats {
         self.derived_rows += es.derived;
         self.join_probes += es.join_probes;
         self.index_hits += es.index_hits;
+        self.index_misses += es.index_misses;
     }
 }
 

@@ -35,6 +35,10 @@ pub struct BoundedMaterialization {
     pub db: dl::Database,
     /// Number of ground rule instances produced.
     pub ground_rules: usize,
+    /// Counters of the saturating fixpoint run (rounds, probes, index
+    /// hits/misses) — the baseline's cost, comparable to the engine's
+    /// [`EngineStats`](crate::engine::EngineStats).
+    pub eval: dl::EvalStats,
     /// First-derivation provenance (present when built with
     /// [`BoundedMaterialization::run_traced`]).
     pub provenance: Option<dl::Provenance>,
@@ -128,17 +132,17 @@ impl BoundedMaterialization {
         }
 
         let ground_rules = rules.len();
-        let provenance = if traced {
-            let (_, prov) = dl::evaluate_traced(&mut db, &rules);
-            Some(prov)
+        let (eval, provenance) = if traced {
+            let (stats, prov) = dl::evaluate_traced(&mut db, &rules);
+            (stats, Some(prov))
         } else {
-            dl::evaluate(&mut db, &rules);
-            None
+            (dl::evaluate(&mut db, &rules), None)
         };
         BoundedMaterialization {
             depth,
             db,
             ground_rules,
+            eval,
             provenance,
             term_consts,
         }

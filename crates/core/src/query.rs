@@ -22,7 +22,8 @@ use crate::engine::Engine;
 use crate::error::{Error, Result};
 use crate::graphspec::{GraphSpec, SpecNodeId};
 use crate::program::{Atom, Database, FTerm, NTerm, Program, Rule};
-use fundb_term::{Cst, Func, FxHashMap, FxHashSet, Interner, Pred, Var};
+use fundb_datalog::{Probe, RowId};
+use fundb_term::{Cst, Func, FxHashMap, FxHashSet, Interner, Pred, Sym, Var};
 
 /// A positive conjunctive query with at most one functional variable.
 ///
@@ -147,14 +148,16 @@ impl Query {
             });
         }
         let has_fvar = self.body.iter().any(|a| a.spine_var().is_some());
+        // Compile the conjunction once; every cluster reuses the program.
+        let compiled = CompiledBody::compile(&self.body, &self.out_nvars);
         if !has_fvar {
             // Purely relational/ground: evaluate once.
-            let tuples = eval_at(spec, &self.body, None, &self.out_nvars);
+            let tuples = compiled.eval_at(spec, None);
             return Ok(IncrementalAnswer::Tuples(tuples));
         }
         let mut map: FxHashMap<SpecNodeId, FxHashSet<Vec<Cst>>> = FxHashMap::default();
         for cluster in spec.node_ids() {
-            let tuples = eval_at(spec, &self.body, Some(cluster), &self.out_nvars);
+            let tuples = compiled.eval_at(spec, Some(cluster));
             if !tuples.is_empty() {
                 map.insert(cluster, tuples);
             }
@@ -304,98 +307,242 @@ impl IncrementalAnswer {
     }
 }
 
-/// Evaluates a conjunction at a cluster (or globally when `cluster` is
-/// `None`), returning the distinct bindings of `out_vars`.
-fn eval_at(
-    spec: &GraphSpec,
-    body: &[Atom],
-    cluster: Option<SpecNodeId>,
-    out_vars: &[Var],
-) -> FxHashSet<Vec<Cst>> {
-    let mut out = FxHashSet::default();
-    let mut subst: FxHashMap<Var, Cst> = FxHashMap::default();
-    eval_rec(spec, body, 0, cluster, &mut subst, &mut |s| {
-        let tuple: Vec<Cst> = out_vars
-            .iter()
-            .map(|v| *s.get(v).expect("outputs bound by validated query"))
-            .collect();
-        out.insert(tuple);
-    });
-    out
+/// Where a compiled atom draws its candidate rows from.
+enum QSource {
+    /// A relational predicate: probed through the relation's indexes.
+    Relational(Pred),
+    /// A functional predicate at a ground term's representative cluster
+    /// (`Some(path)`) or at the current evaluation cluster (`None`).
+    Functional(Pred, Option<Vec<Func>>),
 }
 
-fn eval_rec(
-    spec: &GraphSpec,
-    body: &[Atom],
-    idx: usize,
-    cluster: Option<SpecNodeId>,
-    subst: &mut FxHashMap<Var, Cst>,
-    emit: &mut dyn FnMut(&FxHashMap<Var, Cst>),
-) {
-    if idx == body.len() {
-        emit(subst);
-        return;
+/// A key column resolved at probe time: a query constant or a register
+/// bound by an earlier atom.
+enum QSlot {
+    Const(Cst),
+    Reg(u32),
+}
+
+impl QSlot {
+    #[inline]
+    fn resolve(&self, regs: &[Cst]) -> Cst {
+        match *self {
+            QSlot::Const(c) => c,
+            QSlot::Reg(r) => regs[r as usize],
+        }
     }
-    let atom = &body[idx];
-    // Collect candidate tuples for this atom.
-    // Candidate rows are borrowed straight from the spec — no per-row
-    // clone just to read them.
-    let candidates: Vec<&[Cst]> = match atom {
-        Atom::Relational { pred, .. } => match spec.nf.relation(*pred) {
-            Some(rel) => rel.rows().collect(),
-            None => Vec::new(),
-        },
-        Atom::Functional { pred, fterm, .. } => {
-            let node = if let Some(path) = fterm.pure_path() {
-                // Ground term: replaced by its representative (§5).
-                match spec.representative_of(&path) {
-                    Some(n) => n,
-                    None => return,
+}
+
+/// Per-column action against a candidate row (mirrors the datalog
+/// substrate's compiled scheme; see `fundb_datalog::program`).
+enum QColOp {
+    /// Row column must equal a query constant.
+    CheckConst(u32, Cst),
+    /// Row column must equal an already-bound register.
+    CheckReg(u32, u32),
+    /// Row column binds a fresh register.
+    Load(u32, u32),
+}
+
+/// One compiled body atom: candidate source, probe signature/key over the
+/// bound columns, and the per-column ops run on each candidate.
+struct QAtom {
+    source: QSource,
+    arity: usize,
+    /// Bitmask of columns bound before this atom runs (relational only).
+    sig: u64,
+    key: Vec<QSlot>,
+    cols: Vec<QColOp>,
+}
+
+/// A query body compiled once to a register program, reused across every
+/// cluster. Registers are numbered by first occurrence in written body
+/// order (the atom order is *not* reordered here: candidate enumeration
+/// order is part of the per-cluster evaluation contract).
+struct CompiledBody {
+    atoms: Vec<QAtom>,
+    /// Register index of each output variable (validated queries bind all
+    /// outputs in the body).
+    out_regs: Vec<u32>,
+    nregs: usize,
+}
+
+impl CompiledBody {
+    fn compile(body: &[Atom], out_vars: &[Var]) -> Self {
+        let mut regs: FxHashMap<Var, u32> = FxHashMap::default();
+        // Variables bound by *earlier* atoms: only those may enter a probe
+        // key. A within-atom repeat gets a CheckReg op (confirmed per row)
+        // but its register holds nothing at probe time.
+        let mut prebound: FxHashSet<Var> = FxHashSet::default();
+        let mut atoms = Vec::with_capacity(body.len());
+        for atom in body {
+            let source = match atom {
+                Atom::Relational { pred, .. } => QSource::Relational(*pred),
+                Atom::Functional { pred, fterm, .. } => {
+                    QSource::Functional(*pred, fterm.pure_path())
                 }
-            } else {
-                cluster.expect("functional variable implies per-cluster evaluation")
             };
-            spec.slice(node)
-                .filter(|(p, _)| *p == *pred)
-                .map(|(_, args)| args)
-                .collect()
-        }
-    };
-    for row in candidates {
-        if row.len() != atom.args().len() {
-            continue;
-        }
-        let mut bound: Vec<Var> = Vec::new();
-        let mut ok = true;
-        for (t, v) in atom.args().iter().zip(row.iter()) {
-            match t {
-                NTerm::Const(c) => {
-                    if c != v {
-                        ok = false;
-                        break;
+            let relational = matches!(source, QSource::Relational(_));
+            let args = atom.args();
+            assert!(
+                !relational || args.len() <= 64,
+                "relational atoms are limited to 64 columns (signature bitmask)"
+            );
+            let mut sig = 0u64;
+            let mut key = Vec::new();
+            let mut cols = Vec::with_capacity(args.len());
+            for (i, t) in args.iter().enumerate() {
+                let col = i as u32;
+                match t {
+                    NTerm::Const(c) => {
+                        if relational {
+                            sig |= 1 << i;
+                            key.push(QSlot::Const(*c));
+                        }
+                        cols.push(QColOp::CheckConst(col, *c));
                     }
+                    NTerm::Var(v) => match regs.get(v) {
+                        Some(&r) => {
+                            if relational && prebound.contains(v) {
+                                sig |= 1 << i;
+                                key.push(QSlot::Reg(r));
+                            }
+                            cols.push(QColOp::CheckReg(col, r));
+                        }
+                        None => {
+                            let r = regs.len() as u32;
+                            regs.insert(*v, r);
+                            cols.push(QColOp::Load(col, r));
+                        }
+                    },
                 }
-                NTerm::Var(var) => match subst.get(var) {
-                    Some(&existing) => {
-                        if existing != *v {
-                            ok = false;
-                            break;
+            }
+            for t in args {
+                if let NTerm::Var(v) = t {
+                    prebound.insert(*v);
+                }
+            }
+            atoms.push(QAtom {
+                source,
+                arity: args.len(),
+                sig,
+                key,
+                cols,
+            });
+        }
+        let out_regs = out_vars
+            .iter()
+            .map(|v| *regs.get(v).expect("outputs bound by validated query"))
+            .collect();
+        CompiledBody {
+            atoms,
+            out_regs,
+            nregs: regs.len(),
+        }
+    }
+
+    /// Evaluates at a cluster (or globally when `cluster` is `None`),
+    /// returning the distinct bindings of the output variables.
+    fn eval_at(&self, spec: &GraphSpec, cluster: Option<SpecNodeId>) -> FxHashSet<Vec<Cst>> {
+        let mut out = FxHashSet::default();
+        // Every register is written (Load) before it is read (CheckReg /
+        // output), so a placeholder initialisation is safe and lets one
+        // flat buffer serve the whole recursion — no per-probe maps.
+        let mut regs = vec![Cst(Sym::PLACEHOLDER); self.nregs];
+        self.eval_rec(spec, 0, cluster, &mut regs, &mut |regs| {
+            let tuple: Vec<Cst> = self.out_regs.iter().map(|&r| regs[r as usize]).collect();
+            out.insert(tuple);
+        });
+        out
+    }
+
+    fn eval_rec(
+        &self,
+        spec: &GraphSpec,
+        depth: usize,
+        cluster: Option<SpecNodeId>,
+        regs: &mut [Cst],
+        emit: &mut dyn FnMut(&[Cst]),
+    ) {
+        if depth == self.atoms.len() {
+            emit(regs);
+            return;
+        }
+        let ca = &self.atoms[depth];
+        match &ca.source {
+            QSource::Relational(pred) => {
+                let Some(rel) = spec.nf.relation(*pred) else {
+                    return;
+                };
+                if ca.sig == 0 {
+                    for row in rel.rows() {
+                        if row.len() == ca.arity && apply_cols(&ca.cols, row, regs) {
+                            self.eval_rec(spec, depth + 1, cluster, regs, emit);
                         }
                     }
-                    None => {
-                        subst.insert(*var, *v);
-                        bound.push(*var);
+                    return;
+                }
+                // Resolve the key against the registers and probe; hash
+                // buckets may collide, so the column ops re-confirm every
+                // candidate.
+                let key: Vec<Cst> = ca.key.iter().map(|s| s.resolve(regs)).collect();
+                match rel.probe(ca.sig, &key) {
+                    Probe::Index(ids) | Probe::Partial(ids) => {
+                        for &id in ids {
+                            let row = rel.row(RowId(id));
+                            if row.len() == ca.arity && apply_cols(&ca.cols, row, regs) {
+                                self.eval_rec(spec, depth + 1, cluster, regs, emit);
+                            }
+                        }
                     }
-                },
+                    Probe::Scan => {
+                        for row in rel.rows() {
+                            if row.len() == ca.arity && apply_cols(&ca.cols, row, regs) {
+                                self.eval_rec(spec, depth + 1, cluster, regs, emit);
+                            }
+                        }
+                    }
+                }
+            }
+            QSource::Functional(pred, path) => {
+                let node = match path {
+                    // Ground term: replaced by its representative (§5).
+                    Some(p) => match spec.representative_of(p) {
+                        Some(n) => n,
+                        None => return,
+                    },
+                    None => cluster.expect("functional variable implies per-cluster evaluation"),
+                };
+                for (p, row) in spec.slice(node) {
+                    if p == *pred && row.len() == ca.arity && apply_cols(&ca.cols, row, regs) {
+                        self.eval_rec(spec, depth + 1, cluster, regs, emit);
+                    }
+                }
             }
         }
-        if ok {
-            eval_rec(spec, body, idx + 1, cluster, subst, emit);
-        }
-        for var in bound {
-            subst.remove(&var);
+    }
+}
+
+/// Runs an atom's column ops against a candidate row. No unwinding on
+/// failure: a register is always re-loaded before any later read.
+#[inline]
+fn apply_cols(cols: &[QColOp], row: &[Cst], regs: &mut [Cst]) -> bool {
+    for op in cols {
+        match *op {
+            QColOp::CheckConst(c, k) => {
+                if row[c as usize] != k {
+                    return false;
+                }
+            }
+            QColOp::CheckReg(c, r) => {
+                if row[c as usize] != regs[r as usize] {
+                    return false;
+                }
+            }
+            QColOp::Load(c, r) => regs[r as usize] = row[c as usize],
         }
     }
+    true
 }
 
 #[cfg(test)]

@@ -22,6 +22,7 @@
 //! §3.6 is evaluated over a bounded term universe as Datalog.
 
 pub mod engine;
+pub mod program;
 pub mod provenance;
 pub mod rel;
 pub mod rule;
@@ -30,6 +31,7 @@ pub use engine::{
     default_threads, evaluate, evaluate_naive, query, DeltaPlan, EvalStats, IncrementalEval,
     DEFAULT_MIN_PARALLEL_ROWS,
 };
+pub use program::JoinProgram;
 pub use provenance::{evaluate_traced, Derivation, Justification, Provenance};
-pub use rel::{Database, Relation, RowId, RowPool, Tuple};
+pub use rel::{Database, Probe, Relation, RowId, RowPool, Tuple};
 pub use rule::{Atom, Rule, Term};

@@ -1,0 +1,544 @@
+//! Compilation of rules into register-based join programs.
+//!
+//! The semi-naive loop of PR 1/2 interpreted every rule body per probe: a
+//! fresh `Vec<Option<Cst>>` pattern per atom visit, variable bindings in an
+//! `FxHashMap<Var, Cst>`, and candidate rows confirmed field-by-field
+//! against the pattern. All of that is rule structure, not data — so a
+//! [`JoinProgram`] now pays it once, at [`DeltaPlan`](crate::DeltaPlan)
+//! construction:
+//!
+//! * variables become **registers**: dense indexes into a `Vec<Cst>` file,
+//!   numbered by first occurrence in the chosen atom order, so a binding is
+//!   an array store and an equality check is an array load — no hashing, no
+//!   unwinding (a register is always overwritten before it is re-read);
+//! * each body atom becomes an [`AtomOp`] that precomputes, per column,
+//!   whether the position is a constant ([`ColOp::CheckConst`]), a register
+//!   bound by an earlier atom or an earlier column of the same atom
+//!   ([`ColOp::CheckReg`]), or a fresh binding ([`ColOp::Load`]);
+//! * the columns bound *before* the atom runs form its **signature**: a
+//!   bitmask keying the on-demand composite indexes of
+//!   [`Relation`](crate::Relation), so a multi-column probe is one hash
+//!   lookup over the resolved key instead of a candidate scan;
+//! * body atoms are **reordered greedily by boundness**: the delta atom (if
+//!   any) runs outermost — its rows are the reason the rule fires at all —
+//!   then repeatedly the atom with the most bound positions, ties broken by
+//!   original body position. The order is fixed at compile time, which keeps
+//!   every run (and every thread count) byte-identical.
+//!
+//! Execution walks the ops depth-first exactly like the old interpreter, so
+//! compiled evaluation derives the same rows; only the visit order of
+//! *bindings* changes (and with it which candidate rows are ever touched).
+
+use crate::engine::EvalStats;
+use crate::rel::{Database, Relation, RowId};
+use crate::rule::{Rule, Term};
+use fundb_term::{Cst, FxHashMap, FxHashSet, Pred, Sym, Var};
+use std::hash::Hasher;
+
+/// A value position resolvable at run time: a compile-time constant or a
+/// register of the program's register file.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub(crate) enum Slot {
+    /// A constant from the rule text.
+    Const(Cst),
+    /// A register holding a variable bound by an earlier op.
+    Reg(u32),
+}
+
+impl Slot {
+    /// The slot's value under the current register file.
+    #[inline]
+    fn resolve(self, regs: &[Cst]) -> Cst {
+        match self {
+            Slot::Const(c) => c,
+            Slot::Reg(r) => regs[r as usize],
+        }
+    }
+}
+
+/// Per-column action of an [`AtomOp`], applied to each candidate row.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub(crate) enum ColOp {
+    /// The column must equal a constant.
+    CheckConst(u32, Cst),
+    /// The column must equal an already-written register.
+    CheckReg(u32, u32),
+    /// The column's value is stored into a fresh register.
+    Load(u32, u32),
+}
+
+/// One body atom, compiled: where to probe, with what key, and how to
+/// confirm-and-bind each candidate row.
+#[derive(Clone, Debug)]
+pub(crate) struct AtomOp {
+    /// Relation to probe.
+    pred: Pred,
+    /// Bitmask of columns bound before this atom runs (constants and
+    /// registers written by earlier atoms). `0` means a full scan.
+    sig: u64,
+    /// Values of the `sig` columns, in ascending column order.
+    key: Vec<Slot>,
+    /// Column ops in ascending column order (so a within-atom repeated
+    /// variable is loaded before it is checked).
+    cols: Vec<ColOp>,
+    /// The atom's position in the rule text, for matching delta ranges.
+    body_pos: u32,
+}
+
+/// A head (or query output) position.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub(crate) enum HeadSlot {
+    /// A constant from the rule text.
+    Const(Cst),
+    /// A register written by the body.
+    Reg(u32),
+    /// A variable the body never binds (unsafe rule / unbound output). The
+    /// emit callback decides how to fail, preserving the interpreter's
+    /// lazy panic-on-first-firing behaviour.
+    Unbound,
+}
+
+/// A rule body compiled to a flat op list over a dense register file.
+#[derive(Clone, Debug)]
+pub struct JoinProgram {
+    head_pred: Pred,
+    head: Vec<HeadSlot>,
+    ops: Vec<AtomOp>,
+    nregs: usize,
+}
+
+impl JoinProgram {
+    /// Compiles `rule` with the greedy boundness ordering; `delta_atom`
+    /// (a body position) forces that atom to run outermost, which is what
+    /// makes chunked delta ranges partition the work exactly.
+    pub fn compile(rule: &Rule, delta_atom: Option<usize>) -> JoinProgram {
+        let order = greedy_order(rule, delta_atom);
+        JoinProgram::compile_ordered(rule, &order)
+    }
+
+    /// Compiles `rule` with an explicit atom order (`order` is a
+    /// permutation of body positions). Used directly by [`crate::query`],
+    /// which must preserve the written order of the body.
+    pub(crate) fn compile_ordered(rule: &Rule, order: &[usize]) -> JoinProgram {
+        debug_assert_eq!(order.len(), rule.body.len());
+        let mut regs: FxHashMap<Var, u32> = FxHashMap::default();
+        let mut prebound: FxHashSet<Var> = FxHashSet::default();
+        let mut nregs = 0u32;
+        let mut ops = Vec::with_capacity(order.len());
+        for &bi in order {
+            let atom = &rule.body[bi];
+            assert!(atom.args.len() <= 64, "atom arity exceeds signature width");
+            let mut cols = Vec::with_capacity(atom.args.len());
+            let mut sig = 0u64;
+            let mut key = Vec::new();
+            for (col, t) in atom.args.iter().enumerate() {
+                let col = col as u32;
+                match t {
+                    Term::Const(c) => {
+                        cols.push(ColOp::CheckConst(col, *c));
+                        sig |= 1 << col;
+                        key.push(Slot::Const(*c));
+                    }
+                    Term::Var(v) => {
+                        if let Some(&r) = regs.get(v) {
+                            cols.push(ColOp::CheckReg(col, r));
+                            // Only variables bound by *earlier atoms* are
+                            // available when the probe key is built; a
+                            // within-atom repeat is confirmed per row.
+                            if prebound.contains(v) {
+                                sig |= 1 << col;
+                                key.push(Slot::Reg(r));
+                            }
+                        } else {
+                            regs.insert(*v, nregs);
+                            cols.push(ColOp::Load(col, nregs));
+                            nregs += 1;
+                        }
+                    }
+                }
+            }
+            ops.push(AtomOp {
+                pred: atom.pred,
+                sig,
+                key,
+                cols,
+                body_pos: bi as u32,
+            });
+            prebound.extend(atom.vars());
+        }
+        let head = rule
+            .head
+            .args
+            .iter()
+            .map(|t| match t {
+                Term::Const(c) => HeadSlot::Const(*c),
+                Term::Var(v) => regs.get(v).map_or(HeadSlot::Unbound, |&r| HeadSlot::Reg(r)),
+            })
+            .collect();
+        JoinProgram {
+            head_pred: rule.head.pred,
+            head,
+            ops,
+            nregs: nregs as usize,
+        }
+    }
+
+    /// Size of the register file an execution needs.
+    pub fn register_count(&self) -> usize {
+        self.nregs
+    }
+
+    /// The head predicate rows are emitted under.
+    pub(crate) fn head_pred(&self) -> Pred {
+        self.head_pred
+    }
+
+    /// Body atom positions in execution order (for tests and diagnostics).
+    pub fn atom_order(&self) -> Vec<usize> {
+        self.ops.iter().map(|op| op.body_pos as usize).collect()
+    }
+
+    /// Composite-index signatures this program will probe, appended to
+    /// `out` as `(predicate, signature)` pairs (multi-column only —
+    /// single columns are served by the per-column indexes).
+    pub(crate) fn demands(&self, out: &mut Vec<(Pred, u64)>) {
+        for op in &self.ops {
+            if op.sig.count_ones() >= 2 {
+                out.push((op.pred, op.sig));
+            }
+        }
+    }
+
+    /// Runs the program over `db`. `delta`, if present, restricts the
+    /// *first* op (the delta atom of a per-delta program) to the dense row
+    /// range `start..end` of its relation. `regs` must hold at least
+    /// [`register_count`](Self::register_count) slots; `emit` receives the
+    /// head template and the register file for each firing.
+    pub(crate) fn execute<F: FnMut(&[HeadSlot], &[Cst])>(
+        &self,
+        db: &Database,
+        delta: Option<(usize, usize)>,
+        regs: &mut [Cst],
+        stats: &mut EvalStats,
+        emit: &mut F,
+    ) {
+        debug_assert!(regs.len() >= self.nregs);
+        self.exec(db, 0, delta, regs, stats, emit);
+    }
+
+    fn exec<F: FnMut(&[HeadSlot], &[Cst])>(
+        &self,
+        db: &Database,
+        depth: usize,
+        delta: Option<(usize, usize)>,
+        regs: &mut [Cst],
+        stats: &mut EvalStats,
+        emit: &mut F,
+    ) {
+        let Some(op) = self.ops.get(depth) else {
+            emit(&self.head, regs);
+            return;
+        };
+        let Some(rel) = db.relation(op.pred) else {
+            return;
+        };
+        // The delta atom of a per-delta program is always op 0: scan its
+        // chunk of fresh rows directly.
+        if depth == 0 {
+            if let Some((start, end)) = delta {
+                for row in rel.rows_range(start, end) {
+                    stats.join_probes += 1;
+                    if apply_cols(&op.cols, row, regs) {
+                        self.exec(db, depth + 1, delta, regs, stats, emit);
+                    }
+                }
+                return;
+            }
+        }
+        if op.sig == 0 {
+            // No bound columns: scan.
+            for row in rel.rows() {
+                stats.join_probes += 1;
+                if apply_cols(&op.cols, row, regs) {
+                    self.exec(db, depth + 1, delta, regs, stats, emit);
+                }
+            }
+            return;
+        }
+        let candidates: &[u32] = if op.sig.count_ones() == 1 {
+            // One bound column: the per-column index covers the key.
+            let col = op.sig.trailing_zeros() as usize;
+            stats.index_hits += 1;
+            rel.column_bucket(col, op.key[0].resolve(regs))
+        } else {
+            match rel.composite_bucket(op.sig, self.key_hash(op, regs)) {
+                Some(bucket) => {
+                    // Full cover: candidates differ from answers only by
+                    // hash collisions.
+                    stats.index_hits += 1;
+                    bucket
+                }
+                None => {
+                    // Index not built (immutable caller): fall back to the
+                    // smallest single-column bucket among the bound columns.
+                    stats.index_misses += 1;
+                    self.best_partial_bucket(rel, op, regs)
+                }
+            }
+        };
+        for &id in candidates {
+            let row = rel.row(RowId(id));
+            stats.join_probes += 1;
+            if apply_cols(&op.cols, row, regs) {
+                self.exec(db, depth + 1, delta, regs, stats, emit);
+            }
+        }
+    }
+
+    /// Hash of `op`'s probe key under the current registers; must agree
+    /// with the composite index's row-side hashing.
+    #[inline]
+    fn key_hash(&self, op: &AtomOp, regs: &[Cst]) -> u64 {
+        let mut h = fundb_term::FxHasher::default();
+        for slot in &op.key {
+            h.write_usize(slot.resolve(regs).index());
+        }
+        h.finish()
+    }
+
+    /// Smallest per-column bucket among `op`'s bound columns.
+    fn best_partial_bucket<'a>(&self, rel: &'a Relation, op: &AtomOp, regs: &[Cst]) -> &'a [u32] {
+        let mut best: &[u32] = &[];
+        let mut best_len = usize::MAX;
+        let mut bits = op.sig;
+        let mut ki = 0;
+        while bits != 0 {
+            let col = bits.trailing_zeros() as usize;
+            let bucket = rel.column_bucket(col, op.key[ki].resolve(regs));
+            if bucket.len() < best_len {
+                best = bucket;
+                best_len = bucket.len();
+            }
+            bits &= bits - 1;
+            ki += 1;
+        }
+        best
+    }
+}
+
+/// Confirms a candidate row against an op's column ops, writing fresh
+/// bindings into `regs`. Ops are in column order, so a `Load` always
+/// precedes the `CheckReg` of a within-atom repeat. Registers need no
+/// unwinding on failure: a register is only read at deeper ops (or the
+/// head) after this op re-runs its `Load`s for the next candidate.
+#[inline]
+fn apply_cols(cols: &[ColOp], row: &[Cst], regs: &mut [Cst]) -> bool {
+    for op in cols {
+        match *op {
+            ColOp::CheckConst(col, c) => {
+                if row[col as usize] != c {
+                    return false;
+                }
+            }
+            ColOp::CheckReg(col, r) => {
+                if row[col as usize] != regs[r as usize] {
+                    return false;
+                }
+            }
+            ColOp::Load(col, r) => regs[r as usize] = row[col as usize],
+        }
+    }
+    true
+}
+
+/// The greedy atom ordering: the delta atom (if any) first, then repeatedly
+/// the atom with the most bound positions (constants or variables bound by
+/// already-placed atoms), ties broken by original body position. Purely
+/// static, so the order — and with it row derivation order — is identical
+/// across runs and thread counts.
+fn greedy_order(rule: &Rule, delta_atom: Option<usize>) -> Vec<usize> {
+    let n = rule.body.len();
+    let mut order = Vec::with_capacity(n);
+    let mut used = vec![false; n];
+    let mut bound: FxHashSet<Var> = FxHashSet::default();
+    if let Some(ai) = delta_atom {
+        order.push(ai);
+        used[ai] = true;
+        bound.extend(rule.body[ai].vars());
+    }
+    while order.len() < n {
+        let mut best = usize::MAX;
+        let mut best_score = 0usize;
+        for (i, atom) in rule.body.iter().enumerate() {
+            if used[i] {
+                continue;
+            }
+            let score = atom
+                .args
+                .iter()
+                .filter(|t| match t {
+                    Term::Const(_) => true,
+                    Term::Var(v) => bound.contains(v),
+                })
+                .count();
+            if best == usize::MAX || score > best_score {
+                best = i;
+                best_score = score;
+            }
+        }
+        order.push(best);
+        used[best] = true;
+        bound.extend(rule.body[best].vars());
+    }
+    order
+}
+
+/// A rule compiled for every role it can play in a semi-naive round: once
+/// with no delta restriction (first/naive rounds) and once per body atom
+/// as the delta atom.
+#[derive(Clone, Debug)]
+pub(crate) struct CompiledRule {
+    pub(crate) full: JoinProgram,
+    pub(crate) per_delta: Vec<JoinProgram>,
+}
+
+impl CompiledRule {
+    pub(crate) fn new(rule: &Rule) -> CompiledRule {
+        CompiledRule {
+            full: JoinProgram::compile(rule, None),
+            per_delta: (0..rule.body.len())
+                .map(|ai| JoinProgram::compile(rule, Some(ai)))
+                .collect(),
+        }
+    }
+
+    /// All composite-index signatures any of this rule's programs probe.
+    pub(crate) fn demands(&self, out: &mut Vec<(Pred, u64)>) {
+        self.full.demands(out);
+        for p in &self.per_delta {
+            p.demands(out);
+        }
+    }
+}
+
+/// A register file pre-sized for `prog`, filled with the placeholder
+/// sentinel (every register is written before it is read).
+pub(crate) fn register_file(prog: &JoinProgram) -> Vec<Cst> {
+    vec![Cst(Sym::PLACEHOLDER); prog.register_count()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::Atom;
+    use fundb_term::Interner;
+
+    fn tc_right(i: &mut Interner) -> Rule {
+        let edge = Pred(i.intern("Edge"));
+        let path = Pred(i.intern("Path"));
+        let (x, y, z) = (Var(i.intern("x")), Var(i.intern("y")), Var(i.intern("z")));
+        Rule::new(
+            Atom::new(path, vec![Term::Var(x), Term::Var(z)]),
+            vec![
+                Atom::new(edge, vec![Term::Var(x), Term::Var(y)]),
+                Atom::new(path, vec![Term::Var(y), Term::Var(z)]),
+            ],
+        )
+    }
+
+    #[test]
+    fn delta_atom_runs_first() {
+        let mut i = Interner::new();
+        let rule = tc_right(&mut i);
+        // Delta on the trailing Path atom: it must be hoisted outermost,
+        // and the Edge atom then probes with its second column bound.
+        let prog = JoinProgram::compile(&rule, Some(1));
+        assert_eq!(prog.atom_order(), vec![1, 0]);
+        assert_eq!(prog.ops[1].sig, 0b10);
+        // Without a delta the written order is kept (no atom starts bound).
+        let full = JoinProgram::compile(&rule, None);
+        assert_eq!(full.atom_order(), vec![0, 1]);
+    }
+
+    #[test]
+    fn constants_and_bound_vars_form_the_signature() {
+        let mut i = Interner::new();
+        let p = Pred(i.intern("P"));
+        let q = Pred(i.intern("Q"));
+        let r = Pred(i.intern("R"));
+        let (x, y) = (Var(i.intern("x")), Var(i.intern("y")));
+        let a = Cst(i.intern("a"));
+        // R(x,y) :- P(x), Q(a, x, y).
+        let rule = Rule::new(
+            Atom::new(r, vec![Term::Var(x), Term::Var(y)]),
+            vec![
+                Atom::new(p, vec![Term::Var(x)]),
+                Atom::new(q, vec![Term::Const(a), Term::Var(x), Term::Var(y)]),
+            ],
+        );
+        let prog = JoinProgram::compile(&rule, None);
+        // Q starts with one bound position (the constant), P with none, so
+        // the greedy order hoists Q; P then probes with x bound.
+        assert_eq!(prog.atom_order(), vec![1, 0]);
+        assert_eq!(prog.ops[0].sig, 0b001);
+        assert_eq!(prog.ops[0].key, vec![Slot::Const(a)]);
+        assert_eq!(prog.ops[1].sig, 0b1);
+        assert_eq!(prog.ops[1].key, vec![Slot::Reg(0)]);
+        assert_eq!(prog.register_count(), 2);
+        assert_eq!(prog.head, vec![HeadSlot::Reg(0), HeadSlot::Reg(1)]);
+    }
+
+    #[test]
+    fn within_atom_repeats_check_but_do_not_probe() {
+        let mut i = Interner::new();
+        let p = Pred(i.intern("P"));
+        let q = Pred(i.intern("Q"));
+        let x = Var(i.intern("x"));
+        // Q(x) :- P(x, x): the second x confirms per row; no column is
+        // bound before the atom runs, so the probe is a scan.
+        let rule = Rule::new(
+            Atom::new(q, vec![Term::Var(x)]),
+            vec![Atom::new(p, vec![Term::Var(x), Term::Var(x)])],
+        );
+        let prog = JoinProgram::compile(&rule, None);
+        assert_eq!(prog.ops[0].sig, 0);
+        assert_eq!(
+            prog.ops[0].cols,
+            vec![ColOp::Load(0, 0), ColOp::CheckReg(1, 0)]
+        );
+    }
+
+    #[test]
+    fn greedy_order_prefers_constants() {
+        let mut i = Interner::new();
+        let p = Pred(i.intern("P"));
+        let q = Pred(i.intern("Q"));
+        let r = Pred(i.intern("R"));
+        let (x, y) = (Var(i.intern("x")), Var(i.intern("y")));
+        let a = Cst(i.intern("a"));
+        // R(y) :- P(x, y), Q(a, x): Q has one constant position bound at
+        // the start, P has none — Q runs first.
+        let rule = Rule::new(
+            Atom::new(r, vec![Term::Var(y)]),
+            vec![
+                Atom::new(p, vec![Term::Var(x), Term::Var(y)]),
+                Atom::new(q, vec![Term::Const(a), Term::Var(x)]),
+            ],
+        );
+        assert_eq!(JoinProgram::compile(&rule, None).atom_order(), vec![1, 0]);
+    }
+
+    #[test]
+    fn unbound_head_vars_become_unbound_slots() {
+        let mut i = Interner::new();
+        let p = Pred(i.intern("P"));
+        let q = Pred(i.intern("Q"));
+        let (x, y) = (Var(i.intern("x")), Var(i.intern("y")));
+        let rule = Rule::new(
+            Atom::new(q, vec![Term::Var(y)]),
+            vec![Atom::new(p, vec![Term::Var(x)])],
+        );
+        let prog = JoinProgram::compile(&rule, None);
+        assert_eq!(prog.head, vec![HeadSlot::Unbound]);
+    }
+}

@@ -75,9 +75,34 @@ impl RowPool {
 
 /// Fx hash of a row's constants, used to key the dedup table.
 #[inline]
-fn hash_row(t: &[Cst]) -> u64 {
+pub(crate) fn hash_row(t: &[Cst]) -> u64 {
     let mut h = FxHasher::default();
     for c in t {
+        h.write_usize(c.index());
+    }
+    h.finish()
+}
+
+/// Fx hash of the columns of `row` selected by `sig` (ascending column
+/// order), used to key a composite index.
+#[inline]
+fn hash_sig_cols(row: &[Cst], sig: u64) -> u64 {
+    let mut h = FxHasher::default();
+    let mut bits = sig;
+    while bits != 0 {
+        let col = bits.trailing_zeros() as usize;
+        h.write_usize(row[col].index());
+        bits &= bits - 1;
+    }
+    h.finish()
+}
+
+/// Fx hash of an already-extracted composite key (the bound values in
+/// ascending column order). Must agree with [`hash_sig_cols`].
+#[inline]
+fn hash_key(key: &[Cst]) -> u64 {
+    let mut h = FxHasher::default();
+    for c in key {
         h.write_usize(c.index());
     }
     h.finish()
@@ -99,6 +124,13 @@ pub struct Relation {
     dedup: FxHashMap<u64, Vec<u32>>,
     /// `index[col][value]` = ids of rows with `row[col] == value`.
     index: Vec<FxHashMap<Cst, Vec<u32>>>,
+    /// On-demand composite indexes, keyed by a column-signature bitmask
+    /// (bit `i` set = column `i` participates in the key):
+    /// `composite[sig][hash of the sig columns]` = ids of matching rows.
+    /// Built lazily by [`Relation::ensure_composite`], then maintained
+    /// incrementally on insert. Buckets are hash-of-key, so probes must
+    /// still confirm the candidate rows (exactly like `dedup`).
+    composite: FxHashMap<u64, FxHashMap<u64, Vec<u32>>>,
 }
 
 impl Relation {
@@ -109,6 +141,7 @@ impl Relation {
             len: 0,
             dedup: FxHashMap::default(),
             index: (0..arity).map(|_| FxHashMap::default()).collect(),
+            composite: FxHashMap::default(),
         }
     }
 
@@ -144,6 +177,9 @@ impl Relation {
         self.len += 1;
         for (col, &v) in t.iter().enumerate() {
             self.index[col].entry(v).or_default().push(id.0);
+        }
+        for (&sig, map) in &mut self.composite {
+            map.entry(hash_sig_cols(t, sig)).or_default().push(id.0);
         }
         Some(id)
     }
@@ -214,6 +250,99 @@ impl Relation {
             },
         }
     }
+
+    /// Row ids whose column `col` holds `v` (the always-present per-column
+    /// index; an absent value is an empty bucket).
+    #[inline]
+    pub(crate) fn column_bucket(&self, col: usize, v: Cst) -> &[u32] {
+        self.index[col].get(&v).map_or(&[], Vec::as_slice)
+    }
+
+    /// Bucket of the composite index for `sig` at `key_hash`, or `None` if
+    /// that index was never built (a built index with no such key yields an
+    /// empty bucket).
+    #[inline]
+    pub(crate) fn composite_bucket(&self, sig: u64, key_hash: u64) -> Option<&[u32]> {
+        self.composite
+            .get(&sig)
+            .map(|m| m.get(&key_hash).map_or(&[][..], Vec::as_slice))
+    }
+
+    /// Builds the composite index for `sig` if it does not exist yet.
+    /// Single-column signatures are served by the always-present per-column
+    /// indexes, so nothing is built for them. Subsequent inserts maintain
+    /// the index incrementally.
+    pub fn ensure_composite(&mut self, sig: u64) {
+        if sig.count_ones() <= 1 || self.composite.contains_key(&sig) {
+            return;
+        }
+        let mut map: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
+        for i in 0..self.len {
+            let row = self.pool.row(i);
+            map.entry(hash_sig_cols(row, sig))
+                .or_default()
+                .push(i as u32);
+        }
+        self.composite.insert(sig, map);
+    }
+
+    /// Whether the composite index for `sig` has been built.
+    pub fn has_composite(&self, sig: u64) -> bool {
+        sig.count_ones() <= 1 || self.composite.contains_key(&sig)
+    }
+
+    /// Answers a bound-column probe: `sig` names the bound columns and
+    /// `key` holds their values in ascending column order. Returns the
+    /// candidate row ids and whether the index fully covered the bound
+    /// columns; candidates must still be confirmed against the key (hash
+    /// buckets can collide, and a partial cover filters only one column).
+    pub fn probe(&self, sig: u64, key: &[Cst]) -> Probe<'_> {
+        debug_assert_eq!(sig.count_ones() as usize, key.len());
+        if sig == 0 {
+            return Probe::Scan;
+        }
+        if sig.count_ones() == 1 {
+            let col = sig.trailing_zeros() as usize;
+            let bucket = self.index[col].get(&key[0]).map_or(&[][..], Vec::as_slice);
+            return Probe::Index(bucket);
+        }
+        if let Some(map) = self.composite.get(&sig) {
+            let bucket = map.get(&hash_key(key)).map_or(&[][..], Vec::as_slice);
+            return Probe::Index(bucket);
+        }
+        // No composite index (immutable caller): fall back to the smallest
+        // single-column bucket among the bound columns.
+        let mut best: &[u32] = &[];
+        let mut best_len = usize::MAX;
+        let mut bits = sig;
+        let mut ki = 0;
+        while bits != 0 {
+            let col = bits.trailing_zeros() as usize;
+            let bucket = self.index[col].get(&key[ki]).map_or(&[][..], Vec::as_slice);
+            if bucket.len() < best_len {
+                best = bucket;
+                best_len = bucket.len();
+            }
+            bits &= bits - 1;
+            ki += 1;
+        }
+        Probe::Partial(best)
+    }
+}
+
+/// Result of [`Relation::probe`]: candidate row ids for a bound-column
+/// selection, tagged by how much of the key the index covered.
+#[derive(Clone, Debug)]
+pub enum Probe<'a> {
+    /// All bound columns are covered (per-column index for one bound
+    /// column, composite index otherwise); candidates still need a confirm
+    /// pass because composite buckets are keyed by hash.
+    Index(&'a [u32]),
+    /// Only the most selective single bound column filtered the candidates;
+    /// the probe must re-check every bound column.
+    Partial(&'a [u32]),
+    /// No bound columns: the caller scans the relation.
+    Scan,
 }
 
 /// Iterator over a contiguous range of a relation's rows.
@@ -322,6 +451,15 @@ impl Database {
     /// Inserts a fact; returns `true` if new.
     pub fn insert(&mut self, p: Pred, t: &[Cst]) -> bool {
         self.relation_mut(p, t.len()).insert(t)
+    }
+
+    /// Ensures `p`'s relation (if it exists) has the composite index for
+    /// `sig`. Called by the evaluator before each round with the signatures
+    /// its compiled programs will probe.
+    pub fn ensure_composite(&mut self, p: Pred, sig: u64) {
+        if let Some(rel) = self.relations.get_mut(&p) {
+            rel.ensure_composite(sig);
+        }
     }
 
     /// Membership test; absent predicates are empty.
@@ -447,6 +585,83 @@ mod tests {
         let chunk: Vec<&[Cst]> = r.rows_range(1, 3).collect();
         assert_eq!(chunk, vec![&[v[1]][..], &[v[2]][..]]);
         assert_eq!(r.rows_range(2, 2).count(), 0);
+    }
+
+    /// Resolves a probe to confirmed rows (re-checking the key), in id
+    /// order — the test-side equivalent of what the compiled executor does.
+    fn probe_rows<'a>(r: &'a Relation, sig: u64, key: &[Cst]) -> Vec<&'a [Cst]> {
+        let ids: &[u32] = match r.probe(sig, key) {
+            Probe::Index(ids) | Probe::Partial(ids) => ids,
+            Probe::Scan => return r.rows().collect(),
+        };
+        ids.iter()
+            .map(|&i| r.row(RowId(i)))
+            .filter(|row| {
+                let mut bits = sig;
+                let mut ki = 0;
+                let mut ok = true;
+                while bits != 0 {
+                    let col = bits.trailing_zeros() as usize;
+                    ok &= row[col] == key[ki];
+                    bits &= bits - 1;
+                    ki += 1;
+                }
+                ok
+            })
+            .collect()
+    }
+
+    #[test]
+    fn composite_probe_answers_multi_column_keys() {
+        let mut i = Interner::new();
+        let v = csts(&mut i, &["a", "b", "c"]);
+        let (a, b, c) = (v[0], v[1], v[2]);
+        let mut r = Relation::new(3);
+        r.insert(&[a, b, c]);
+        r.insert(&[a, b, a]);
+        r.insert(&[a, c, c]);
+        // Without the index, a two-column probe is only partially covered.
+        assert!(matches!(r.probe(0b011, &[a, b]), Probe::Partial(_)));
+        assert_eq!(probe_rows(&r, 0b011, &[a, b]).len(), 2);
+        // Build it: the same probe is now fully covered.
+        r.ensure_composite(0b011);
+        assert!(r.has_composite(0b011));
+        assert!(matches!(r.probe(0b011, &[a, b]), Probe::Index(_)));
+        assert_eq!(probe_rows(&r, 0b011, &[a, b]).len(), 2);
+        assert_eq!(probe_rows(&r, 0b011, &[b, b]).len(), 0);
+        // Columns 0 and 2 (non-adjacent signature).
+        r.ensure_composite(0b101);
+        assert_eq!(probe_rows(&r, 0b101, &[a, c]).len(), 2);
+    }
+
+    #[test]
+    fn composite_index_is_maintained_on_insert() {
+        let mut i = Interner::new();
+        let v = csts(&mut i, &["a", "b", "c"]);
+        let (a, b, c) = (v[0], v[1], v[2]);
+        let mut r = Relation::new(2);
+        r.insert(&[a, b]);
+        r.ensure_composite(0b11);
+        r.insert(&[a, c]);
+        r.insert(&[a, b]); // duplicate: must not double-index
+        assert_eq!(probe_rows(&r, 0b11, &[a, c]).len(), 1);
+        assert_eq!(probe_rows(&r, 0b11, &[a, b]).len(), 1);
+    }
+
+    #[test]
+    fn single_column_probes_use_column_index() {
+        let mut i = Interner::new();
+        let v = csts(&mut i, &["a", "b"]);
+        let mut r = Relation::new(2);
+        r.insert(&[v[0], v[1]]);
+        r.insert(&[v[1], v[1]]);
+        // Column signatures with one bit never build anything...
+        r.ensure_composite(0b10);
+        assert!(r.has_composite(0b10));
+        // ...but are still fully covered probes.
+        assert!(matches!(r.probe(0b10, &[v[1]]), Probe::Index(_)));
+        assert_eq!(probe_rows(&r, 0b10, &[v[1]]).len(), 2);
+        assert!(matches!(r.probe(0, &[]), Probe::Scan));
     }
 
     #[test]

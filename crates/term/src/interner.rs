@@ -16,6 +16,12 @@ use std::hash::Hasher;
 pub struct Sym(u32);
 
 impl Sym {
+    /// Sentinel handle that never resolves: used to pre-size buffers (e.g.
+    /// register files) whose slots are always written before they are read.
+    /// Resolving it panics, which is exactly what a read-before-write bug
+    /// should do.
+    pub const PLACEHOLDER: Sym = Sym(u32::MAX);
+
     /// The dense index of this symbol (0-based interning order).
     #[inline]
     pub fn index(self) -> usize {
