@@ -22,7 +22,7 @@ fn bench_yesno(c: &mut Criterion) {
             b.iter(|| {
                 let mut ws = rotation(k);
                 let mut engine = Engine::build(&ws.program, &ws.db, &mut ws.interner).unwrap();
-                engine.solve();
+                engine.solve().unwrap();
                 engine
             });
         });
@@ -38,7 +38,7 @@ fn bench_yesno(c: &mut Criterion) {
             b.iter(|| {
                 let mut ws = binary_counter(w);
                 let mut engine = Engine::build(&ws.program, &ws.db, &mut ws.interner).unwrap();
-                engine.solve();
+                engine.solve().unwrap();
                 engine
             });
         });

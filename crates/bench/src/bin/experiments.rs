@@ -1,6 +1,6 @@
 //! The experiment harness: regenerates every table of EXPERIMENTS.md.
 //!
-//! Usage: `cargo run --release -p fundb-bench --bin experiments [e1 … e11 | all]`
+//! Usage: `cargo run --release -p fundb-bench --bin experiments [e1 … e12 | all]`
 //!
 //! Each experiment prints a small table comparing the paper's claim with
 //! what this implementation measures. Absolute times are machine-dependent;
@@ -8,7 +8,7 @@
 //! targets.
 //!
 //! Every run also appends a machine-readable trajectory to
-//! `BENCH_pr3.json` (override with `FUNDB_BENCH_JSON`): one record per
+//! `BENCH_pr4.json` (override with `FUNDB_BENCH_JSON`): one record per
 //! experiment with its wall time, plus detailed records (rows/s, join
 //! probes, index hits/misses, threads) for the timed experiments. CI
 //! uploads the file so the bench history accumulates across PRs.
@@ -86,6 +86,11 @@ fn main() {
         e11_parallel_scaling(&mut bench);
         bench.total("E11", t);
     }
+    if want("e12") {
+        let t = Instant::now();
+        e12_governor_overhead(&mut bench);
+        bench.total("E12", t);
+    }
 
     match bench.write() {
         Ok(path) => println!("bench trajectory written to {path}"),
@@ -129,8 +134,8 @@ impl Bench {
     /// Writes the trajectory file and returns its path.
     fn write(&self) -> std::io::Result<String> {
         let path =
-            std::env::var("FUNDB_BENCH_JSON").unwrap_or_else(|_| "BENCH_pr3.json".to_string());
-        let mut out = String::from("{\"schema\":\"fundb-bench-v1\",\"pr\":3,\"records\":[\n");
+            std::env::var("FUNDB_BENCH_JSON").unwrap_or_else(|_| "BENCH_pr4.json".to_string());
+        let mut out = String::from("{\"schema\":\"fundb-bench-v1\",\"pr\":4,\"records\":[\n");
         out.push_str(&self.records.join(",\n"));
         out.push_str("\n]}\n");
         std::fs::write(&path, out)?;
@@ -250,7 +255,7 @@ fn e4_yesno_complexity(bench: &mut Bench) {
         let temporal_ms = t0.elapsed().as_secs_f64() * 1e3;
         let t1 = Instant::now();
         let mut engine = Engine::build(&ws.program, &ws.db, &mut ws.interner).unwrap();
-        engine.solve();
+        engine.solve().unwrap();
         let general_ms = t1.elapsed().as_secs_f64() * 1e3;
         let stats = engine.stats();
         println!(
@@ -312,7 +317,7 @@ fn e5_graphspec_size(bench: &mut Bench) {
         let mut ws = rotation(k);
         let t0 = Instant::now();
         let mut engine = ws.engine().unwrap();
-        let spec = fundb_core::GraphSpec::from_engine(&mut engine);
+        let spec = fundb_core::GraphSpec::from_engine(&mut engine).unwrap();
         let ms = t0.elapsed().as_secs_f64() * 1e3;
         let stats = engine.stats().clone();
         println!(
@@ -341,7 +346,9 @@ fn e5_graphspec_size(bench: &mut Bench) {
         let mut ws = subset_lists(n);
         let t0 = Instant::now();
         let mut engine = ws.engine().unwrap();
-        let spec = fundb_core::GraphSpec::from_engine(&mut engine).minimized();
+        let spec = fundb_core::GraphSpec::from_engine(&mut engine)
+            .unwrap()
+            .minimized();
         let ms = t0.elapsed().as_secs_f64() * 1e3;
         let stats = engine.stats().clone();
         println!(
@@ -533,7 +540,7 @@ fn e9_baseline_crossover() {
     let spec_ms = t0.elapsed().as_secs_f64() * 1e3;
     for depth in [8usize, 32, 128, 512] {
         let t1 = Instant::now();
-        let mat = BoundedMaterialization::run(&pure, depth, &mut ws.interner);
+        let mat = BoundedMaterialization::run(&pure, depth, &mut ws.interner).unwrap();
         let ms = t1.elapsed().as_secs_f64() * 1e3;
         println!(
             "{:>12} {:>14} {:>14.2} {:>16}",
@@ -562,7 +569,7 @@ fn e10_congr() {
     let spec = ws.graph_spec().unwrap();
     let eq = EqSpec::from_graph(&spec);
     let t0 = Instant::now();
-    let congr = CongrForm::build(&eq, 12, &mut ws.interner);
+    let congr = CongrForm::build(&eq, 12, &mut ws.interner).unwrap();
     let ms = t0.elapsed().as_secs_f64() * 1e3;
     let meets = fundb_term::Pred(ws.interner.get("Meets").unwrap());
     let plus1 = fundb_term::Func(ws.interner.get("+1").unwrap());
@@ -587,12 +594,58 @@ fn e10_congr() {
     assert_eq!(agree, total);
 }
 
+/// Transitive closure of a chain with `n` edges: rules + fresh EDB.
+/// `right` picks the recursion direction: left recursion keeps the
+/// delta atom leading in written order; right recursion
+/// (`Path(x,z) ← Edge(x,y), Path(y,z)`) puts it second, which the
+/// compiled join programs hoist outermost — the workload that showed
+/// the interpreter's worst probe blow-up.
+fn tc_chain_dir(
+    n: usize,
+    right: bool,
+) -> (
+    fundb_term::Interner,
+    fundb_datalog::Database,
+    Vec<fundb_datalog::Rule>,
+) {
+    use fundb_datalog::{Atom, Database, Rule, Term};
+    use fundb_term::{Cst, Interner, Pred, Var};
+    let mut i = Interner::new();
+    let edge = Pred(i.intern("Edge"));
+    let path = Pred(i.intern("Path"));
+    let (x, y, z) = (Var(i.intern("x")), Var(i.intern("y")), Var(i.intern("z")));
+    let body = if right {
+        vec![
+            Atom::new(edge, vec![Term::Var(x), Term::Var(y)]),
+            Atom::new(path, vec![Term::Var(y), Term::Var(z)]),
+        ]
+    } else {
+        vec![
+            Atom::new(path, vec![Term::Var(x), Term::Var(y)]),
+            Atom::new(edge, vec![Term::Var(y), Term::Var(z)]),
+        ]
+    };
+    let rules = vec![
+        Rule::new(
+            Atom::new(path, vec![Term::Var(x), Term::Var(y)]),
+            vec![Atom::new(edge, vec![Term::Var(x), Term::Var(y)])],
+        ),
+        Rule::new(Atom::new(path, vec![Term::Var(x), Term::Var(z)]), body),
+    ];
+    let mut db = Database::new();
+    let nodes: Vec<Cst> = (0..=n).map(|k| Cst(i.intern(&format!("v{k}")))).collect();
+    for w in nodes.windows(2) {
+        db.insert(edge, &[w[0], w[1]]);
+    }
+    (i, db, rules)
+}
+
 /// E11 — engine-level, beyond the paper: the pooled row-store and parallel
 /// semi-naive scaling introduced in PR 2. Transitive closure of a chain is
 /// the canonical workload where delta rounds are wide enough to chunk.
 fn e11_parallel_scaling(bench: &mut Bench) {
     use fundb_datalog as dl;
-    use fundb_term::{Cst, FxHasher, Interner, Pred, Var};
+    use fundb_term::FxHasher;
     use std::hash::Hasher;
 
     banner(
@@ -602,44 +655,6 @@ fn e11_parallel_scaling(bench: &mut Bench) {
          results — worker buffers merge in task order — while wide delta \
          rounds split across cores",
     );
-
-    /// Transitive closure of a chain with `n` edges: rules + fresh EDB.
-    /// `right` picks the recursion direction: left recursion keeps the
-    /// delta atom leading in written order; right recursion
-    /// (`Path(x,z) ← Edge(x,y), Path(y,z)`) puts it second, which the
-    /// compiled join programs hoist outermost — the workload that showed
-    /// the interpreter's worst probe blow-up.
-    fn tc_chain_dir(n: usize, right: bool) -> (Interner, dl::Database, Vec<dl::Rule>) {
-        use dl::{Atom, Rule, Term};
-        let mut i = Interner::new();
-        let edge = Pred(i.intern("Edge"));
-        let path = Pred(i.intern("Path"));
-        let (x, y, z) = (Var(i.intern("x")), Var(i.intern("y")), Var(i.intern("z")));
-        let body = if right {
-            vec![
-                Atom::new(edge, vec![Term::Var(x), Term::Var(y)]),
-                Atom::new(path, vec![Term::Var(y), Term::Var(z)]),
-            ]
-        } else {
-            vec![
-                Atom::new(path, vec![Term::Var(x), Term::Var(y)]),
-                Atom::new(edge, vec![Term::Var(y), Term::Var(z)]),
-            ]
-        };
-        let rules = vec![
-            Rule::new(
-                Atom::new(path, vec![Term::Var(x), Term::Var(y)]),
-                vec![Atom::new(edge, vec![Term::Var(x), Term::Var(y)])],
-            ),
-            Rule::new(Atom::new(path, vec![Term::Var(x), Term::Var(z)]), body),
-        ];
-        let mut db = dl::Database::new();
-        let nodes: Vec<Cst> = (0..=n).map(|k| Cst(i.intern(&format!("v{k}")))).collect();
-        for w in nodes.windows(2) {
-            db.insert(edge, &[w[0], w[1]]);
-        }
-        (i, db, rules)
-    }
 
     /// Order-sensitive fingerprint of every relation's rows, cheap enough
     /// to take on multi-million-row databases: byte-identity proxy for the
@@ -677,7 +692,7 @@ fn e11_parallel_scaling(bench: &mut Bench) {
                     .with_threads(threads)
                     .with_parallel_threshold(1);
                 let t0 = Instant::now();
-                let stats = eval.run(&mut db, &rules, &plan);
+                let stats = eval.run(&mut db, &rules, &plan).unwrap();
                 let ms = t0.elapsed().as_secs_f64() * 1e3;
                 let hash = order_hash(&db);
                 let (base_ms, base_hash, base_stats) = *seq.get_or_insert((ms, hash, stats));
@@ -733,7 +748,7 @@ fn e11_parallel_scaling(bench: &mut Bench) {
             let mut engine = Engine::build(&ws.program, &ws.db, &mut ws.interner).unwrap();
             engine.set_threads(Some(threads));
             let t0 = Instant::now();
-            engine.solve();
+            engine.solve().unwrap();
             let ms = t0.elapsed().as_secs_f64() * 1e3;
             let stats = engine.stats().clone();
             if let Some((base_ms, base_stats)) = &base {
@@ -774,5 +789,104 @@ fn e11_parallel_scaling(bench: &mut Bench) {
         "expected shape: identical rows/probes at every thread count \
          (deterministic merge); chain speedups track physical cores — on a \
          single-core host the parallel path only pays its scaffolding\n"
+    );
+}
+
+/// E12 — the execution governor's steady-state cost: the same E4/E11
+/// workloads with every budget armed (but sized never to trip), against the
+/// default unlimited governor. The acceptance target is ≤2% overhead.
+fn e12_governor_overhead(bench: &mut Bench) {
+    use fundb_datalog as dl;
+
+    banner(
+        "E12",
+        "Execution governor overhead (budgets armed vs unlimited)",
+        "engine-level (no paper claim): round-boundary checks plus one \
+         cooperative check every 1024 join probes must cost ≤2% on the \
+         probe-bound workloads of E4/E11",
+    );
+
+    /// An armed-but-never-tripping governor: every budget dimension set,
+    /// all far beyond what the workload can reach.
+    fn armed() -> dl::Governor {
+        dl::Governor::new(
+            dl::Budget::unlimited()
+                .with_max_rows(usize::MAX / 2)
+                .with_max_rounds(usize::MAX / 2)
+                .with_max_millis(86_400_000)
+                .with_max_bytes(usize::MAX / 2),
+        )
+        .with_faults(dl::FaultPlan::default())
+    }
+
+    /// Interleaved min-of-N: base and governed runs alternate so clock
+    /// drift and frequency scaling hit both sides equally (back-to-back
+    /// blocks of 5 showed ±40% phantom "overhead" on a noisy host).
+    fn min_pair(mut base: impl FnMut() -> f64, mut gov: impl FnMut() -> f64) -> (f64, f64) {
+        let mut best = (f64::INFINITY, f64::INFINITY);
+        for _ in 0..7 {
+            best.0 = best.0.min(base());
+            best.1 = best.1.min(gov());
+        }
+        best
+    }
+
+    println!(
+        "{:>16} {:>14} {:>14} {:>10}",
+        "workload", "base (ms)", "governed (ms)", "overhead"
+    );
+    // E11-style: the compiled-join fixpoint, where the probe-level check
+    // mask is exercised millions of times.
+    for (name, n, right) in [
+        ("tc_chain(2048)", 2048usize, false),
+        ("tc_right(512)", 512, true),
+    ] {
+        let run = |governor: Option<dl::Governor>| {
+            let (_i, mut db, rules) = tc_chain_dir(n, right);
+            let plan = dl::DeltaPlan::new(&rules);
+            let mut eval = dl::IncrementalEval::new().with_threads(1);
+            if let Some(g) = governor {
+                eval = eval.with_governor(g);
+            }
+            let t0 = Instant::now();
+            eval.run(&mut db, &rules, &plan).unwrap();
+            t0.elapsed().as_secs_f64() * 1e3
+        };
+        let (base_ms, gov_ms) = min_pair(|| run(None), || run(Some(armed())));
+        report_overhead(bench, name, base_ms, gov_ms);
+    }
+    // E4-style: the general engine (many small local evaluations — the
+    // round-boundary checks dominate here, not the probe mask).
+    for (name, bits) in [("counter(6)", 6usize), ("counter(8)", 8)] {
+        let run = |governor: Option<dl::Governor>| {
+            let mut ws = binary_counter(bits);
+            let mut engine = Engine::build(&ws.program, &ws.db, &mut ws.interner).unwrap();
+            if let Some(g) = governor {
+                engine.set_governor(g);
+            }
+            let t0 = Instant::now();
+            engine.solve().unwrap();
+            t0.elapsed().as_secs_f64() * 1e3
+        };
+        let (base_ms, gov_ms) = min_pair(|| run(None), || run(Some(armed())));
+        report_overhead(bench, name, base_ms, gov_ms);
+    }
+    println!(
+        "expected shape: overhead within noise (target ≤2%) — the probe-mask \
+         check is a single branch per 1024 probes, round checks are O(rounds)\n"
+    );
+}
+
+fn report_overhead(bench: &mut Bench, name: &str, base_ms: f64, gov_ms: f64) {
+    let overhead_pct = (gov_ms - base_ms) / base_ms.max(1e-9) * 100.0;
+    println!("{name:>16} {base_ms:>14.2} {gov_ms:>14.2} {overhead_pct:>+9.2}%");
+    bench.push(
+        "E12",
+        name,
+        &[
+            ("base_ms", base_ms),
+            ("governed_ms", gov_ms),
+            ("overhead_pct", overhead_pct),
+        ],
     );
 }

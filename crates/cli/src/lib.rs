@@ -439,7 +439,7 @@ fn explain(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         return Ok(());
     };
     let horizon = depth.unwrap_or_else(|| (path.len() + 4).max(pure.schema.max_ground_depth));
-    let mat = fundb_core::BoundedMaterialization::run_traced(&pure, horizon, &mut ws.interner);
+    let mat = fundb_core::BoundedMaterialization::run_traced(&pure, horizon, &mut ws.interner)?;
     match mat.explain(atom.pred(), &path, &cst_args) {
         Some(d) => {
             write!(out, "{}", fundb_datalog::Provenance::render(&d, &ws.interner))?;

@@ -17,7 +17,7 @@
 //! The specification is recomputed lazily: adding rules or facts
 //! invalidates the cached spec; queries and checks rebuild it on demand.
 
-use fundb_core::{analysis, write_spec, GraphSpec};
+use fundb_core::{analysis, write_spec_file, Budget, CancelToken, EvalError, Governor, GraphSpec};
 use fundb_parser::Workspace;
 use std::io::Write;
 
@@ -29,6 +29,14 @@ pub struct Repl {
     /// Enumeration limit for query answers.
     pub limit: usize,
     done: bool,
+    /// Session budget applied to every evaluation (`:budget` to adjust).
+    budget: Budget,
+    /// Shared cancellation token (`:cancel`, or SIGINT in the interactive
+    /// loop).
+    cancel: CancelToken,
+    /// Whether any evaluation in this session stopped on a budget, a
+    /// cancellation or a worker panic (non-interactive runs exit non-zero).
+    eval_failed: bool,
 }
 
 impl Default for Repl {
@@ -45,6 +53,9 @@ impl Repl {
             spec: None,
             limit: 8,
             done: false,
+            budget: Budget::unlimited(),
+            cancel: CancelToken::new(),
+            eval_failed: false,
         }
     }
 
@@ -53,16 +64,61 @@ impl Repl {
         self.done
     }
 
+    /// Whether any evaluation was truncated by a budget, cancelled, or lost
+    /// a worker to a panic during this session.
+    pub fn eval_failed(&self) -> bool {
+        self.eval_failed
+    }
+
+    /// The cancellation token governing this session's evaluations (shared
+    /// with the SIGINT handler in interactive mode).
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
     /// Direct access to the underlying workspace.
     pub fn workspace(&self) -> &Workspace {
         &self.ws
     }
 
+    /// A fresh governor for the next evaluation: current budget, the
+    /// session's (cleared) cancel token. Budget counters are per-run, so
+    /// each rebuild starts from zero.
+    fn arm_governor(&mut self) {
+        self.cancel.clear();
+        self.ws.set_governor(
+            Governor::new(self.budget.clone()).with_cancel_token(self.cancel.clone()),
+        );
+    }
+
     fn spec(&mut self) -> Result<&GraphSpec, fundb_core::Error> {
         if self.spec.is_none() {
+            self.arm_governor();
             self.spec = Some(self.ws.graph_spec()?);
         }
         Ok(self.spec.as_ref().expect("just built"))
+    }
+
+    /// Reports an error, expanding evaluation truncations with their
+    /// partial-result counters, and records them for the exit status.
+    fn report_error(&mut self, e: &fundb_core::Error, out: &mut dyn Write) -> std::io::Result<()> {
+        if let fundb_core::Error::Eval(ev) = e {
+            self.eval_failed = true;
+            return match ev {
+                EvalError::BudgetExhausted { resource, partial } => writeln!(
+                    out,
+                    "error: evaluation stopped by {resource}: kept a deterministic partial \
+                     result of {} derived row(s) in {} round(s) (adjust with :budget)",
+                    partial.derived, partial.rounds
+                ),
+                EvalError::WorkerPanicked { task, payload } => writeln!(
+                    out,
+                    "error: evaluation task {task} panicked ({payload}); \
+                     database rolled back to the last completed round"
+                ),
+            };
+        }
+        writeln!(out, "error: {e}")
     }
 
     /// Processes one input line, writing any output to `out`.
@@ -71,6 +127,8 @@ impl Repl {
         if input.is_empty() || input.starts_with('%') || input.starts_with("//") {
             return Ok(());
         }
+        // Evaluation errors reach `report_error` inside dispatch; this
+        // branch only sees I/O failures on `out` itself.
         let result = self.dispatch(input, out);
         if let Err(e) = result {
             writeln!(out, "error: {e}")?;
@@ -117,6 +175,8 @@ impl Repl {
                      :stats          LFP engine counters for the session program\n\
                      :save <path>    write the spec to a .fspec file\n\
                      :limit <n>      set the query enumeration limit\n\
+                     :budget <rows|rounds|ms|bytes> <n>  cap evaluations (0 = unlimited)\n\
+                     :cancel         request cancellation of governed evaluations\n\
                      :load <path>    parse a program file into the session\n\
                      :quit           leave\n\
                      Anything else: rules/facts (`P(t) -> Q(t+1).`) or queries (`?- Q(t).`)."
@@ -231,9 +291,13 @@ impl Repl {
                 // join probes, index hits/misses).
                 let program = self.ws.program.clone();
                 let db = self.ws.db.clone();
+                self.arm_governor();
                 match fundb_core::Engine::build(&program, &db, &mut self.ws.interner) {
                     Ok(mut engine) => {
-                        engine.solve();
+                        engine.set_governor(self.ws.governor().clone());
+                        if let Err(e) = engine.solve() {
+                            return self.report_error(&e, out);
+                        }
                         let s = engine.stats();
                         writeln!(
                             out,
@@ -271,15 +335,14 @@ impl Repl {
             Some("save") => match parts.next() {
                 Some(path) => {
                     let path = path.to_string();
-                    match self.ws.spec_bundle() {
-                        Ok(bundle) => {
-                            let text = write_spec(&bundle, &self.ws.interner);
-                            match std::fs::write(&path, text) {
-                                Ok(()) => writeln!(out, "wrote {path}")?,
-                                Err(e) => writeln!(out, "error: {e}")?,
-                            }
-                        }
-                        Err(e) => writeln!(out, "error: {e}")?,
+                    self.arm_governor();
+                    match self
+                        .ws
+                        .spec_bundle()
+                        .and_then(|bundle| write_spec_file(&path, &bundle, &self.ws.interner))
+                    {
+                        Ok(()) => writeln!(out, "wrote {path}")?,
+                        Err(e) => self.report_error(&e, out)?,
                     }
                 }
                 None => writeln!(out, "usage: :save <path>")?,
@@ -288,6 +351,36 @@ impl Repl {
                 Some(n) => self.limit = n,
                 None => writeln!(out, "usage: :limit <n>")?,
             },
+            Some("budget") => {
+                let dim = parts.next();
+                let n: Option<usize> = parts.next().and_then(|v| v.parse().ok());
+                match (dim, n) {
+                    (Some(dim @ ("rows" | "rounds" | "ms" | "bytes")), Some(n)) => {
+                        let lim = (n > 0).then_some(n);
+                        match dim {
+                            "rows" => self.budget.max_rows = lim,
+                            "rounds" => self.budget.max_rounds = lim,
+                            "ms" => self.budget.max_millis = lim.map(|v| v as u64),
+                            _ => self.budget.max_bytes = lim,
+                        }
+                        // Force the next evaluation to run under the new cap.
+                        self.spec = None;
+                        if self.budget.is_unlimited() {
+                            writeln!(out, "budget: unlimited")?;
+                        } else {
+                            writeln!(out, "budget: {:?}", self.budget)?;
+                        }
+                    }
+                    _ => writeln!(out, "usage: :budget <rows|rounds|ms|bytes> <n>")?,
+                }
+            }
+            Some("cancel") => {
+                self.cancel.cancel();
+                writeln!(
+                    out,
+                    "cancellation requested; the next governed check point stops the evaluation"
+                )?;
+            }
             Some("load") => match parts.next() {
                 Some(path) => match std::fs::read_to_string(path) {
                     Ok(text) => match self.ws.parse(&text) {
@@ -316,9 +409,8 @@ impl Repl {
     ) -> std::io::Result<()> {
         // Build the spec first (immutable afterwards), then let the callback
         // use the workspace for parsing/display.
-        match self.spec() {
-            Ok(_) => {}
-            Err(e) => return writeln!(out, "error: {e}"),
+        if let Err(e) = self.spec().map(|_| ()) {
+            return self.report_error(&e, out);
         }
         let spec = self.spec.take().expect("just built");
         let r = f(&mut self.ws, &spec, out);
@@ -335,8 +427,8 @@ impl Repl {
     }
 
     fn run_query(&mut self, q: &fundb_core::Query, out: &mut dyn Write) -> std::io::Result<()> {
-        if let Err(e) = self.spec() {
-            return writeln!(out, "error: {e}");
+        if let Err(e) = self.spec().map(|_| ()) {
+            return self.report_error(&e, out);
         }
         let spec = self.spec.take().expect("just built");
         let result = (|| -> std::io::Result<()> {
@@ -347,7 +439,7 @@ impl Repl {
                     &mut self.ws.interner,
                 ) {
                     Ok(v) => v,
-                    Err(e) => return writeln!(out, "error: {e}"),
+                    Err(e) => return self.report_error(&e, out),
                 };
                 return writeln!(
                     out,
@@ -404,12 +496,64 @@ impl Repl {
     }
 }
 
+/// SIGINT integration: Ctrl-C flips the session cancel token instead of
+/// killing the process, so a long-running evaluation unwinds cooperatively
+/// through the governor and the REPL survives with a partial result.
+#[cfg(unix)]
+mod sigint {
+    use fundb_core::CancelToken;
+    use std::sync::OnceLock;
+
+    static TOKEN: OnceLock<CancelToken> = OnceLock::new();
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+        fn isatty(fd: i32) -> i32;
+    }
+
+    extern "C" fn handle(_signum: i32) {
+        // CancelToken::cancel is a relaxed atomic store — async-signal-safe.
+        if let Some(token) = TOKEN.get() {
+            token.cancel();
+        }
+    }
+
+    /// Routes SIGINT to `token` for the rest of the process lifetime.
+    pub fn install(token: CancelToken) {
+        const SIGINT: i32 = 2;
+        let _ = TOKEN.set(token);
+        // SAFETY: `handle` is async-signal-safe (atomic store only) and the
+        // handler address stays valid for the program's lifetime.
+        unsafe {
+            signal(SIGINT, handle as *const () as usize);
+        }
+    }
+
+    /// True when stdin is a terminal (interactive session).
+    pub fn stdin_is_tty() -> bool {
+        // SAFETY: isatty only inspects the file descriptor.
+        unsafe { isatty(0) != 0 }
+    }
+}
+
 /// Runs the interactive loop on stdin/stdout.
+///
+/// In a terminal, Ctrl-C cancels the running evaluation (via the governor's
+/// cancel token) without exiting. When stdin is not a tty (piped scripts),
+/// the loop exits with an error if any evaluation failed, so callers see a
+/// non-zero exit status.
 pub fn run_interactive() -> std::io::Result<()> {
     use std::io::BufRead;
     let stdin = std::io::stdin();
     let mut stdout = std::io::stdout();
     let mut repl = Repl::new();
+    #[cfg(unix)]
+    let interactive = {
+        sigint::install(repl.cancel_token());
+        sigint::stdin_is_tty()
+    };
+    #[cfg(not(unix))]
+    let interactive = true;
     writeln!(
         stdout,
         "fundb interactive session — :help for commands, :quit to leave"
@@ -420,13 +564,19 @@ pub fn run_interactive() -> std::io::Result<()> {
         stdout.flush()?;
         line.clear();
         if stdin.lock().read_line(&mut line)? == 0 {
-            return Ok(());
+            break;
         }
         repl.line(&line, &mut stdout)?;
         if repl.is_done() {
-            return Ok(());
+            break;
         }
     }
+    if !interactive && repl.eval_failed() {
+        return Err(std::io::Error::other(
+            "one or more evaluations failed (budget exhausted or worker panic)",
+        ));
+    }
+    Ok(())
 }
 
 #[cfg(test)]

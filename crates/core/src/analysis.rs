@@ -163,7 +163,7 @@ mod tests {
         let mut db = Database::new();
         db.facts.push(fat(p, FTerm::Zero, vec![]));
         let mut engine = Engine::build(&prog, &db, &mut i).unwrap();
-        let spec = crate::graphspec::GraphSpec::from_engine(&mut engine);
+        let spec = crate::graphspec::GraphSpec::from_engine(&mut engine).unwrap();
         let report = analyze(&spec);
         assert!(!report.finite);
         assert!(report.infinite_witness.is_some());
@@ -187,7 +187,7 @@ mod tests {
         let mut db = Database::new();
         db.facts.push(fat(p, FTerm::Zero, vec![]));
         let mut engine = Engine::build(&prog, &db, &mut i).unwrap();
-        let spec = crate::graphspec::GraphSpec::from_engine(&mut engine);
+        let spec = crate::graphspec::GraphSpec::from_engine(&mut engine).unwrap();
         let report = analyze(&spec);
         assert!(report.finite, "witness: {:?}", report.infinite_witness);
         // Facts: P(0) and Q(f(0)).
@@ -200,7 +200,7 @@ mod tests {
         let prog = Program::new();
         let db = Database::new();
         let mut engine = Engine::build(&prog, &db, &mut i).unwrap();
-        let spec = crate::graphspec::GraphSpec::from_engine(&mut engine);
+        let spec = crate::graphspec::GraphSpec::from_engine(&mut engine).unwrap();
         let report = analyze(&spec);
         assert!(report.finite);
         assert_eq!(report.functional_fact_count, Some(0));

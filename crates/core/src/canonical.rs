@@ -23,6 +23,7 @@
 //! against the graph specification.
 
 use crate::eqspec::EqSpec;
+use crate::error::Result;
 use fundb_datalog as dl;
 use fundb_term::{Cst, Func, FxHashMap, FxHashSet, Interner, Pred, Var};
 
@@ -44,7 +45,7 @@ impl CongrForm {
     /// Builds CONGR from an equational specification, reifying all terms of
     /// depth ≤ `depth` (must cover the representatives and equations of the
     /// spec) and evaluating to fixpoint.
-    pub fn build(eq: &EqSpec, depth: usize, interner: &mut Interner) -> CongrForm {
+    pub fn build(eq: &EqSpec, depth: usize, interner: &mut Interner) -> Result<CongrForm> {
         let max_needed = eq
             .primary
             .iter()
@@ -179,14 +180,14 @@ impl CongrForm {
             }
         }
 
-        dl::evaluate(&mut db, &rules);
-        CongrForm {
+        dl::evaluate(&mut db, &rules)?;
+        Ok(CongrForm {
             depth,
             rules,
             db,
             c_size,
             term_consts,
-        }
+        })
     }
 
     /// Membership of `P(t, ā)` in `LFP(CONGR, C)` (false beyond the
@@ -237,9 +238,9 @@ mod tests {
         let mut db = Database::new();
         db.facts.push(fat(even, FTerm::Zero, vec![]));
         let mut engine = Engine::build(&prog, &db, &mut i).unwrap();
-        let spec = GraphSpec::from_engine(&mut engine);
+        let spec = GraphSpec::from_engine(&mut engine).unwrap();
         let eq = EqSpec::from_graph(&spec);
-        let congr = CongrForm::build(&eq, 12, &mut i);
+        let congr = CongrForm::build(&eq, 12, &mut i).unwrap();
         for n in 0..=12usize {
             assert_eq!(
                 congr.holds(even, &vec![succ; n], &[]),
@@ -289,9 +290,9 @@ mod tests {
             args: vec![NTerm::Const(b), NTerm::Const(a)],
         });
         let mut engine = Engine::build(&prog, &db, &mut i).unwrap();
-        let spec = GraphSpec::from_engine(&mut engine);
+        let spec = GraphSpec::from_engine(&mut engine).unwrap();
         let eq = EqSpec::from_graph(&spec);
-        let congr = CongrForm::build(&eq, 9, &mut i);
+        let congr = CongrForm::build(&eq, 9, &mut i).unwrap();
         for n in 0..=9usize {
             let who = if n % 2 == 0 { a } else { b };
             let other = if n % 2 == 0 { b } else { a };
@@ -324,9 +325,9 @@ mod tests {
             db.facts
                 .push(fat(even, FTerm::from_path(&vec![succ; seed_depth]), vec![]));
             let mut engine = Engine::build(&prog, &db, &mut i).unwrap();
-            let spec = GraphSpec::from_engine(&mut engine);
+            let spec = GraphSpec::from_engine(&mut engine).unwrap();
             let eq = EqSpec::from_graph(&spec);
-            let congr = CongrForm::build(&eq, 10, &mut i);
+            let congr = CongrForm::build(&eq, 10, &mut i).unwrap();
             (congr.rules.len(), congr.c_size)
         };
         let (rules_a, _c_a) = build(0);

@@ -121,6 +121,9 @@ impl CompiledProgram {
         cp.star_plan = dl::DeltaPlan::new(&cp.star_rules);
         cp.fixed_plan = dl::DeltaPlan::new(&cp.fixed_rules);
 
+        // Invariant: `to_pure` has already rejected non-ground facts and
+        // instantiated mixed symbols, so every fact below has a pure
+        // functional path and constant-only arguments.
         for fact in &pure.db.facts {
             match fact {
                 Atom::Functional { pred, fterm, args } => {

@@ -104,6 +104,10 @@ pub struct Engine {
     /// Worker-thread override for local Datalog evaluations (`None` =
     /// `FUNDB_THREADS` / machine default).
     threads: Option<usize>,
+    /// Execution governor shared by every local evaluation: its budgets
+    /// (rows/rounds/time/bytes) and cancellation token span the whole
+    /// multi-fixpoint solve, not one local run.
+    governor: dl::Governor,
     solved: bool,
     stats: EngineStats,
 }
@@ -206,6 +210,7 @@ impl Engine {
             memo_ctx: FxHashMap::default(),
             fixed_ctx: LocalCtx::default(),
             threads: None,
+            governor: dl::Governor::default(),
             solved: false,
             stats: EngineStats::default(),
         }
@@ -231,10 +236,32 @@ impl Engine {
         self.threads.unwrap_or_else(dl::default_threads)
     }
 
-    /// A fresh local context configured with this engine's thread knob.
+    /// Installs the governor that budgets this engine's evaluations. Its
+    /// counters and deadline are shared across every local fixpoint of
+    /// every subsequent [`Engine::solve`], so e.g. `max_rounds` bounds the
+    /// solve's *total* semi-naive rounds.
+    pub fn set_governor(&mut self, governor: dl::Governor) {
+        self.fixed_ctx.eval.set_governor(governor.clone());
+        for ctx in self.top_ctx.values_mut() {
+            ctx.eval.set_governor(governor.clone());
+        }
+        for ctx in self.memo_ctx.values_mut() {
+            ctx.eval.set_governor(governor.clone());
+        }
+        self.governor = governor;
+    }
+
+    /// The governor in effect (e.g. to clone its cancellation token).
+    pub fn governor(&self) -> &dl::Governor {
+        &self.governor
+    }
+
+    /// A fresh local context configured with this engine's thread and
+    /// governor knobs.
     fn new_ctx(&self) -> LocalCtx {
         let mut ctx = LocalCtx::default();
         ctx.eval.set_threads(self.threads);
+        ctx.eval.set_governor(self.governor.clone());
         ctx
     }
 
@@ -271,27 +298,34 @@ impl Engine {
     /// proportional to what is newly derivable rather than to everything
     /// derived so far. The final pass absorbs nothing ([`EngineStats::
     /// pass_deltas`] ends in 0) and only verifies the fixpoint.
-    pub fn solve(&mut self) {
+    ///
+    /// On `Err` ([`crate::error::Error::Eval`]: budget exhausted,
+    /// cancelled, or a worker panicked) the engine is left consistent —
+    /// every local context holds only fully-committed rounds, already
+    /// absorbed into the global stores — and not marked solved, so a later
+    /// call (e.g. under a fresh governor) resumes where this one stopped.
+    pub fn solve(&mut self) -> Result<()> {
         if self.solved {
-            return;
+            return Ok(());
         }
         loop {
             self.stats.passes += 1;
             let before = self.stats.delta_atoms;
             let mut changed = false;
-            changed |= self.eval_fixed_rules();
+            changed |= self.eval_fixed_rules()?;
             let nodes = self.top_nodes.clone();
             for node in nodes {
                 self.stats.top_evals += 1;
-                changed |= self.eval_top_node(node);
+                changed |= self.eval_top_node(node)?;
             }
-            changed |= self.uniform_pass();
+            changed |= self.uniform_pass()?;
             self.stats.pass_deltas.push(self.stats.delta_atoms - before);
             if !changed {
                 break;
             }
         }
         self.solved = true;
+        Ok(())
     }
 
     /// Instrumentation counters accumulated by [`Engine::solve`].
@@ -495,17 +529,22 @@ impl Engine {
 
     /// Evaluates the rules without functional variables over the fixed nodes
     /// and the non-functional store.
-    fn eval_fixed_rules(&mut self) -> bool {
+    fn eval_fixed_rules(&mut self) -> Result<bool> {
         if self.cp.fixed_rules.is_empty() {
-            return false;
+            return Ok(false);
         }
         let mut ctx = std::mem::take(&mut self.fixed_ctx);
         self.inject_fixed_and_nf_diff(&mut ctx);
         let lens = Self::row_counts(&ctx.db);
-        let es = ctx
+        // On `Err`, the local database still holds a deterministic prefix
+        // of committed rows; absorb them before propagating so a resumed
+        // solve never skips them (`lens` is recomputed per pass).
+        let run = ctx
             .eval
             .run(&mut ctx.db, &self.cp.fixed_rules, &self.cp.fixed_plan);
-        self.stats.absorb(es);
+        if let Ok(es) = run {
+            self.stats.absorb(es);
+        }
 
         let mut changed = false;
         for (tagged, rel) in ctx.db.iter() {
@@ -542,14 +581,15 @@ impl Engine {
             }
         }
         self.fixed_ctx = ctx;
-        changed
+        run?;
+        Ok(changed)
     }
 
     /// Evaluates the star rules at a top-region node, resuming the node's
     /// persistent context from the previous pass.
-    fn eval_top_node(&mut self, node: NodeId) -> bool {
+    fn eval_top_node(&mut self, node: NodeId) -> Result<bool> {
         if self.cp.star_rules.is_empty() {
-            return false;
+            return Ok(false);
         }
         let at_boundary = self.tree.depth(node) == self.cp.c;
         let mut ctx = self.top_ctx.remove(&node).unwrap_or_else(|| self.new_ctx());
@@ -585,12 +625,15 @@ impl Engine {
         }
         self.inject_fixed_and_nf_diff(&mut ctx);
 
-        // Resume the local fixpoint; rows past `lens` are this run's output.
+        // Resume the local fixpoint; rows past `lens` are this run's output
+        // (on `Err`, the committed prefix — absorbed below all the same).
         let lens = Self::row_counts(&ctx.db);
-        let es = ctx
+        let run = ctx
             .eval
             .run(&mut ctx.db, &self.cp.star_rules, &self.cp.star_plan);
-        self.stats.absorb(es);
+        if let Ok(es) = run {
+            self.stats.absorb(es);
+        }
 
         let mut changed = false;
         for (tagged, rel) in ctx.db.iter() {
@@ -603,7 +646,12 @@ impl Engine {
                     for row in rel.rows_from(from) {
                         let id = self.atoms.intern(p, row);
                         ctx.injected_here.insert(id);
-                        if self.top.get_mut(&node).unwrap().insert(id) {
+                        if self
+                            .top
+                            .get_mut(&node)
+                            .expect("every top node was given a state in Engine::new")
+                            .insert(id)
+                        {
                             changed = true;
                             self.stats.delta_atoms += 1;
                         }
@@ -619,8 +667,18 @@ impl Engine {
                                 self.stats.delta_atoms += 1;
                             }
                         } else {
-                            let child = self.tree.get_child(node, f).unwrap();
-                            if self.top.get_mut(&child).unwrap().insert(id) {
+                            // Non-boundary nodes have depth < c, so every
+                            // child is materialized with a state.
+                            let child = self
+                                .tree
+                                .get_child(node, f)
+                                .expect("top region is fully materialized");
+                            if self
+                                .top
+                                .get_mut(&child)
+                                .expect("every top node was given a state in Engine::new")
+                                .insert(id)
+                            {
                                 changed = true;
                                 self.stats.delta_atoms += 1;
                             }
@@ -654,14 +712,15 @@ impl Engine {
             }
         }
         self.top_ctx.insert(node, ctx);
-        changed
+        run?;
+        Ok(changed)
     }
 
     /// Processes every demanded uniform seed once; returns whether anything
     /// (memo entries, top region, nf) changed.
-    fn uniform_pass(&mut self) -> bool {
+    fn uniform_pass(&mut self) -> Result<bool> {
         if self.cp.star_rules.is_empty() {
-            return false;
+            return Ok(false);
         }
         let mut queue: Vec<State> = Vec::new();
         let mut enqueued: FxHashSet<State> = FxHashSet::default();
@@ -678,7 +737,7 @@ impl Engine {
         let mut changed = false;
         while let Some(seed) = queue.pop() {
             self.stats.uniform_evals += 1;
-            let (entry, entry_changed) = self.process_seed(&seed);
+            let (entry, entry_changed) = self.process_seed(&seed)?;
             changed |= entry_changed;
             for cs in entry.child_seeds.values() {
                 if !cs.is_empty() && enqueued.insert(cs.clone()) {
@@ -686,13 +745,13 @@ impl Engine {
                 }
             }
         }
-        changed
+        Ok(changed)
     }
 
     /// Stabilizes one uniform seed against the current memo/top/nf and
     /// stores the result, resuming the seed's persistent context. Returns
     /// the entry and whether anything changed.
-    fn process_seed(&mut self, seed: &State) -> (Entry, bool) {
+    fn process_seed(&mut self, seed: &State) -> Result<(Entry, bool)> {
         let mut entry = self.memo.get(seed).cloned().unwrap_or_default();
         entry.state.union_with(seed);
         let mut ctx = self.memo_ctx.remove(seed).unwrap_or_else(|| self.new_ctx());
@@ -726,10 +785,12 @@ impl Engine {
             self.inject_fixed_and_nf_diff(&mut ctx);
 
             let lens = Self::row_counts(&ctx.db);
-            let es = ctx
+            let run = ctx
                 .eval
                 .run(&mut ctx.db, &self.cp.star_rules, &self.cp.star_plan);
-            self.stats.absorb(es);
+            if let Ok(es) = run {
+                self.stats.absorb(es);
+            }
 
             let mut local_changed = false;
             for (tagged, rel) in ctx.db.iter() {
@@ -784,6 +845,15 @@ impl Engine {
                     }
                 }
             }
+            if let Err(e) = run {
+                // Keep the (consistent, committed-rounds-only) context and
+                // the entry's absorbed progress before propagating.
+                self.memo_ctx.insert(seed.clone(), ctx);
+                if self.memo.get(seed) != Some(&entry) {
+                    self.memo.insert(seed.clone(), entry);
+                }
+                return Err(e.into());
+            }
             if !local_changed {
                 break;
             }
@@ -795,7 +865,7 @@ impl Engine {
         if entry_changed {
             self.memo.insert(seed.clone(), entry.clone());
         }
-        (entry, entry_changed || changed_global)
+        Ok((entry, entry_changed || changed_global))
     }
 
     /// Injects the atoms of `state` not yet recorded in `snap` into the
@@ -923,7 +993,7 @@ mod tests {
             args: vec![NTerm::Const(jan), NTerm::Const(tony)],
         });
         let mut engine = Engine::build(&prog, &db, &mut ctx.i).unwrap();
-        engine.solve();
+        engine.solve().unwrap();
         (engine, meets, succ, tony, jan)
     }
 
@@ -975,7 +1045,7 @@ mod tests {
         let mut db = Database::new();
         db.facts.push(fat(even, FTerm::Zero, vec![]));
         let mut engine = Engine::build(&prog, &db, &mut ctx.i).unwrap();
-        engine.solve();
+        engine.solve().unwrap();
         for n in 0..30usize {
             assert_eq!(engine.holds(even, &vec![succ; n], &[]), n % 2 == 0, "n={n}");
         }
@@ -1013,7 +1083,7 @@ mod tests {
         let mut db = Database::new();
         db.facts.push(fat(a, FTerm::Zero, vec![]));
         let mut engine = Engine::build(&prog, &db, &mut ctx.i).unwrap();
-        engine.solve();
+        engine.solve().unwrap();
         // A on the f-chain only.
         assert!(engine.holds(a, &[f, f, f], &[]));
         assert!(!engine.holds(a, &[f, g], &[]));
@@ -1048,7 +1118,7 @@ mod tests {
         let mut db = Database::new();
         db.facts.push(fat(a, FTerm::Zero, vec![]));
         let mut engine = Engine::build(&prog, &db, &mut ctx.i).unwrap();
-        engine.solve();
+        engine.solve().unwrap();
         assert!(engine.holds(b, &[g], &[]));
         assert!(engine.holds(b, &[f, g], &[]));
         assert!(engine.holds(b, &[f, f, g], &[]));
@@ -1073,7 +1143,7 @@ mod tests {
         let mut db = Database::new();
         db.facts.push(fat(p, FTerm::from_path(&[f, f]), vec![]));
         let mut engine = Engine::build(&prog, &db, &mut ctx.i).unwrap();
-        engine.solve();
+        engine.solve().unwrap();
         assert!(engine.holds(p, &[f, f], &[]));
         assert!(engine.holds(q, &[f], &[]));
         assert!(!engine.holds(q, &[], &[]));

@@ -248,7 +248,7 @@ mod tests {
         let mut db = Database::new();
         db.facts.push(fat(even, FTerm::Zero, vec![]));
         let mut engine = Engine::build(&prog, &db, &mut i).unwrap();
-        let spec = GraphSpec::from_engine(&mut engine);
+        let spec = GraphSpec::from_engine(&mut engine).unwrap();
         let mut eq = EqSpec::from_graph(&spec);
 
         // Membership mirrors the paper's tests.
@@ -296,7 +296,7 @@ mod tests {
         let mut db = Database::new();
         db.facts.push(fat(a, FTerm::Zero, vec![]));
         let mut engine = Engine::build(&prog, &db, &mut i).unwrap();
-        let spec = GraphSpec::from_engine(&mut engine);
+        let spec = GraphSpec::from_engine(&mut engine).unwrap();
         let mut eq = EqSpec::from_graph(&spec);
 
         let mut paths: Vec<Vec<Func>> = vec![vec![]];
@@ -342,7 +342,7 @@ mod tests {
         let mut db = Database::new();
         db.facts.push(fat(even, FTerm::Zero, vec![]));
         let mut engine = Engine::build(&prog, &db, &mut i).unwrap();
-        let spec = GraphSpec::from_engine(&mut engine);
+        let spec = GraphSpec::from_engine(&mut engine).unwrap();
         let eq = EqSpec::from_graph(&spec);
         let lines = eq.render_equations(&i);
         assert!(!lines.is_empty());

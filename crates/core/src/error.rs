@@ -56,6 +56,33 @@ pub enum Error {
         /// Offending predicate name.
         pred: String,
     },
+    /// An I/O failure while reading or writing a spec/database file,
+    /// reduced to its message (keeps this enum `Clone`/`Eq`).
+    Io {
+        /// Path involved, if known.
+        path: String,
+        /// The underlying `std::io::Error` message.
+        detail: String,
+    },
+    /// An evaluation stopped early: budget exhausted, cancelled, or a
+    /// worker panicked (see [`fundb_datalog::governor::EvalError`]).
+    Eval(fundb_datalog::EvalError),
+}
+
+impl From<fundb_datalog::EvalError> for Error {
+    fn from(e: fundb_datalog::EvalError) -> Error {
+        Error::Eval(e)
+    }
+}
+
+impl Error {
+    /// Wraps an `std::io::Error` with the path it concerned.
+    pub fn io(path: impl Into<String>, err: &std::io::Error) -> Error {
+        Error::Io {
+            path: path.into(),
+            detail: err.to_string(),
+        }
+    }
 }
 
 impl fmt::Display for Error {
@@ -86,6 +113,8 @@ impl fmt::Display for Error {
                     "predicate {pred} used with the wrong kind (functional vs relational)"
                 )
             }
+            Error::Io { path, detail } => write!(f, "io error on {path}: {detail}"),
+            Error::Eval(e) => write!(f, "{e}"),
         }
     }
 }

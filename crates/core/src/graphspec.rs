@@ -122,13 +122,13 @@ impl GraphSpec {
     /// let mut ws = Workspace::new();
     /// ws.parse("Even(t) -> Even(t+2). Even(0).").unwrap();
     /// let mut engine = ws.engine().unwrap();
-    /// let spec = fundb_core::GraphSpec::from_engine(&mut engine);
+    /// let spec = fundb_core::GraphSpec::from_engine(&mut engine).unwrap();
     /// // 0 plus the two deep clusters (odd, even ≥ 2):
     /// assert_eq!(spec.cluster_count(), 3);
     /// assert!(ws.holds(&spec, "Even(40)").unwrap());
     /// ```
-    pub fn from_engine(engine: &mut Engine) -> GraphSpec {
-        engine.solve();
+    pub fn from_engine(engine: &mut Engine) -> crate::error::Result<GraphSpec> {
+        engine.solve()?;
         let cp = engine.compiled();
         let funcs = cp.funcs.clone();
         let c = cp.c;
@@ -198,7 +198,7 @@ impl GraphSpec {
                 }
             }
         }
-        spec
+        Ok(spec)
     }
 
     fn push_node(&mut self, term: NodeId, state: State) -> SpecNodeId {
@@ -456,7 +456,7 @@ mod tests {
             args: vec![NTerm::Const(jan), NTerm::Const(tony)],
         });
         let mut engine = Engine::build(&prog, &db, &mut i).unwrap();
-        let spec = GraphSpec::from_engine(&mut engine);
+        let spec = GraphSpec::from_engine(&mut engine).unwrap();
 
         // c = 0: the root plus two active representatives (odd days: jan,
         // even days ≥ 2: tony).
@@ -497,7 +497,7 @@ mod tests {
         let mut db = Database::new();
         db.facts.push(fat(p, FTerm::Zero, vec![]));
         let mut engine = Engine::build(&prog, &db, &mut i).unwrap();
-        let spec = GraphSpec::from_engine(&mut engine);
+        let spec = GraphSpec::from_engine(&mut engine).unwrap();
         for idx in 0..spec.cluster_count() {
             for &sym in spec.funcs.symbols() {
                 assert!(
@@ -530,7 +530,7 @@ mod tests {
         let mut db = Database::new();
         db.facts.push(fat(a, FTerm::Zero, vec![]));
         let mut engine = Engine::build(&prog, &db, &mut i).unwrap();
-        let spec = GraphSpec::from_engine(&mut engine);
+        let spec = GraphSpec::from_engine(&mut engine).unwrap();
 
         let mut paths: Vec<Vec<Func>> = vec![vec![]];
         let mut frontier: Vec<Vec<Func>> = vec![vec![]];
@@ -576,7 +576,7 @@ mod tests {
         let mut db = Database::new();
         db.facts.push(fat(even, FTerm::Zero, vec![]));
         let mut engine = Engine::build(&prog, &db, &mut i).unwrap();
-        let spec = GraphSpec::from_engine(&mut engine);
+        let spec = GraphSpec::from_engine(&mut engine).unwrap();
         assert!(!spec.merges.is_empty());
         for (path, rep) in &spec.merges {
             assert_eq!(spec.representative_of(path), Some(*rep));
@@ -602,7 +602,7 @@ mod tests {
         let mut db = Database::new();
         db.facts.push(fat(p, FTerm::Zero, vec![]));
         let mut engine = Engine::build(&prog, &db, &mut i).unwrap();
-        let spec = GraphSpec::from_engine(&mut engine);
+        let spec = GraphSpec::from_engine(&mut engine).unwrap();
         let text = spec.render(&i);
         assert!(text.contains("node 0: 0"));
         assert!(text.contains("P()"));

@@ -62,8 +62,12 @@ pub use program::{Atom, Database, FTerm, NTerm, Program, Rule, Schema};
 pub use pure::{to_pure, PureProgram};
 pub use query::{IncrementalAnswer, Query};
 pub use quotient::QuotientModel;
-pub use spec_io::{read_spec, write_spec, SpecBundle};
+pub use spec_io::{read_spec, read_spec_file, write_spec, write_spec_file, SpecBundle};
 pub use state::State;
+
+// Execution-governor types, re-exported from the Datalog substrate so
+// downstream crates can budget/cancel runs without a direct dependency.
+pub use fundb_datalog::{Budget, CancelToken, EvalError, FaultPlan, Governor, Resource};
 
 /// Common imports for downstream users.
 pub mod prelude {

@@ -21,6 +21,7 @@
 //!   programs whose information flows only upward (no body atom deeper than
 //!   the head), it is *exact* on terms of depth ≤ D.
 
+use crate::error::Result;
 use crate::program::{Atom, FTerm, NTerm, Rule};
 use crate::pure::PureProgram;
 use fundb_datalog as dl;
@@ -51,20 +52,37 @@ impl BoundedMaterialization {
     /// proofs. Within the horizon this doubles as a *why* facility for the
     /// infinite fixpoint: a derivation found at any depth is a genuine
     /// derivation in `LFP(Z, D)`.
-    pub fn run_traced(pure: &PureProgram, depth: usize, interner: &mut Interner) -> Self {
-        let mut out = Self::build(pure, depth, interner, true);
+    pub fn run_traced(pure: &PureProgram, depth: usize, interner: &mut Interner) -> Result<Self> {
+        let out = Self::build(pure, depth, interner, true, &dl::Governor::default())?;
         debug_assert!(out.provenance.is_some());
-        out.depth = depth;
-        out
+        Ok(out)
     }
 
     /// Grounds `pure` to depth `D` and saturates. `D` must be ≥ the depth
     /// of the deepest ground term in the program (`c`).
-    pub fn run(pure: &PureProgram, depth: usize, interner: &mut Interner) -> Self {
-        Self::build(pure, depth, interner, false)
+    pub fn run(pure: &PureProgram, depth: usize, interner: &mut Interner) -> Result<Self> {
+        Self::build(pure, depth, interner, false, &dl::Governor::default())
     }
 
-    fn build(pure: &PureProgram, depth: usize, interner: &mut Interner, traced: bool) -> Self {
+    /// Like [`BoundedMaterialization::run`], but the saturating fixpoint
+    /// runs under `governor`: its budgets and cancellation token bound the
+    /// grounding's (potentially enormous) saturation.
+    pub fn run_governed(
+        pure: &PureProgram,
+        depth: usize,
+        interner: &mut Interner,
+        governor: &dl::Governor,
+    ) -> Result<Self> {
+        Self::build(pure, depth, interner, false, governor)
+    }
+
+    fn build(
+        pure: &PureProgram,
+        depth: usize,
+        interner: &mut Interner,
+        traced: bool,
+        governor: &dl::Governor,
+    ) -> Result<Self> {
         assert!(
             depth >= pure.schema.max_ground_depth,
             "materialization depth must cover the program's ground terms"
@@ -117,15 +135,21 @@ impl BoundedMaterialization {
         for fact in &pure.db.facts {
             match fact {
                 Atom::Functional { pred, fterm, args } => {
-                    let path = fterm.pure_path().expect("pure ground facts");
+                    // Invariant: `to_pure` rejects non-ground facts, so every
+                    // fact's functional term is a pure ground path and every
+                    // argument is a constant.
+                    let path = fterm.pure_path().expect("pure facts are ground paths");
                     let tc = term_consts[&path];
                     let mut row = Vec::with_capacity(args.len() + 1);
                     row.push(tc);
-                    row.extend(args.iter().map(|a| a.as_const().unwrap()));
+                    row.extend(args.iter().map(|a| a.as_const().expect("facts are ground")));
                     db.insert(*pred, &row);
                 }
                 Atom::Relational { pred, args } => {
-                    let row: Vec<Cst> = args.iter().map(|a| a.as_const().unwrap()).collect();
+                    let row: Vec<Cst> = args
+                        .iter()
+                        .map(|a| a.as_const().expect("facts are ground"))
+                        .collect();
                     db.insert(*pred, &row);
                 }
             }
@@ -133,19 +157,19 @@ impl BoundedMaterialization {
 
         let ground_rules = rules.len();
         let (eval, provenance) = if traced {
-            let (stats, prov) = dl::evaluate_traced(&mut db, &rules);
+            let (stats, prov) = dl::evaluate_traced_governed(&mut db, &rules, governor)?;
             (stats, Some(prov))
         } else {
-            (dl::evaluate(&mut db, &rules), None)
+            (dl::evaluate_governed(&mut db, &rules, governor)?, None)
         };
-        BoundedMaterialization {
+        Ok(BoundedMaterialization {
             depth,
             db,
             ground_rules,
             eval,
             provenance,
             term_consts,
-        }
+        })
     }
 
     /// A derivation tree for a functional fact, if it holds within the
@@ -288,7 +312,7 @@ mod tests {
         let (prog, db, even, succ) = even_program(&mut i);
         let normal = crate::normalize::normalize(&prog, &mut i);
         let pure = to_pure(&normal, &db, &mut i).unwrap();
-        let mat = BoundedMaterialization::run(&pure, 10, &mut i);
+        let mat = BoundedMaterialization::run(&pure, 10, &mut i).unwrap();
         for n in 0..=10usize {
             assert_eq!(mat.holds(even, &vec![succ; n], &[]), n % 2 == 0, "n={n}");
         }
@@ -302,8 +326,12 @@ mod tests {
         let (prog, db, _, _) = even_program(&mut i);
         let normal = crate::normalize::normalize(&prog, &mut i);
         let pure = to_pure(&normal, &db, &mut i).unwrap();
-        let small = BoundedMaterialization::run(&pure, 4, &mut i).fact_count();
-        let big = BoundedMaterialization::run(&pure, 40, &mut i).fact_count();
+        let small = BoundedMaterialization::run(&pure, 4, &mut i)
+            .unwrap()
+            .fact_count();
+        let big = BoundedMaterialization::run(&pure, 40, &mut i)
+            .unwrap()
+            .fact_count();
         assert!(big > small * 5, "small={small} big={big}");
     }
 
@@ -314,9 +342,9 @@ mod tests {
         let (prog, db, even, succ) = even_program(&mut i);
         let normal = crate::normalize::normalize(&prog, &mut i);
         let pure = to_pure(&normal, &db, &mut i).unwrap();
-        let mat = BoundedMaterialization::run(&pure, 8, &mut i);
+        let mat = BoundedMaterialization::run(&pure, 8, &mut i).unwrap();
         let mut engine = Engine::build(&prog, &db, &mut i).unwrap();
-        engine.solve();
+        engine.solve().unwrap();
         for n in 0..=8usize {
             let path = vec![succ; n];
             if mat.holds(even, &path, &[]) {

@@ -131,7 +131,7 @@ impl Query {
         let mut extended = program.clone();
         extended.push(self.to_rule(query_pred));
         let mut engine = Engine::build(&extended, db, interner)?;
-        Ok((GraphSpec::from_engine(&mut engine), query_pred))
+        Ok((GraphSpec::from_engine(&mut engine)?, query_pred))
     }
 
     /// Strategy 2 (Theorem 5.1): evaluate a uniform query against the
@@ -430,6 +430,9 @@ impl CompiledBody {
                 cols,
             });
         }
+        // Invariant: `Query::validate` rejects queries whose output
+        // variables do not occur in the body, so every output variable was
+        // assigned a register while compiling the body atoms above.
         let out_regs = out_vars
             .iter()
             .map(|v| *regs.get(v).expect("outputs bound by validated query"))
@@ -511,6 +514,9 @@ impl CompiledBody {
                         Some(n) => n,
                         None => return,
                     },
+                    // Invariant: a `None` path (functional *variable*) is
+                    // only compiled for uniform queries, and those are
+                    // always evaluated once per cluster with `Some(node)`.
                     None => cluster.expect("functional variable implies per-cluster evaluation"),
                 };
                 for (p, row) in spec.slice(node) {
@@ -622,7 +628,7 @@ mod tests {
     fn incremental_answer_for_meets() {
         let mut m = meets_setup();
         let mut engine = Engine::build(&m.prog, &m.db, &mut m.i).unwrap();
-        let spec = GraphSpec::from_engine(&mut engine);
+        let spec = GraphSpec::from_engine(&mut engine).unwrap();
         let q = Query {
             out_fvar: Some(m.t),
             out_nvars: vec![m.x],
@@ -650,7 +656,7 @@ mod tests {
     fn incremental_agrees_with_extension() {
         let mut m = meets_setup();
         let mut engine = Engine::build(&m.prog, &m.db, &mut m.i).unwrap();
-        let spec = GraphSpec::from_engine(&mut engine);
+        let spec = GraphSpec::from_engine(&mut engine).unwrap();
         let q = Query {
             out_fvar: Some(m.t),
             out_nvars: vec![],
@@ -673,7 +679,7 @@ mod tests {
     fn existential_projection() {
         let mut m = meets_setup();
         let mut engine = Engine::build(&m.prog, &m.db, &mut m.i).unwrap();
-        let spec = GraphSpec::from_engine(&mut engine);
+        let spec = GraphSpec::from_engine(&mut engine).unwrap();
         // {x : ∃t Meets(t,x)} = {tony, jan}.
         let q = Query {
             out_fvar: None,
@@ -691,7 +697,7 @@ mod tests {
     fn ground_terms_use_representatives() {
         let mut m = meets_setup();
         let mut engine = Engine::build(&m.prog, &m.db, &mut m.i).unwrap();
-        let spec = GraphSpec::from_engine(&mut engine);
+        let spec = GraphSpec::from_engine(&mut engine).unwrap();
         // {x : Meets(succ(succ(succ(0))), x)} = {jan}.
         let q = Query {
             out_fvar: None,
@@ -739,7 +745,7 @@ mod tests {
     fn non_uniform_falls_back_to_extension() {
         let mut m = meets_setup();
         let mut engine = Engine::build(&m.prog, &m.db, &mut m.i).unwrap();
-        let spec = GraphSpec::from_engine(&mut engine);
+        let spec = GraphSpec::from_engine(&mut engine).unwrap();
         // {x : Meets(succ(t), x)} — non-ground depth-1 term: not uniform.
         let q = Query {
             out_fvar: None,

@@ -16,6 +16,7 @@
 //! suite.
 
 use crate::compile::{CompiledProgram, Loc};
+use crate::error::Result;
 use crate::graphspec::{GraphSpec, SpecNodeId};
 use fundb_datalog as dl;
 use fundb_term::{Cst, Func, FxHashMap, Pred};
@@ -58,14 +59,16 @@ impl<'a> QuotientModel<'a> {
     /// Verifies Proposition 3.2 ("the quotient interpretation is a model of
     /// Z ∧ D"): fires every compiled star rule at every cluster, and the
     /// fixed rules once, checking that no rule derives a fact the model does
-    /// not already satisfy. Returns `true` if the interpretation is closed.
-    pub fn is_model_of(&self, cp: &CompiledProgram) -> bool {
+    /// not already satisfy. Returns `Ok(true)` if the interpretation is
+    /// closed (`Err` only if an evaluation budget or injected fault stopped
+    /// a saturation early).
+    pub fn is_model_of(&self, cp: &CompiledProgram) -> Result<bool> {
         // Fixed rules.
         let mut db = dl::Database::new();
         self.inject_fixed_and_nf(cp, &mut db);
-        dl::evaluate(&mut db, &cp.fixed_rules);
+        dl::evaluate(&mut db, &cp.fixed_rules)?;
         if !self.absorbed(cp, &db) {
-            return false;
+            return Ok(false);
         }
 
         // Star rules at every cluster.
@@ -76,12 +79,12 @@ impl<'a> QuotientModel<'a> {
                 self.fill(cp, &mut db, self.apply(f, cluster), Some(f));
             }
             self.inject_fixed_and_nf(cp, &mut db);
-            dl::evaluate(&mut db, &cp.star_rules);
+            dl::evaluate(&mut db, &cp.star_rules)?;
             if !self.absorbed_at(cp, &db, cluster) {
-                return false;
+                return Ok(false);
             }
         }
-        true
+        Ok(true)
     }
 
     fn fill(
@@ -242,9 +245,9 @@ mod tests {
             args: vec![NTerm::Const(jan), NTerm::Const(tony)],
         });
         let mut engine = Engine::build(&prog, &db, &mut i).unwrap();
-        let spec = crate::graphspec::GraphSpec::from_engine(&mut engine);
+        let spec = crate::graphspec::GraphSpec::from_engine(&mut engine).unwrap();
         let model = QuotientModel::new(&spec);
-        assert!(model.is_model_of(engine.compiled()));
+        assert!(model.is_model_of(engine.compiled()).unwrap());
 
         // Atomic truth preservation: Meets alternates over clusters.
         let even_cluster = spec.representative_of(&[succ, succ]).unwrap();
@@ -271,11 +274,15 @@ mod tests {
         let mut db = Database::new();
         db.facts.push(fat(p, FTerm::Zero, vec![]));
         let mut engine = Engine::build(&prog, &db, &mut i).unwrap();
-        let mut spec = crate::graphspec::GraphSpec::from_engine(&mut engine);
-        assert!(QuotientModel::new(&spec).is_model_of(engine.compiled()));
+        let mut spec = crate::graphspec::GraphSpec::from_engine(&mut engine).unwrap();
+        assert!(QuotientModel::new(&spec)
+            .is_model_of(engine.compiled())
+            .unwrap());
         // Break it: clear the state of the deep cluster.
         let deep = spec.representative_of(&[f]).unwrap();
         spec.nodes[deep.index()].state = crate::state::State::new();
-        assert!(!QuotientModel::new(&spec).is_model_of(engine.compiled()));
+        assert!(!QuotientModel::new(&spec)
+            .is_model_of(engine.compiled())
+            .unwrap());
     }
 }

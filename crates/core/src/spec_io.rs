@@ -199,6 +199,8 @@ pub fn read_spec(text: &str, interner: &mut Interner) -> Result<SpecBundle> {
             continue;
         }
         let mut toks = line.split_whitespace();
+        // Invariant: `line` is trimmed and non-empty (checked above), so
+        // `split_whitespace` yields at least one token.
         let kw = toks.next().expect("non-empty line has a token");
         let rest: Vec<&str> = toks.collect();
         match kw {
@@ -339,6 +341,21 @@ pub fn read_spec(text: &str, interner: &mut Interner) -> Result<SpecBundle> {
     })
 }
 
+/// Reads a specification file from disk. I/O failures become
+/// [`Error::Io`] and malformed content becomes [`Error::Parse`], so a bad
+/// file never aborts the caller (the REPL keeps its session alive).
+pub fn read_spec_file(path: &str, interner: &mut Interner) -> Result<SpecBundle> {
+    let text = std::fs::read_to_string(path).map_err(|e| Error::io(path, &e))?;
+    read_spec(&text, interner)
+}
+
+/// Writes a specification file to disk, mapping I/O failures to
+/// [`Error::Io`].
+pub fn write_spec_file(path: &str, bundle: &SpecBundle, interner: &Interner) -> Result<()> {
+    let text = write_spec(bundle, interner);
+    std::fs::write(path, text).map_err(|e| Error::io(path, &e))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -387,7 +404,7 @@ mod tests {
             args: vec![NTerm::Const(jan), NTerm::Const(tony)],
         });
         let mut engine = Engine::build(&prog, &db, &mut i).unwrap();
-        let spec = GraphSpec::from_engine(&mut engine);
+        let spec = GraphSpec::from_engine(&mut engine).unwrap();
         (i, spec, meets, succ, tony, jan)
     }
 

@@ -19,13 +19,23 @@
 //! regardless of thread count. [`evaluate_naive`] re-derives everything
 //! each round and exists as a differential-testing oracle and as the
 //! textbook baseline.
+//!
+//! Every evaluation is governed (see [`crate::governor`]): entry points
+//! return `Result<…, EvalError>`, budgets and cancellation are checked at
+//! round boundaries and every few thousand join probes, task panics are
+//! caught on the worker and surfaced as [`EvalError::WorkerPanicked`], and
+//! any early stop leaves the database in a deterministic prefix of the
+//! fixpoint — complete rounds, plus (for the row budget only) a
+//! deterministic prefix of the tripping round's merge.
 
+use crate::governor::{EvalError, FaultPlan, Governor, ProbeGuard, Resource};
 use crate::program::{register_file, CompiledRule, HeadSlot, JoinProgram};
 use crate::rel::{hash_row, Database};
 use crate::rule::{Atom, Rule, Term};
 use fundb_term::{Cst, FxHashMap, Pred, Var};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
 
 /// Counters reported by evaluation. Deliberately identical across thread
 /// counts: a parallel run partitions the same probes over workers and sums
@@ -163,6 +173,8 @@ pub struct IncrementalEval {
     threads: Option<usize>,
     /// Rounds with fewer delta rows than this run sequentially.
     min_parallel_rows: usize,
+    /// Budgets, cancellation and fault injection for every run.
+    governor: Governor,
 }
 
 impl Default for IncrementalEval {
@@ -172,6 +184,7 @@ impl Default for IncrementalEval {
             started: false,
             threads: None,
             min_parallel_rows: DEFAULT_MIN_PARALLEL_ROWS,
+            governor: Governor::default(),
         }
     }
 }
@@ -206,6 +219,24 @@ impl IncrementalEval {
         self.threads.unwrap_or_else(default_threads)
     }
 
+    /// Pins the governor that budgets every subsequent run. Builder form.
+    pub fn with_governor(mut self, governor: Governor) -> Self {
+        self.governor = governor;
+        self
+    }
+
+    /// Replaces the governor (budget counters carry over *within* a
+    /// governor, so handing several evaluators clones of one governor
+    /// bounds their combined work).
+    pub fn set_governor(&mut self, governor: Governor) {
+        self.governor = governor;
+    }
+
+    /// The governor in effect (e.g. to clone its cancellation token).
+    pub fn governor(&self) -> &Governor {
+        &self.governor
+    }
+
     /// Runs the fixpoint to saturation and returns this run's counters.
     ///
     /// The first call evaluates every rule over the whole database (and
@@ -213,12 +244,45 @@ impl IncrementalEval {
     /// previous call as the delta and only re-run the plan positions that
     /// can see them. The caller must pass the same `rules`/`plan` pair on
     /// every call.
-    pub fn run(&mut self, db: &mut Database, rules: &[Rule], plan: &DeltaPlan) -> EvalStats {
+    ///
+    /// On `Err`, the database holds a deterministic prefix of the fixpoint:
+    /// every completed round, plus — for [`Resource::Rows`] only — the
+    /// first `max_rows` rows of the tripping round's (sequential,
+    /// task-ordered) merge. `partial` describes exactly those committed
+    /// rows, so error results are byte-identical at any thread count.
+    pub fn run(
+        &mut self,
+        db: &mut Database,
+        rules: &[Rule],
+        plan: &DeltaPlan,
+    ) -> Result<EvalStats, EvalError> {
         let threads = self.effective_threads();
+        let gov = self.governor.clone();
+        let fault = *gov.fault();
         let mut stats = EvalStats::default();
         let mut first = !self.started;
         self.started = true;
         loop {
+            // Round boundary: `db` holds exactly the committed rounds and
+            // `stats` describes them, so this snapshot is what any early
+            // stop below reports as `partial`.
+            let committed = stats;
+            if let Err(resource) = gov.begin_round() {
+                gov.abort_round();
+                return Err(EvalError::BudgetExhausted {
+                    resource,
+                    partial: committed,
+                });
+            }
+            if let Some(limit) = gov.max_bytes() {
+                if db.approx_bytes() > limit {
+                    gov.abort_round();
+                    return Err(EvalError::BudgetExhausted {
+                        resource: Resource::Bytes,
+                        partial: committed,
+                    });
+                }
+            }
             stats.rounds += 1;
             // Composite indexes demanded by the compiled programs must
             // exist before workers share the database immutably; inserts
@@ -250,7 +314,7 @@ impl IncrementalEval {
                     }
                 }
                 if work.is_empty() {
-                    return stats;
+                    return Ok(stats);
                 }
                 work.sort_unstable();
                 work.dedup();
@@ -294,15 +358,43 @@ impl IncrementalEval {
                 }
             }
 
+            // Deterministic global task indexes for this round: base +
+            // position in `tasks` — independent of which worker actually
+            // executes a task, so `panic_task` faults are reproducible.
+            let base = gov.reserve_tasks(tasks.len());
             let mut buffer = DerivedBuffer::default();
             let parallel =
                 threads > 1 && tasks.len() > 1 && round_rows >= self.min_parallel_rows.max(1);
-            if parallel {
-                run_tasks_parallel(db, plan, &tasks, threads, &mut buffer, &mut stats);
+            let round = if parallel {
+                run_tasks_parallel(
+                    db,
+                    plan,
+                    &tasks,
+                    threads,
+                    base,
+                    &gov,
+                    &fault,
+                    &mut buffer,
+                    &mut stats,
+                )
             } else {
-                for task in &tasks {
-                    run_task(db, plan, *task, &mut buffer, &mut stats);
-                }
+                run_tasks_sequential(
+                    db,
+                    plan,
+                    &tasks,
+                    base,
+                    &gov,
+                    &fault,
+                    &mut buffer,
+                    &mut stats,
+                )
+            };
+            if let Err(abort) = round {
+                // Mid-round failure: the round's buffer is discarded whole,
+                // leaving the database at the last completed round — the
+                // only truncation point that is identical no matter which
+                // worker tripped first.
+                return Err(abort.into_eval_error(committed));
             }
 
             // Advance marks to the end of the pre-insertion rows.
@@ -315,11 +407,21 @@ impl IncrementalEval {
                 if db.insert(p, t) {
                     changed = true;
                     stats.derived += 1;
+                    if !gov.note_row() {
+                        // Exactly `max_rows` rows were inserted: the merge
+                        // is sequential and in task order, so this cut is
+                        // a deterministic prefix of the unbudgeted
+                        // insertion sequence at any thread count.
+                        return Err(EvalError::BudgetExhausted {
+                            resource: Resource::Rows,
+                            partial: stats,
+                        });
+                    }
                 }
             }
             first = false;
             if !changed {
-                return stats;
+                return Ok(stats);
             }
         }
     }
@@ -360,6 +462,12 @@ struct DerivedBuffer {
 }
 
 impl DerivedBuffer {
+    // Invariant (all three `expect`s below): row offsets are stored as
+    // `u32` throughout the row-store; an arena outgrowing `u32::MAX` cells
+    // cannot be represented, so trap loudly instead of truncating offsets.
+    // A byte budget (`Budget::max_bytes`) trips orders of magnitude before
+    // this point on any governed run.
+
     /// Grounds a compiled head template under the register file directly
     /// into the arena.
     fn push_slots(&mut self, pred: Pred, head: &[HeadSlot], regs: &[Cst]) {
@@ -406,61 +514,213 @@ impl DerivedBuffer {
     }
 }
 
+/// Why a round stopped before all of its tasks completed. The round's
+/// buffer is discarded in either case; `into_eval_error` attaches the
+/// last-committed stats snapshot for resource trips.
+enum RoundAbort {
+    Resource(Resource),
+    Panic { task: usize, payload: String },
+}
+
+impl RoundAbort {
+    fn into_eval_error(self, committed: EvalStats) -> EvalError {
+        match self {
+            RoundAbort::Resource(resource) => EvalError::BudgetExhausted {
+                resource,
+                partial: committed,
+            },
+            RoundAbort::Panic { task, payload } => EvalError::WorkerPanicked { task, payload },
+        }
+    }
+}
+
+/// Best-effort string form of a `catch_unwind` payload.
+fn panic_payload(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Trips the `panic_task` fault when `index` (the deterministic global
+/// task index) matches. Inert in production: the plan's field is `None`.
+fn inject_task_fault(fault: &FaultPlan, index: usize) {
+    if fault.panic_task == Some(index) {
+        panic!("injected fault: panic_task:{index}");
+    }
+}
+
 /// Runs one task sequentially into `out`: executes the task's compiled
 /// program over a freshly-zeroed register file.
 fn run_task(
     db: &Database,
     plan: &DeltaPlan,
     task: Task,
+    guard: &ProbeGuard<'_>,
     out: &mut DerivedBuffer,
     stats: &mut EvalStats,
-) {
+) -> Result<(), Resource> {
     let prog = plan.program(task.rule, task.delta.map(|d| d.atom));
     let mut regs = register_file(prog);
     let range = task.delta.map(|d| (d.start, d.end));
     let pred = prog.head_pred();
-    prog.execute(db, range, &mut regs, stats, &mut |head, regs| {
+    prog.execute(db, range, &mut regs, guard, stats, &mut |head, regs| {
         out.push_slots(pred, head, regs);
-    });
+    })
+}
+
+/// Executes `tasks` in order on the calling thread, with the same panic
+/// isolation as the parallel path (a poisoned task must not abort the
+/// process on single-core machines either).
+#[allow(clippy::too_many_arguments)]
+fn run_tasks_sequential(
+    db: &Database,
+    plan: &DeltaPlan,
+    tasks: &[Task],
+    base: usize,
+    gov: &Governor,
+    fault: &FaultPlan,
+    out: &mut DerivedBuffer,
+    stats: &mut EvalStats,
+) -> Result<(), RoundAbort> {
+    let guard = gov.probe_guard(None);
+    for (i, task) in tasks.iter().enumerate() {
+        let index = base + i;
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            inject_task_fault(fault, index);
+            run_task(db, plan, *task, &guard, out, stats)
+        }));
+        match outcome {
+            Ok(Ok(())) => {}
+            Ok(Err(resource)) => return Err(RoundAbort::Resource(resource)),
+            Err(payload) => {
+                return Err(RoundAbort::Panic {
+                    task: index,
+                    payload: panic_payload(payload),
+                })
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Executes `tasks` on `threads` scoped workers. A shared atomic cursor
 /// hands out tasks; each worker keeps `(task index, buffer, stats)`
 /// triples, and the results are merged in ascending task index, making the
 /// output indistinguishable from running the tasks in order on one thread.
+///
+/// Failure handling: each task body runs under `catch_unwind`; the first
+/// failure sets a round-local abort flag (checked by siblings at task
+/// hand-out and inside probe checks) and is recorded by smallest task
+/// index, panics outranking resource trips, so the reported error does not
+/// depend on worker scheduling.
+#[allow(clippy::too_many_arguments)]
 fn run_tasks_parallel(
     db: &Database,
     plan: &DeltaPlan,
     tasks: &[Task],
     threads: usize,
+    base: usize,
+    gov: &Governor,
+    fault: &FaultPlan,
     out: &mut DerivedBuffer,
     stats: &mut EvalStats,
-) {
+) -> Result<(), RoundAbort> {
     let workers = threads.min(tasks.len());
     let cursor = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+    let failure: Mutex<Option<(usize, RoundAbort)>> = Mutex::new(None);
+    let record = |index: usize, ab: RoundAbort| {
+        let mut slot = failure.lock().unwrap_or_else(|e| e.into_inner());
+        let replace = match (&*slot, &ab) {
+            (None, _) => true,
+            (Some((_, RoundAbort::Resource(_))), RoundAbort::Panic { .. }) => true,
+            (Some((_, RoundAbort::Panic { .. })), RoundAbort::Resource(_)) => false,
+            (Some((at, _)), _) => index < *at,
+        };
+        if replace {
+            *slot = Some((index, ab));
+        }
+        // Release-ordered so a sibling that observes the flag is
+        // guaranteed a recorded failure once the scope joins.
+        abort.store(true, Ordering::Release);
+    };
     let mut results: Vec<(usize, DerivedBuffer, EvalStats)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| {
+                    let guard = gov.probe_guard(Some(&abort));
                     let mut done: Vec<(usize, DerivedBuffer, EvalStats)> = Vec::new();
                     loop {
+                        if abort.load(Ordering::Acquire) {
+                            return done;
+                        }
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         if i >= tasks.len() {
                             return done;
                         }
                         let mut buf = DerivedBuffer::default();
                         let mut st = EvalStats::default();
-                        run_task(db, plan, tasks[i], &mut buf, &mut st);
-                        done.push((i, buf, st));
+                        let outcome = catch_unwind(AssertUnwindSafe(|| {
+                            inject_task_fault(fault, base + i);
+                            run_task(db, plan, tasks[i], &guard, &mut buf, &mut st)
+                        }));
+                        match outcome {
+                            Ok(Ok(())) => done.push((i, buf, st)),
+                            Ok(Err(resource)) => {
+                                // A `Cancelled` trip with the token still
+                                // clear came from the round's abort flag:
+                                // some sibling already recorded the real
+                                // failure, so don't relabel it.
+                                let poisoned = resource == Resource::Cancelled
+                                    && !gov.is_cancelled()
+                                    && abort.load(Ordering::Acquire);
+                                if !poisoned {
+                                    record(base + i, RoundAbort::Resource(resource));
+                                }
+                                return done;
+                            }
+                            Err(payload) => {
+                                record(
+                                    base + i,
+                                    RoundAbort::Panic {
+                                        task: base + i,
+                                        payload: panic_payload(payload),
+                                    },
+                                );
+                                return done;
+                            }
+                        }
                     }
                 })
             })
             .collect();
         handles
             .into_iter()
-            .flat_map(|h| h.join().expect("evaluation worker panicked"))
+            .flat_map(|h| match h.join() {
+                Ok(done) => done,
+                // Unreachable in practice — the task body is fully wrapped
+                // in `catch_unwind` — but a defect here must poison the
+                // round, not abort the process.
+                Err(payload) => {
+                    record(
+                        usize::MAX,
+                        RoundAbort::Panic {
+                            task: base,
+                            payload: panic_payload(payload),
+                        },
+                    );
+                    Vec::new()
+                }
+            })
             .collect()
     });
+    if let Some((_, ab)) = failure.into_inner().unwrap_or_else(|e| e.into_inner()) {
+        return Err(ab);
+    }
     results.sort_unstable_by_key(|&(i, _, _)| i);
     for (_, buf, st) in results {
         out.absorb(buf);
@@ -468,45 +728,99 @@ fn run_tasks_parallel(
         stats.index_hits += st.index_hits;
         stats.index_misses += st.index_misses;
     }
+    Ok(())
 }
 
 /// Evaluates `rules` over `db` to the least fixpoint, semi-naively.
-pub fn evaluate(db: &mut Database, rules: &[Rule]) -> EvalStats {
+pub fn evaluate(db: &mut Database, rules: &[Rule]) -> Result<EvalStats, EvalError> {
+    evaluate_governed(db, rules, &Governor::default())
+}
+
+/// [`evaluate`] under an explicit governor (budgets/cancellation/faults).
+pub fn evaluate_governed(
+    db: &mut Database,
+    rules: &[Rule],
+    governor: &Governor,
+) -> Result<EvalStats, EvalError> {
     let plan = DeltaPlan::new(rules);
-    IncrementalEval::new().run(db, rules, &plan)
+    IncrementalEval::new()
+        .with_governor(governor.clone())
+        .run(db, rules, &plan)
 }
 
 /// Evaluates `rules` naively (full re-derivation each round). Same fixpoint
 /// as [`evaluate`]; used as an oracle and the textbook baseline. Always
 /// sequential, but runs the same compiled programs as the semi-naive path.
-pub fn evaluate_naive(db: &mut Database, rules: &[Rule]) -> EvalStats {
+pub fn evaluate_naive(db: &mut Database, rules: &[Rule]) -> Result<EvalStats, EvalError> {
+    evaluate_naive_governed(db, rules, &Governor::default())
+}
+
+/// [`evaluate_naive`] under an explicit governor. Same round-boundary and
+/// merge-loop checks as the semi-naive path (the oracle must stay honest
+/// about budgets too, or differential tests of truncated runs diverge).
+pub fn evaluate_naive_governed(
+    db: &mut Database,
+    rules: &[Rule],
+    governor: &Governor,
+) -> Result<EvalStats, EvalError> {
     let plan = DeltaPlan::new(rules);
+    let fault = *governor.fault();
     let mut stats = EvalStats::default();
     loop {
+        let committed = stats;
+        if let Err(resource) = governor.begin_round() {
+            governor.abort_round();
+            return Err(EvalError::BudgetExhausted {
+                resource,
+                partial: committed,
+            });
+        }
+        if let Some(limit) = governor.max_bytes() {
+            if db.approx_bytes() > limit {
+                governor.abort_round();
+                return Err(EvalError::BudgetExhausted {
+                    resource: Resource::Bytes,
+                    partial: committed,
+                });
+            }
+        }
         stats.rounds += 1;
         plan.ensure_indexes(db);
+        let tasks: Vec<Task> = (0..rules.len())
+            .map(|ri| Task {
+                rule: ri as u32,
+                delta: None,
+            })
+            .collect();
+        let base = governor.reserve_tasks(tasks.len());
         let mut buffer = DerivedBuffer::default();
-        for (ri, _) in rules.iter().enumerate() {
-            run_task(
-                db,
-                &plan,
-                Task {
-                    rule: ri as u32,
-                    delta: None,
-                },
-                &mut buffer,
-                &mut stats,
-            );
+        if let Err(abort) = run_tasks_sequential(
+            db,
+            &plan,
+            &tasks,
+            base,
+            governor,
+            &fault,
+            &mut buffer,
+            &mut stats,
+        ) {
+            return Err(abort.into_eval_error(committed));
         }
         let mut changed = false;
         for (p, t) in buffer.iter() {
             if db.insert(p, t) {
                 changed = true;
                 stats.derived += 1;
+                if !governor.note_row() {
+                    return Err(EvalError::BudgetExhausted {
+                        resource: Resource::Rows,
+                        partial: stats,
+                    });
+                }
             }
         }
         if !changed {
-            return stats;
+            return Ok(stats);
         }
     }
 }
@@ -519,7 +833,20 @@ pub fn evaluate_naive(db: &mut Database, rules: &[Rule]) -> EvalStats {
 /// database is borrowed immutably, so multi-column probes that lack a
 /// pre-built composite index fall back to the most selective single-column
 /// bucket and count as `index_misses`.
-pub fn query(db: &Database, body: &[Atom], out_vars: &[Var]) -> Vec<Vec<Cst>> {
+pub fn query(db: &Database, body: &[Atom], out_vars: &[Var]) -> Result<Vec<Vec<Cst>>, EvalError> {
+    query_governed(db, body, out_vars, &Governor::default())
+}
+
+/// [`query`] under an explicit governor: the join is interruptible at the
+/// usual probe granularity, and a panic during execution (e.g. an output
+/// variable unbound by the body) surfaces as [`EvalError::WorkerPanicked`]
+/// instead of unwinding through the caller.
+pub fn query_governed(
+    db: &Database,
+    body: &[Atom],
+    out_vars: &[Var],
+    governor: &Governor,
+) -> Result<Vec<Vec<Cst>>, EvalError> {
     // Pose the query as a rule whose head projects the output variables;
     // the head predicate is never inserted anywhere, so a placeholder works.
     let pseudo = Rule::new(
@@ -538,22 +865,43 @@ pub fn query(db: &Database, body: &[Atom], out_vars: &[Var]) -> Vec<Vec<Cst>> {
     // into `out`, confirmed against the stored row (same scheme as the
     // relation dedup table).
     let mut seen: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
-    prog.execute(db, None, &mut regs, &mut stats, &mut |head, regs| {
-        let row: Vec<Cst> = head
-            .iter()
-            .map(|s| match s {
-                HeadSlot::Const(c) => *c,
-                HeadSlot::Reg(r) => regs[*r as usize],
-                HeadSlot::Unbound => panic!("query output variable unbound by body"),
-            })
-            .collect();
-        let bucket = seen.entry(hash_row(&row)).or_default();
-        if !bucket.iter().any(|&i| out[i as usize] == row) {
-            bucket.push(out.len() as u32);
-            out.push(row);
-        }
-    });
-    out
+    let task = governor.reserve_tasks(1);
+    let guard = governor.probe_guard(None);
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        prog.execute(
+            db,
+            None,
+            &mut regs,
+            &guard,
+            &mut stats,
+            &mut |head, regs| {
+                let row: Vec<Cst> = head
+                    .iter()
+                    .map(|s| match s {
+                        HeadSlot::Const(c) => *c,
+                        HeadSlot::Reg(r) => regs[*r as usize],
+                        HeadSlot::Unbound => panic!("query output variable unbound by body"),
+                    })
+                    .collect();
+                let bucket = seen.entry(hash_row(&row)).or_default();
+                if !bucket.iter().any(|&i| out[i as usize] == row) {
+                    bucket.push(out.len() as u32);
+                    out.push(row);
+                }
+            },
+        )
+    }));
+    match outcome {
+        Ok(Ok(())) => Ok(out),
+        Ok(Err(resource)) => Err(EvalError::BudgetExhausted {
+            resource,
+            partial: stats,
+        }),
+        Err(payload) => Err(EvalError::WorkerPanicked {
+            task,
+            payload: panic_payload(payload),
+        }),
+    }
 }
 
 #[cfg(test)]
@@ -810,7 +1158,7 @@ mod tests {
         let mut fx = fixture();
         let rules = transitive_closure_rules(&fx);
         let mut db = chain_db(&mut fx, 10);
-        evaluate(&mut db, &rules);
+        evaluate(&mut db, &rules).unwrap();
         // Path has n*(n+1)/2 pairs for a chain of n edges.
         assert_eq!(db.relation(fx.path).unwrap().len(), 10 * 11 / 2);
     }
@@ -821,8 +1169,8 @@ mod tests {
         let rules = transitive_closure_rules(&fx);
         let mut db1 = chain_db(&mut fx, 8);
         let mut db2 = db1.clone();
-        evaluate(&mut db1, &rules);
-        evaluate_naive(&mut db2, &rules);
+        evaluate(&mut db1, &rules).unwrap();
+        evaluate_naive(&mut db2, &rules).unwrap();
         assert_eq!(db1.dump(&fx.i), db2.dump(&fx.i));
     }
 
@@ -831,7 +1179,7 @@ mod tests {
         let mut fx = fixture();
         let rules = transitive_closure_rules(&fx);
         let mut db = chain_db(&mut fx, 12);
-        let stats = evaluate(&mut db, &rules);
+        let stats = evaluate(&mut db, &rules).unwrap();
         assert_eq!(stats.derived, 12 * 13 / 2);
     }
 
@@ -844,7 +1192,7 @@ mod tests {
             vec![],
         )];
         let mut db = Database::new();
-        let stats = evaluate(&mut db, &rules);
+        let stats = evaluate(&mut db, &rules).unwrap();
         assert_eq!(stats.derived, 1);
         assert!(db.contains(fx.edge, &[a, a]));
     }
@@ -854,11 +1202,11 @@ mod tests {
         let mut fx = fixture();
         let rules = transitive_closure_rules(&fx);
         let mut db = chain_db(&mut fx, 4);
-        evaluate(&mut db, &rules);
+        evaluate(&mut db, &rules).unwrap();
         let v0 = Cst(fx.i.intern("v0"));
         // {y : Path(v0, y)}
         let body = vec![Atom::new(fx.path, vec![Term::Const(v0), Term::Var(fx.y)])];
-        let rows = query(&db, &body, &[fx.y]);
+        let rows = query(&db, &body, &[fx.y]).unwrap();
         assert_eq!(rows.len(), 4);
     }
 
@@ -866,13 +1214,13 @@ mod tests {
     fn query_joins_shared_variables() {
         let mut fx = fixture();
         let mut db = chain_db(&mut fx, 3);
-        evaluate(&mut db, &transitive_closure_rules(&fx));
+        evaluate(&mut db, &transitive_closure_rules(&fx)).unwrap();
         // {x : Edge(x,y), Edge(y,z)} — x with an outgoing 2-step path.
         let body = vec![
             Atom::new(fx.edge, vec![Term::Var(fx.x), Term::Var(fx.y)]),
             Atom::new(fx.edge, vec![Term::Var(fx.y), Term::Var(fx.z)]),
         ];
-        let rows = query(&db, &body, &[fx.x]);
+        let rows = query(&db, &body, &[fx.x]).unwrap();
         assert_eq!(rows.len(), 2); // v0 and v1
     }
 
@@ -881,7 +1229,7 @@ mod tests {
         let fx = fixture();
         let db = Database::new();
         let body = vec![Atom::new(fx.edge, vec![Term::Var(fx.x), Term::Var(fx.y)])];
-        assert!(query(&db, &body, &[fx.x]).is_empty());
+        assert!(query(&db, &body, &[fx.x]).unwrap().is_empty());
     }
 
     #[test]
@@ -891,11 +1239,11 @@ mod tests {
         let plan = DeltaPlan::new(&rules);
         let mut db = chain_db(&mut fx, 10);
         let mut eval = IncrementalEval::new();
-        let first = eval.run(&mut db, &rules, &plan);
+        let first = eval.run(&mut db, &rules, &plan).unwrap();
         assert_eq!(first.derived, 10 * 11 / 2);
 
         // Resuming a saturated database is a no-op.
-        let idle = eval.run(&mut db, &rules, &plan);
+        let idle = eval.run(&mut db, &rules, &plan).unwrap();
         assert_eq!(idle.derived, 0);
         assert_eq!(idle.join_probes, 0);
 
@@ -903,14 +1251,14 @@ mod tests {
         let v10 = Cst(fx.i.intern("v10"));
         let v11 = Cst(fx.i.intern("v11"));
         db.insert(fx.edge, &[v10, v11]);
-        let resumed = eval.run(&mut db, &rules, &plan);
+        let resumed = eval.run(&mut db, &rules, &plan).unwrap();
         // Exactly the 11 new paths ending at v11, nothing re-derived.
         assert_eq!(resumed.derived, 11);
         assert_eq!(db.relation(fx.path).unwrap().len(), 11 * 12 / 2);
 
         // The resumed result matches a from-scratch evaluation.
         let mut fresh = chain_db(&mut fx, 11);
-        evaluate(&mut fresh, &rules);
+        evaluate(&mut fresh, &rules).unwrap();
         assert_eq!(db.dump(&fx.i), fresh.dump(&fx.i));
     }
 
@@ -933,7 +1281,7 @@ mod tests {
         let mut fx = fixture();
         let rules = transitive_closure_rules(&fx);
         let mut db = chain_db(&mut fx, 6);
-        let stats = evaluate(&mut db, &rules);
+        let stats = evaluate(&mut db, &rules).unwrap();
         assert!(stats.join_probes > 0);
         // The recursive rule joins Edge on a bound column every round.
         assert!(stats.index_hits > 0);
@@ -950,8 +1298,8 @@ mod tests {
         let plan = DeltaPlan::new(&rules);
         let mut db = Database::new();
         let mut eval = IncrementalEval::new();
-        assert_eq!(eval.run(&mut db, &rules, &plan).derived, 1);
-        assert_eq!(eval.run(&mut db, &rules, &plan).derived, 0);
+        assert_eq!(eval.run(&mut db, &rules, &plan).unwrap().derived, 1);
+        assert_eq!(eval.run(&mut db, &rules, &plan).unwrap().derived, 0);
     }
 
     #[test]
@@ -963,7 +1311,7 @@ mod tests {
         for k in 0..5 {
             db.insert(fx.edge, &[nodes[k], nodes[(k + 1) % 5]]);
         }
-        evaluate(&mut db, &rules);
+        evaluate(&mut db, &rules).unwrap();
         assert_eq!(db.relation(fx.path).unwrap().len(), 25);
     }
 
@@ -977,7 +1325,7 @@ mod tests {
         let mut eval = IncrementalEval::new()
             .with_threads(threads)
             .with_parallel_threshold(1);
-        let stats = eval.run(&mut db, &rules, &plan);
+        let stats = eval.run(&mut db, &rules, &plan).unwrap();
         let rows = db
             .relation(fx.path)
             .unwrap()
@@ -1020,7 +1368,8 @@ mod tests {
         let mut db = chain_db(&mut fx, 10);
         let stats = IncrementalEval::new()
             .with_threads(8)
-            .run(&mut db, &rules, &plan);
+            .run(&mut db, &rules, &plan)
+            .unwrap();
         assert_eq!(stats.derived, 10 * 11 / 2);
     }
 
@@ -1049,8 +1398,8 @@ mod tests {
         let mut fx = fixture();
         let mut left = chain_db(&mut fx, 12);
         let mut right = left.clone();
-        evaluate(&mut left, &transitive_closure_rules(&fx));
-        let stats = evaluate(&mut right, &tc_right_rules(&fx));
+        evaluate(&mut left, &transitive_closure_rules(&fx)).unwrap();
+        let stats = evaluate(&mut right, &tc_right_rules(&fx)).unwrap();
         assert_eq!(left.dump(&fx.i), right.dump(&fx.i));
         // The delta-first reorder keeps the non-leading recursion linear:
         // well under two probes per derived row plus the seeding scans.
@@ -1076,7 +1425,7 @@ mod tests {
             let mut eval = IncrementalEval::new()
                 .with_threads(threads)
                 .with_parallel_threshold(1);
-            let stats = eval.run(&mut db, &rules, &plan);
+            let stats = eval.run(&mut db, &rules, &plan).unwrap();
             let rows: Vec<Vec<Cst>> = db
                 .relation(fx.path)
                 .unwrap()
@@ -1098,7 +1447,7 @@ mod tests {
         let mut fx = fixture();
         let rules = transitive_closure_rules(&fx);
         let mut db = chain_db(&mut fx, 6);
-        evaluate(&mut db, &rules);
+        evaluate(&mut db, &rules).unwrap();
         let v0 = Cst(fx.i.intern("v0"));
         let bodies = vec![
             vec![Atom::new(fx.path, vec![Term::Const(v0), Term::Var(fx.y)])],
@@ -1127,7 +1476,7 @@ mod tests {
                     expect.push(row);
                 }
             });
-            assert_eq!(query(&db, &body, &out_vars), expect);
+            assert_eq!(query(&db, &body, &out_vars).unwrap(), expect);
         }
     }
 
@@ -1204,8 +1553,8 @@ mod tests {
             let mut oracle_db = db.clone();
             let mut naive_db = db.clone();
             evaluate_naive_interpreted(&mut oracle_db, &rules);
-            evaluate_naive(&mut naive_db, &rules);
-            evaluate(&mut db, &rules);
+            evaluate_naive(&mut naive_db, &rules).unwrap();
+            evaluate(&mut db, &rules).unwrap();
             let expect = oracle_db.dump(&i);
             assert_eq!(naive_db.dump(&i), expect, "naive diverged at seed {seed}");
             assert_eq!(db.dump(&i), expect, "semi-naive diverged at seed {seed}");
@@ -1217,7 +1566,7 @@ mod tests {
         let mut fx = fixture();
         let rules = transitive_closure_rules(&fx);
         let mut db = chain_db(&mut fx, 6);
-        let stats = evaluate(&mut db, &rules);
+        let stats = evaluate(&mut db, &rules).unwrap();
         // Every Edge probe of the recursive rule has exactly one bound
         // column — fully covered by the per-column index.
         assert!(stats.index_hits > 0);
@@ -1231,7 +1580,7 @@ mod tests {
             Atom::new(fx.path, vec![Term::Var(fx.x), Term::Var(fx.y)]),
             Atom::new(fx.path, vec![Term::Var(fx.x), Term::Var(fx.y)]),
         ];
-        let rows = query(&db, &body, &[fx.x, fx.y]);
+        let rows = query(&db, &body, &[fx.x, fx.y]).unwrap();
         assert_eq!(rows.len(), 6 * 7 / 2);
         assert!(db.contains(fx.path, &[v0, v3]));
     }
@@ -1245,5 +1594,237 @@ mod tests {
         assert_eq!(e.effective_threads(), 1);
         e.set_threads(None);
         assert!(e.effective_threads() >= 1);
+    }
+
+    use crate::governor::{Budget, FaultPlan, Governor, Resource};
+
+    /// Path rows in insertion order, for prefix/byte-identity assertions.
+    fn path_rows(db: &Database, fx: &Fixture) -> Vec<Vec<Cst>> {
+        db.relation(fx.path)
+            .map(|r| r.rows().map(<[Cst]>::to_vec).collect())
+            .unwrap_or_default()
+    }
+
+    #[test]
+    fn row_budget_truncates_to_identical_prefix_at_all_thread_counts() {
+        let mut fx = fixture();
+        let rules = transitive_closure_rules(&fx);
+        let n = 40;
+        let mut full = chain_db(&mut fx, n);
+        evaluate(&mut full, &rules).unwrap();
+        let full_rows = path_rows(&full, &fx);
+
+        let cap = 30;
+        let mut reference: Option<Vec<Vec<Cst>>> = None;
+        for threads in [1, 2, 4, 8] {
+            let plan = DeltaPlan::new(&rules);
+            let mut db = chain_db(&mut fx, n);
+            let gov = Governor::new(Budget::default().with_max_rows(cap))
+                .with_faults(FaultPlan::default());
+            let err = IncrementalEval::new()
+                .with_threads(threads)
+                .with_parallel_threshold(1)
+                .with_governor(gov)
+                .run(&mut db, &rules, &plan)
+                .unwrap_err();
+            let EvalError::BudgetExhausted { resource, partial } = err else {
+                panic!("expected BudgetExhausted, got {err:?}");
+            };
+            assert_eq!(resource, Resource::Rows);
+            assert_eq!(partial.derived, cap);
+            let rows = path_rows(&db, &fx);
+            assert_eq!(rows.len(), cap);
+            assert_eq!(rows[..], full_rows[..cap], "not a prefix of the fixpoint");
+            match &reference {
+                None => reference = Some(rows),
+                Some(r) => assert_eq!(&rows, r, "diverged at {threads} threads"),
+            }
+        }
+    }
+
+    #[test]
+    fn round_budget_stops_at_a_round_boundary() {
+        let mut fx = fixture();
+        let rules = transitive_closure_rules(&fx);
+        let plan = DeltaPlan::new(&rules);
+        let mut db = chain_db(&mut fx, 8);
+        let gov =
+            Governor::new(Budget::default().with_max_rounds(2)).with_faults(FaultPlan::default());
+        let err = IncrementalEval::new()
+            .with_governor(gov)
+            .run(&mut db, &rules, &plan)
+            .unwrap_err();
+        let EvalError::BudgetExhausted { resource, partial } = err else {
+            panic!("expected BudgetExhausted, got {err:?}");
+        };
+        assert_eq!(resource, Resource::Rounds);
+        assert_eq!(partial.rounds, 2);
+        // Round 1 copies the 8 edges, round 2 adds the 7 length-2 paths.
+        assert_eq!(partial.derived, 8 + 7);
+        assert_eq!(db.relation(fx.path).unwrap().len(), 8 + 7);
+    }
+
+    #[test]
+    fn byte_budget_trips_before_any_derivation() {
+        let mut fx = fixture();
+        let rules = transitive_closure_rules(&fx);
+        let plan = DeltaPlan::new(&rules);
+        let mut db = chain_db(&mut fx, 8);
+        let gov =
+            Governor::new(Budget::default().with_max_bytes(1)).with_faults(FaultPlan::default());
+        let err = IncrementalEval::new()
+            .with_governor(gov)
+            .run(&mut db, &rules, &plan)
+            .unwrap_err();
+        let EvalError::BudgetExhausted { resource, partial } = err else {
+            panic!("expected BudgetExhausted, got {err:?}");
+        };
+        assert_eq!(resource, Resource::Bytes);
+        assert_eq!(partial, EvalStats::default());
+        assert!(db.relation(fx.path).is_none(), "no round may have run");
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_before_any_round() {
+        let mut fx = fixture();
+        let rules = transitive_closure_rules(&fx);
+        let plan = DeltaPlan::new(&rules);
+        let mut db = chain_db(&mut fx, 8);
+        let gov = Governor::new(Budget::unlimited()).with_faults(FaultPlan::default());
+        gov.cancel();
+        let err = IncrementalEval::new()
+            .with_governor(gov)
+            .run(&mut db, &rules, &plan)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            EvalError::BudgetExhausted {
+                resource: Resource::Cancelled,
+                ..
+            }
+        ));
+        assert!(db.relation(fx.path).is_none());
+    }
+
+    #[test]
+    fn panic_task_fault_leaves_last_completed_round_sequential() {
+        let mut fx = fixture();
+        let rules = transitive_closure_rules(&fx);
+        let plan = DeltaPlan::new(&rules);
+        let mut db = chain_db(&mut fx, 8);
+        // Round 1 runs tasks 0 and 1 (one per rule); round 2 re-runs only
+        // the Path position of the recursive rule as global task 2.
+        let gov = Governor::new(Budget::unlimited()).with_faults(FaultPlan {
+            panic_task: Some(2),
+            ..FaultPlan::default()
+        });
+        let err = IncrementalEval::new()
+            .with_threads(1)
+            .with_governor(gov)
+            .run(&mut db, &rules, &plan)
+            .unwrap_err();
+        let EvalError::WorkerPanicked { task, payload } = err else {
+            panic!("expected WorkerPanicked, got {err:?}");
+        };
+        assert_eq!(task, 2);
+        assert!(payload.contains("panic_task:2"), "payload: {payload}");
+        // Round 2's buffer was discarded whole: only round 1's edge copies.
+        assert_eq!(db.relation(fx.path).unwrap().len(), 8);
+    }
+
+    #[test]
+    fn panic_task_fault_in_parallel_round_poisons_round_not_process() {
+        let mut fx = fixture();
+        let rules = transitive_closure_rules(&fx);
+        let plan = DeltaPlan::new(&rules);
+        let mut db = chain_db(&mut fx, 8);
+        // Task 1 is in round 1, which runs parallel under threshold 1.
+        let gov = Governor::new(Budget::unlimited()).with_faults(FaultPlan {
+            panic_task: Some(1),
+            ..FaultPlan::default()
+        });
+        let err = IncrementalEval::new()
+            .with_threads(4)
+            .with_parallel_threshold(1)
+            .with_governor(gov)
+            .run(&mut db, &rules, &plan)
+            .unwrap_err();
+        let EvalError::WorkerPanicked { task, .. } = err else {
+            panic!("expected WorkerPanicked, got {err:?}");
+        };
+        assert_eq!(task, 1);
+        assert!(db.relation(fx.path).is_none(), "round 1 was discarded");
+    }
+
+    #[test]
+    fn fail_round_fault_exhausts_at_its_boundary() {
+        let mut fx = fixture();
+        let rules = transitive_closure_rules(&fx);
+        let plan = DeltaPlan::new(&rules);
+        let mut db = chain_db(&mut fx, 8);
+        let gov = Governor::new(Budget::unlimited()).with_faults(FaultPlan {
+            fail_round: Some(2),
+            ..FaultPlan::default()
+        });
+        let err = IncrementalEval::new()
+            .with_governor(gov)
+            .run(&mut db, &rules, &plan)
+            .unwrap_err();
+        let EvalError::BudgetExhausted { resource, partial } = err else {
+            panic!("expected BudgetExhausted, got {err:?}");
+        };
+        assert_eq!(resource, Resource::Fault);
+        assert_eq!(partial.rounds, 1);
+        assert_eq!(db.relation(fx.path).unwrap().len(), 8);
+    }
+
+    #[test]
+    fn deadline_with_slow_probe_interrupts_mid_round() {
+        let mut fx = fixture();
+        let rules = tc_right_rules(&fx);
+        let plan = DeltaPlan::new(&rules);
+        let mut db = chain_db(&mut fx, 256);
+        // Every probe-level check sleeps 2ms against a 1ms budget, so the
+        // deadline trips at the first check no matter the machine.
+        let gov = Governor::new(Budget::default().with_max_millis(1)).with_faults(FaultPlan {
+            slow_probe: Some(2000),
+            ..FaultPlan::default()
+        });
+        let err = IncrementalEval::new()
+            .with_governor(gov)
+            .run(&mut db, &rules, &plan)
+            .unwrap_err();
+        let EvalError::BudgetExhausted { resource, .. } = err else {
+            panic!("expected BudgetExhausted, got {err:?}");
+        };
+        assert_eq!(resource, Resource::Time);
+    }
+
+    #[test]
+    fn governed_naive_oracle_honors_row_budget() {
+        let mut fx = fixture();
+        let rules = transitive_closure_rules(&fx);
+        let mut db = chain_db(&mut fx, 12);
+        let gov =
+            Governor::new(Budget::default().with_max_rows(5)).with_faults(FaultPlan::default());
+        let err = evaluate_naive_governed(&mut db, &rules, &gov).unwrap_err();
+        let EvalError::BudgetExhausted { resource, partial } = err else {
+            panic!("expected BudgetExhausted, got {err:?}");
+        };
+        assert_eq!(resource, Resource::Rows);
+        assert_eq!(partial.derived, 5);
+        assert_eq!(db.relation(fx.path).unwrap().len(), 5);
+    }
+
+    #[test]
+    fn unbound_query_output_is_an_error_not_a_panic() {
+        let mut fx = fixture();
+        let rules = transitive_closure_rules(&fx);
+        let mut db = chain_db(&mut fx, 4);
+        evaluate(&mut db, &rules).unwrap();
+        let w = Var(fx.i.intern("w"));
+        let body = vec![Atom::new(fx.path, vec![Term::Var(fx.x), Term::Var(fx.y)])];
+        let err = query(&db, &body, &[w]).unwrap_err();
+        assert!(matches!(err, EvalError::WorkerPanicked { .. }));
     }
 }

@@ -22,16 +22,22 @@
 //! §3.6 is evaluated over a bounded term universe as Datalog.
 
 pub mod engine;
+pub mod governor;
 pub mod program;
 pub mod provenance;
 pub mod rel;
 pub mod rule;
 
 pub use engine::{
-    default_threads, evaluate, evaluate_naive, query, DeltaPlan, EvalStats, IncrementalEval,
-    DEFAULT_MIN_PARALLEL_ROWS,
+    default_threads, evaluate, evaluate_governed, evaluate_naive, evaluate_naive_governed, query,
+    query_governed, DeltaPlan, EvalStats, IncrementalEval, DEFAULT_MIN_PARALLEL_ROWS,
+};
+pub use governor::{
+    Budget, CancelToken, EvalError, FaultPlan, Governor, Resource, PROBE_CHECK_INTERVAL,
 };
 pub use program::JoinProgram;
-pub use provenance::{evaluate_traced, Derivation, Justification, Provenance};
+pub use provenance::{
+    evaluate_traced, evaluate_traced_governed, Derivation, Justification, Provenance,
+};
 pub use rel::{Database, Probe, Relation, RowId, RowPool, Tuple};
 pub use rule::{Atom, Rule, Term};

@@ -30,6 +30,7 @@
 //! *bindings* changes (and with it which candidate rows are ever touched).
 
 use crate::engine::EvalStats;
+use crate::governor::{ProbeGuard, Resource, PROBE_CHECK_MASK};
 use crate::rel::{Database, Relation, RowId};
 use crate::rule::{Rule, Term};
 use fundb_term::{Cst, FxHashMap, FxHashSet, Pred, Sym, Var};
@@ -213,34 +214,40 @@ impl JoinProgram {
     /// *first* op (the delta atom of a per-delta program) to the dense row
     /// range `start..end` of its relation. `regs` must hold at least
     /// [`register_count`](Self::register_count) slots; `emit` receives the
-    /// head template and the register file for each firing.
+    /// head template and the register file for each firing. Every
+    /// [`crate::governor::PROBE_CHECK_INTERVAL`] probes the `guard` is
+    /// polled; `Err` aborts the execution mid-join (the caller discards any
+    /// partial output).
     pub(crate) fn execute<F: FnMut(&[HeadSlot], &[Cst])>(
         &self,
         db: &Database,
         delta: Option<(usize, usize)>,
         regs: &mut [Cst],
+        guard: &ProbeGuard<'_>,
         stats: &mut EvalStats,
         emit: &mut F,
-    ) {
+    ) -> Result<(), Resource> {
         debug_assert!(regs.len() >= self.nregs);
-        self.exec(db, 0, delta, regs, stats, emit);
+        self.exec(db, 0, delta, regs, guard, stats, emit)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn exec<F: FnMut(&[HeadSlot], &[Cst])>(
         &self,
         db: &Database,
         depth: usize,
         delta: Option<(usize, usize)>,
         regs: &mut [Cst],
+        guard: &ProbeGuard<'_>,
         stats: &mut EvalStats,
         emit: &mut F,
-    ) {
+    ) -> Result<(), Resource> {
         let Some(op) = self.ops.get(depth) else {
             emit(&self.head, regs);
-            return;
+            return Ok(());
         };
         let Some(rel) = db.relation(op.pred) else {
-            return;
+            return Ok(());
         };
         // The delta atom of a per-delta program is always op 0: scan its
         // chunk of fresh rows directly.
@@ -248,22 +255,28 @@ impl JoinProgram {
             if let Some((start, end)) = delta {
                 for row in rel.rows_range(start, end) {
                     stats.join_probes += 1;
+                    if stats.join_probes & PROBE_CHECK_MASK == 0 {
+                        guard.check()?;
+                    }
                     if apply_cols(&op.cols, row, regs) {
-                        self.exec(db, depth + 1, delta, regs, stats, emit);
+                        self.exec(db, depth + 1, delta, regs, guard, stats, emit)?;
                     }
                 }
-                return;
+                return Ok(());
             }
         }
         if op.sig == 0 {
             // No bound columns: scan.
             for row in rel.rows() {
                 stats.join_probes += 1;
+                if stats.join_probes & PROBE_CHECK_MASK == 0 {
+                    guard.check()?;
+                }
                 if apply_cols(&op.cols, row, regs) {
-                    self.exec(db, depth + 1, delta, regs, stats, emit);
+                    self.exec(db, depth + 1, delta, regs, guard, stats, emit)?;
                 }
             }
-            return;
+            return Ok(());
         }
         let candidates: &[u32] = if op.sig.count_ones() == 1 {
             // One bound column: the per-column index covers the key.
@@ -289,10 +302,14 @@ impl JoinProgram {
         for &id in candidates {
             let row = rel.row(RowId(id));
             stats.join_probes += 1;
+            if stats.join_probes & PROBE_CHECK_MASK == 0 {
+                guard.check()?;
+            }
             if apply_cols(&op.cols, row, regs) {
-                self.exec(db, depth + 1, delta, regs, stats, emit);
+                self.exec(db, depth + 1, delta, regs, guard, stats, emit)?;
             }
         }
+        Ok(())
     }
 
     /// Hash of `op`'s probe key under the current registers; must agree

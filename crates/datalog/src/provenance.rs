@@ -8,6 +8,7 @@
 //! recorded premise was inserted strictly before its conclusion.
 
 use crate::engine::EvalStats;
+use crate::governor::{EvalError, Governor, Resource};
 use crate::rel::{Database, Tuple};
 use crate::rule::{Atom, Rule, Term};
 use fundb_term::{Cst, FxHashMap, Interner, Pred, Var};
@@ -104,13 +105,44 @@ impl Provenance {
 }
 
 /// Semi-naive evaluation that records first derivations.
-pub fn evaluate_traced(db: &mut Database, rules: &[Rule]) -> (EvalStats, Provenance) {
+pub fn evaluate_traced(
+    db: &mut Database,
+    rules: &[Rule],
+) -> Result<(EvalStats, Provenance), EvalError> {
+    evaluate_traced_governed(db, rules, &Governor::default())
+}
+
+/// [`evaluate_traced`] under an explicit governor. The tracing loop is
+/// interpreted, so budgets and cancellation are enforced at round
+/// boundaries and in the merge loop (no probe-level checks here).
+pub fn evaluate_traced_governed(
+    db: &mut Database,
+    rules: &[Rule],
+    governor: &Governor,
+) -> Result<(EvalStats, Provenance), EvalError> {
     let mut stats = EvalStats::default();
     let mut prov = Provenance::default();
     let mut marks: FxHashMap<Pred, usize> = FxHashMap::default();
     let mut first_round = true;
 
     loop {
+        let committed = stats;
+        if let Err(resource) = governor.begin_round() {
+            governor.abort_round();
+            return Err(EvalError::BudgetExhausted {
+                resource,
+                partial: committed,
+            });
+        }
+        if let Some(limit) = governor.max_bytes() {
+            if db.approx_bytes() > limit {
+                governor.abort_round();
+                return Err(EvalError::BudgetExhausted {
+                    resource: Resource::Bytes,
+                    partial: committed,
+                });
+            }
+        }
         stats.rounds += 1;
         let mut buffer: Vec<(Pred, Tuple, Justification)> = Vec::new();
 
@@ -150,11 +182,17 @@ pub fn evaluate_traced(db: &mut Database, rules: &[Rule]) -> (EvalStats, Provena
                 changed = true;
                 stats.derived += 1;
                 prov.why.entry((p, t)).or_insert(just);
+                if !governor.note_row() {
+                    return Err(EvalError::BudgetExhausted {
+                        resource: Resource::Rows,
+                        partial: stats,
+                    });
+                }
             }
         }
         first_round = false;
         if !changed {
-            return (stats, prov);
+            return Ok((stats, prov));
         }
     }
 }
@@ -274,15 +312,15 @@ mod tests {
         let (i, db0, rules, _, _, _) = tc_setup();
         let mut db1 = db0.clone();
         let mut db2 = db0;
-        crate::evaluate(&mut db1, &rules);
-        evaluate_traced(&mut db2, &rules);
+        crate::evaluate(&mut db1, &rules).unwrap();
+        evaluate_traced(&mut db2, &rules).unwrap();
         assert_eq!(db1.dump(&i), db2.dump(&i));
     }
 
     #[test]
     fn explanations_bottom_out_in_edb() {
         let (_, mut db, rules, edge, path, nodes) = tc_setup();
-        let (_, prov) = evaluate_traced(&mut db, &rules);
+        let (_, prov) = evaluate_traced(&mut db, &rules).unwrap();
         let d = prov
             .explain(&db, path, &[nodes[0], nodes[3]])
             .expect("Path(v0,v3) holds");
@@ -309,7 +347,7 @@ mod tests {
     #[test]
     fn edb_facts_are_given() {
         let (_, mut db, rules, edge, _, nodes) = tc_setup();
-        let (_, prov) = evaluate_traced(&mut db, &rules);
+        let (_, prov) = evaluate_traced(&mut db, &rules).unwrap();
         let d = prov.explain(&db, edge, &[nodes[0], nodes[1]]).unwrap();
         assert_eq!(d.rule, None);
         assert!(d.premises.is_empty());
@@ -318,14 +356,14 @@ mod tests {
     #[test]
     fn absent_facts_have_no_explanation() {
         let (_, mut db, rules, _, path, nodes) = tc_setup();
-        let (_, prov) = evaluate_traced(&mut db, &rules);
+        let (_, prov) = evaluate_traced(&mut db, &rules).unwrap();
         assert!(prov.explain(&db, path, &[nodes[3], nodes[0]]).is_none());
     }
 
     #[test]
     fn render_is_indented_and_complete() {
         let (i, mut db, rules, _, path, nodes) = tc_setup();
-        let (_, prov) = evaluate_traced(&mut db, &rules);
+        let (_, prov) = evaluate_traced(&mut db, &rules).unwrap();
         let d = prov.explain(&db, path, &[nodes[0], nodes[2]]).unwrap();
         let text = Provenance::render(&d, &i);
         assert!(text.contains("Path(v0,v2)   [by rule 1]"));

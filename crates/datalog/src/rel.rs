@@ -57,6 +57,13 @@ impl RowPool {
         self.data.is_empty()
     }
 
+    /// Bytes held by the constant arena (the dominant row-store cost; the
+    /// governor's byte budget is built on this).
+    #[inline]
+    pub fn approx_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<Cst>()
+    }
+
     /// The row at dense index `i`.
     #[inline]
     pub fn row(&self, i: usize) -> &[Cst] {
@@ -158,6 +165,16 @@ impl Relation {
     /// Whether the relation has no tuples.
     pub fn is_empty(&self) -> bool {
         self.len == 0
+    }
+
+    /// Approximate resident bytes: the arena plus one `u32` posting per row
+    /// in the dedup table, each per-column index, and each built composite
+    /// index. Hash-map headers and bucket slack are deliberately ignored —
+    /// the byte budget needs a monotone, cheap estimate, not an allocator
+    /// audit.
+    pub fn approx_bytes(&self) -> usize {
+        let postings = 1 + self.arity() + self.composite.len();
+        self.pool.approx_bytes() + self.len * postings * std::mem::size_of::<u32>()
     }
 
     /// Inserts a tuple; returns its handle if it was new.
@@ -470,6 +487,13 @@ impl Database {
     /// Total number of tuples across relations.
     pub fn fact_count(&self) -> usize {
         self.relations.values().map(Relation::len).sum()
+    }
+
+    /// Approximate resident bytes across relations (see
+    /// [`Relation::approx_bytes`]); checked against the governor's byte
+    /// budget at round boundaries.
+    pub fn approx_bytes(&self) -> usize {
+        self.relations.values().map(Relation::approx_bytes).sum()
     }
 
     /// Iterates `(predicate, relation)` pairs in unspecified order.

@@ -21,7 +21,8 @@ use crate::elaborate::Elaborator;
 use crate::syntax::{parse_source, PStatement};
 use fundb_core::error::{Error, Result};
 use fundb_core::{
-    normalize, to_pure, CompiledProgram, Database, Engine, EqSpec, FTerm, GraphSpec, Program, Query,
+    normalize, to_pure, CompiledProgram, Database, Engine, EqSpec, FTerm, Governor, GraphSpec,
+    Program, Query,
 };
 use fundb_term::{Cst, Func, FxHashMap, Interner, MixedSym};
 
@@ -41,6 +42,9 @@ pub struct Workspace {
     /// `graph_spec()` build, used to translate ground mixed terms in later
     /// membership checks.
     sym_map: FxHashMap<(MixedSym, Box<[Cst]>), Func>,
+    /// Execution governor installed into every engine this workspace builds
+    /// (unlimited by default).
+    governor: Governor,
 }
 
 impl Default for Workspace {
@@ -59,7 +63,19 @@ impl Workspace {
             queries: Vec::new(),
             elaborator: Elaborator::new(),
             sym_map: FxHashMap::default(),
+            governor: Governor::default(),
         }
+    }
+
+    /// Installs an execution governor; every engine built afterwards runs
+    /// under its budgets, cancellation token and fault plan.
+    pub fn set_governor(&mut self, governor: Governor) {
+        self.governor = governor;
+    }
+
+    /// The currently installed governor.
+    pub fn governor(&self) -> &Governor {
+        &self.governor
     }
 
     /// Parses a source fragment (rules, facts, declarations, queries) and
@@ -84,14 +100,15 @@ impl Workspace {
         self.sym_map = pure.sym_map.clone();
         let cp = CompiledProgram::compile(&pure, &mut self.interner)?;
         let mut engine = Engine::new(cp);
-        engine.solve();
+        engine.set_governor(self.governor.clone());
+        engine.solve()?;
         Ok(engine)
     }
 
     /// Builds the graph specification (Algorithm Q).
     pub fn graph_spec(&mut self) -> Result<GraphSpec> {
         let mut engine = self.engine()?;
-        Ok(GraphSpec::from_engine(&mut engine))
+        GraphSpec::from_engine(&mut engine)
     }
 
     /// Builds a serializable bundle: the graph specification plus the

@@ -93,12 +93,14 @@ pub fn read_lasso(text: &str, interner: &mut Interner) -> Result<TemporalSpec> {
         let toks: Vec<&str> = line.split_whitespace().collect();
         match toks.as_slice() {
             ["rho", v] => {
-                rho = Some(v.parse().map_err(|_| err(lineno, "malformed rho"))?);
-                prefix = vec![State::new(); rho.expect("just set")];
+                let n: usize = v.parse().map_err(|_| err(lineno, "malformed rho"))?;
+                rho = Some(n);
+                prefix = vec![State::new(); n];
             }
             ["lambda", v] => {
-                lambda = Some(v.parse().map_err(|_| err(lineno, "malformed lambda"))?);
-                cycle = vec![State::new(); lambda.expect("just set")];
+                let n: usize = v.parse().map_err(|_| err(lineno, "malformed lambda"))?;
+                lambda = Some(n);
+                cycle = vec![State::new(); n];
             }
             ["atom", tag, idx, pred, args @ ..] => {
                 let idx: usize = idx.parse().map_err(|_| err(lineno, "malformed index"))?;
@@ -150,6 +152,19 @@ pub fn read_lasso(text: &str, interner: &mut Interner) -> Result<TemporalSpec> {
         nf,
         class: TemporalClass::Forward,
     })
+}
+
+/// Reads a lasso file from disk. I/O failures become [`Error::Io`] and
+/// malformed content becomes [`Error::Parse`] — never a panic.
+pub fn read_lasso_file(path: &str, interner: &mut Interner) -> Result<TemporalSpec> {
+    let text = std::fs::read_to_string(path).map_err(|e| Error::io(path, &e))?;
+    read_lasso(&text, interner)
+}
+
+/// Writes a lasso file to disk, mapping I/O failures to [`Error::Io`].
+pub fn write_lasso_file(path: &str, spec: &TemporalSpec, interner: &Interner) -> Result<()> {
+    let text = write_lasso(spec, interner);
+    std::fs::write(path, text).map_err(|e| Error::io(path, &e))
 }
 
 #[cfg(test)]

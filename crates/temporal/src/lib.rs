@@ -34,7 +34,7 @@ pub mod line;
 pub mod query;
 pub mod spec;
 
-pub use io::{read_lasso, write_lasso};
+pub use io::{read_lasso, read_lasso_file, write_lasso, write_lasso_file};
 pub use line::{classify, TemporalClass};
 pub use query::TemporalAnswer;
 pub use spec::TemporalSpec;

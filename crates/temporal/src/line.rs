@@ -235,7 +235,7 @@ pub(crate) fn evaluate_forward(
 
     // Outer loop over the (finite, monotone) non-functional store.
     loop {
-        dl::evaluate(&mut nf, &pure_datalog);
+        dl::evaluate(&mut nf, &pure_datalog)?;
         let nf_before = nf.fact_count();
 
         let mut states: Vec<State> = Vec::new();

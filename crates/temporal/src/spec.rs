@@ -75,7 +75,7 @@ impl TemporalSpec {
             }
             TemporalClass::General => {
                 let mut engine = Engine::build(program, db, interner)?;
-                let spec = GraphSpec::from_engine(&mut engine);
+                let spec = GraphSpec::from_engine(&mut engine)?;
                 let mut out = Self::from_graph_spec(&spec)?;
                 out.class = TemporalClass::General;
                 Ok(out)
@@ -267,7 +267,7 @@ mod tests {
         assert_eq!(spec.class, TemporalClass::Forward);
         assert_eq!(spec.equation(), (0, 2));
         let mut engine = Engine::build(&prog, &db, &mut i).unwrap();
-        engine.solve();
+        engine.solve().unwrap();
         for n in 0..40u64 {
             for who in [tony, jan] {
                 assert_eq!(

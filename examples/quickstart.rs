@@ -66,11 +66,11 @@ fn main() {
 
     // The quotient interpretation is a model (Proposition 3.2).
     let mut engine = ws.engine().unwrap();
-    engine.solve();
+    engine.solve().unwrap();
     let model = QuotientModel::new(&spec);
     println!(
         "\nquotient interpretation is a model of Z ∧ D: {}",
-        model.is_model_of(engine.compiled())
+        model.is_model_of(engine.compiled()).unwrap()
     );
 
     // The infinite answer to {(t,x) : Meets(t,x)} as an incremental spec.

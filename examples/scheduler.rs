@@ -76,7 +76,7 @@ fn main() {
     let pure = to_pure(&normal, &ws.db, &mut ws.interner).unwrap();
     println!("\n[RBS87-style baseline] bounded materialization growth:");
     for depth in [8usize, 16, 32, 64] {
-        let mat = BoundedMaterialization::run(&pure, depth, &mut ws.interner);
+        let mat = BoundedMaterialization::run(&pure, depth, &mut ws.interner).unwrap();
         println!(
             "  horizon {depth:>3}: {:>5} facts ({} ground rule instances)",
             mat.fact_count(),

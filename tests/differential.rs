@@ -30,9 +30,9 @@ proptest! {
         );
         let normal = normalize(&gen.program, &mut gen.interner);
         let pure = to_pure(&normal, &gen.db, &mut gen.interner).unwrap();
-        let mat = BoundedMaterialization::run(&pure, DEPTH + 2, &mut gen.interner);
+        let mat = BoundedMaterialization::run(&pure, DEPTH + 2, &mut gen.interner).unwrap();
         let mut engine = Engine::build(&gen.program, &gen.db, &mut gen.interner).unwrap();
-        engine.solve();
+        engine.solve().unwrap();
         for path in all_paths(&gen.funcs, DEPTH) {
             for &p in &gen.preds {
                 for &c in &gen.consts {
@@ -53,9 +53,9 @@ proptest! {
         let mut gen = random_program(GenConfig::default(), seed);
         let normal = normalize(&gen.program, &mut gen.interner);
         let pure = to_pure(&normal, &gen.db, &mut gen.interner).unwrap();
-        let mat = BoundedMaterialization::run(&pure, DEPTH + 2, &mut gen.interner);
+        let mat = BoundedMaterialization::run(&pure, DEPTH + 2, &mut gen.interner).unwrap();
         let mut engine = Engine::build(&gen.program, &gen.db, &mut gen.interner).unwrap();
-        engine.solve();
+        engine.solve().unwrap();
         for path in all_paths(&gen.funcs, DEPTH) {
             for &p in &gen.preds {
                 for &c in &gen.consts {
@@ -77,7 +77,7 @@ proptest! {
     fn specifications_agree(seed in any::<u64>()) {
         let mut gen = random_program(GenConfig::default(), seed);
         let mut engine = Engine::build(&gen.program, &gen.db, &mut gen.interner).unwrap();
-        let spec = GraphSpec::from_engine(&mut engine);
+        let spec = GraphSpec::from_engine(&mut engine).unwrap();
         let minimized = spec.minimized();
         let mut eq = EqSpec::from_graph(&spec);
         for path in all_paths(&gen.funcs, DEPTH) {
@@ -111,10 +111,10 @@ proptest! {
         );
         let normal = normalize(&gen.program, &mut gen.interner);
         let pure = to_pure(&normal, &gen.db, &mut gen.interner).unwrap();
-        let mat = BoundedMaterialization::run(&pure, DEPTH + 2, &mut gen.interner);
+        let mat = BoundedMaterialization::run(&pure, DEPTH + 2, &mut gen.interner).unwrap();
         let mut engine = Engine::build(&gen.program, &gen.db, &mut gen.interner).unwrap();
-        engine.solve();
-        let spec = GraphSpec::from_engine(&mut engine);
+        engine.solve().unwrap();
+        let spec = GraphSpec::from_engine(&mut engine).unwrap();
         let mut eq = EqSpec::from_graph(&spec);
         for path in all_paths(&gen.funcs, DEPTH) {
             for &p in &gen.preds {
@@ -148,9 +148,9 @@ proptest! {
     fn resolve_is_idempotent(seed in any::<u64>()) {
         let mut gen = random_program(GenConfig::default(), seed);
         let mut engine = Engine::build(&gen.program, &gen.db, &mut gen.interner).unwrap();
-        engine.solve();
+        engine.solve().unwrap();
         let stats = engine.stats().clone();
-        engine.solve();
+        engine.solve().unwrap();
         prop_assert_eq!(engine.stats(), &stats);
     }
 
@@ -160,9 +160,11 @@ proptest! {
     fn quotient_is_model_on_random_programs(seed in any::<u64>()) {
         let mut gen = random_program(GenConfig::default(), seed);
         let mut engine = Engine::build(&gen.program, &gen.db, &mut gen.interner).unwrap();
-        engine.solve();
-        let spec = GraphSpec::from_engine(&mut engine);
-        prop_assert!(fundb_core::QuotientModel::new(&spec).is_model_of(engine.compiled()));
+        engine.solve().unwrap();
+        let spec = GraphSpec::from_engine(&mut engine).unwrap();
+        prop_assert!(fundb_core::QuotientModel::new(&spec)
+            .is_model_of(engine.compiled())
+            .unwrap());
     }
 
     /// Minimization is idempotent and never enlarges the spec.
@@ -170,7 +172,7 @@ proptest! {
     fn minimization_is_idempotent(seed in any::<u64>()) {
         let mut gen = random_program(GenConfig::default(), seed);
         let mut engine = Engine::build(&gen.program, &gen.db, &mut gen.interner).unwrap();
-        let spec = GraphSpec::from_engine(&mut engine);
+        let spec = GraphSpec::from_engine(&mut engine).unwrap();
         let m1 = spec.minimized();
         let m2 = m1.minimized();
         prop_assert!(m1.cluster_count() <= spec.cluster_count());
@@ -187,8 +189,8 @@ proptest! {
         let normal = normalize(&gen.program, &mut gen.interner);
         let mut e1 = Engine::build(&gen.program, &gen.db, &mut gen.interner).unwrap();
         let mut e2 = Engine::build(&normal, &gen.db, &mut gen.interner).unwrap();
-        e1.solve();
-        e2.solve();
+        e1.solve().unwrap();
+        e2.solve().unwrap();
         for path in all_paths(&gen.funcs, DEPTH) {
             for &p in &gen.preds {
                 for &c in &gen.consts {
@@ -266,7 +268,8 @@ mod thread_determinism {
             let stats = dl::IncrementalEval::new()
                 .with_threads(threads)
                 .with_parallel_threshold(1)
-                .run(&mut db, &rules, &plan);
+                .run(&mut db, &rules, &plan)
+                .unwrap();
             (snapshot(&db), stats)
         };
         let (rows1, stats1) = run(1);
@@ -296,7 +299,7 @@ mod thread_determinism {
                     let mut e =
                         Engine::build(&gen.program, &gen.db, &mut gen.interner).unwrap();
                     e.set_threads(Some(n));
-                    e.solve();
+                    e.solve().unwrap();
                     e
                 })
                 .collect();
@@ -475,7 +478,7 @@ mod temporal_and_io {
                 TemporalSpec::compute(&gen.program, &gen.db, &mut gen.interner).unwrap();
             let mut engine =
                 Engine::build(&gen.program, &gen.db, &mut gen.interner).unwrap();
-            engine.solve();
+            engine.solve().unwrap();
             let f = gen.funcs[0];
             for n in 0..(2 * (spec.rho() + spec.lambda()) + 4) {
                 for &p in &gen.preds {
@@ -496,7 +499,7 @@ mod temporal_and_io {
             let mut gen = random_program(GenConfig::default(), seed);
             let mut engine =
                 Engine::build(&gen.program, &gen.db, &mut gen.interner).unwrap();
-            let spec = GraphSpec::from_engine(&mut engine);
+            let spec = GraphSpec::from_engine(&mut engine).unwrap();
             let text = write_spec(
                 &SpecBundle { spec: spec.clone(), sym_map: FxHashMap::default() },
                 &gen.interner,
@@ -551,9 +554,9 @@ mod congruence_theorem {
             let mut gen = random_program(GenConfig::default(), seed);
             let mut engine =
                 Engine::build(&gen.program, &gen.db, &mut gen.interner).unwrap();
-            engine.solve();
+            engine.solve().unwrap();
             let c = engine.compiled().c;
-            let spec = GraphSpec::from_engine(&mut engine);
+            let spec = GraphSpec::from_engine(&mut engine).unwrap();
             let paths: Vec<_> = all_paths(&gen.funcs, 4)
                 .into_iter()
                 .filter(|p| p.len() > c)
@@ -613,7 +616,7 @@ mod syntax_roundtrip {
             let spec = ws.graph_spec().expect("still domain-independent");
             // Solve the original.
             let mut engine = Engine::build(&gen.program, &gen.db, &mut gen.interner).unwrap();
-            engine.solve();
+            engine.solve().unwrap();
             // Compare answers, translating symbols by name.
             for path in all_paths(&gen.funcs, 3) {
                 // A symbol the program never uses cannot appear in the
@@ -659,7 +662,7 @@ mod syntax_roundtrip {
         fn spec_reader_survives_mutations(seed in any::<u64>()) {
             let mut gen = random_program(GenConfig::default(), seed);
             let mut engine = Engine::build(&gen.program, &gen.db, &mut gen.interner).unwrap();
-            let spec = fundb_core::GraphSpec::from_engine(&mut engine);
+            let spec = fundb_core::GraphSpec::from_engine(&mut engine).unwrap();
             let text = fundb_core::write_spec(
                 &fundb_core::SpecBundle { spec, sym_map: Default::default() },
                 &gen.interner,

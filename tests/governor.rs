@@ -1,0 +1,282 @@
+//! Integration tests for the execution governor.
+//!
+//! Three contracts are pinned down here:
+//!
+//! 1. **Deterministic truncation** — a budget-limited run leaves a prefix
+//!    of the unbudgeted fixpoint's row sequence, byte-identical at 1, 2, 4
+//!    and 8 threads (property-tested over random edge relations).
+//! 2. **Fault isolation** — an injected worker panic or round failure
+//!    surfaces as an error value while the database stays at the last
+//!    completed round; the process never aborts.
+//! 3. **No hangs** — a tight wall-clock deadline on a large closure
+//!    returns `BudgetExhausted` promptly instead of spinning.
+//!
+//! The final test is only active under the CI fault matrix: it reads
+//! `FUNDB_FAULT` and checks that *default* governors honor the injected
+//! plan. Every other test arms its governor with an inert `FaultPlan` so
+//! the suite stays green under that same matrix.
+
+use fundb_datalog::{
+    evaluate_governed, Atom, Budget, Database, DeltaPlan, EvalError, FaultPlan, Governor,
+    IncrementalEval, Resource, Rule, Term,
+};
+use fundb_term::{Cst, Interner, Pred, Var};
+use proptest::prelude::*;
+
+struct Fixture {
+    interner: Interner,
+    edge: Pred,
+    path: Pred,
+    rules: Vec<Rule>,
+}
+
+/// Edge/Path transitive closure, the workhorse of the row-store tests.
+fn fixture(right_linear: bool) -> Fixture {
+    let mut interner = Interner::new();
+    let edge = Pred(interner.intern("Edge"));
+    let path = Pred(interner.intern("Path"));
+    let (x, y, z) = (
+        Var(interner.intern("x")),
+        Var(interner.intern("y")),
+        Var(interner.intern("z")),
+    );
+    let body = if right_linear {
+        vec![
+            Atom::new(edge, vec![Term::Var(x), Term::Var(y)]),
+            Atom::new(path, vec![Term::Var(y), Term::Var(z)]),
+        ]
+    } else {
+        vec![
+            Atom::new(path, vec![Term::Var(x), Term::Var(y)]),
+            Atom::new(edge, vec![Term::Var(y), Term::Var(z)]),
+        ]
+    };
+    let rules = vec![
+        Rule::new(
+            Atom::new(path, vec![Term::Var(x), Term::Var(y)]),
+            vec![Atom::new(edge, vec![Term::Var(x), Term::Var(y)])],
+        ),
+        Rule::new(Atom::new(path, vec![Term::Var(x), Term::Var(z)]), body),
+    ];
+    Fixture {
+        interner,
+        edge,
+        path,
+        rules,
+    }
+}
+
+fn edge_db(fx: &mut Fixture, edges: &[(u8, u8)]) -> Database {
+    let mut db = Database::new();
+    for &(a, b) in edges {
+        let a = Cst(fx.interner.intern(&format!("v{a}")));
+        let b = Cst(fx.interner.intern(&format!("v{b}")));
+        db.insert(fx.edge, &[a, b]);
+    }
+    db
+}
+
+fn chain_db(fx: &mut Fixture, n: usize) -> Database {
+    let edges: Vec<(u8, u8)> = (0..n).map(|k| (k as u8, (k + 1) as u8)).collect();
+    edge_db(fx, &edges)
+}
+
+fn path_rows(db: &Database, fx: &Fixture) -> Vec<Vec<Cst>> {
+    db.relation(fx.path)
+        .map(|r| r.rows().map(<[Cst]>::to_vec).collect())
+        .unwrap_or_default()
+}
+
+/// A governor immune to the ambient `FUNDB_FAULT` plan, so these tests
+/// behave identically inside and outside the CI fault matrix.
+fn quiet(budget: Budget) -> Governor {
+    Governor::new(budget).with_faults(FaultPlan::default())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Budget truncation is a *prefix* of the unbudgeted fixpoint's row
+    /// sequence and does not depend on the worker count.
+    #[test]
+    fn budget_truncation_is_a_thread_independent_prefix(
+        edges in proptest::collection::vec((0u8..12, 0u8..12), 1..40),
+        cap in 1usize..80,
+    ) {
+        let mut fx = fixture(false);
+        let mut full = edge_db(&mut fx, &edges);
+        evaluate_governed(&mut full, &fx.rules, &quiet(Budget::unlimited())).unwrap();
+        let full_rows = path_rows(&full, &fx);
+
+        let mut reference: Option<(Vec<Vec<Cst>>, bool)> = None;
+        for threads in [1usize, 2, 4, 8] {
+            let plan = DeltaPlan::new(&fx.rules);
+            let mut db = edge_db(&mut fx, &edges);
+            let result = IncrementalEval::new()
+                .with_threads(threads)
+                .with_parallel_threshold(1)
+                .with_governor(quiet(Budget::unlimited().with_max_rows(cap)))
+                .run(&mut db, &fx.rules, &plan);
+            let rows = path_rows(&db, &fx);
+            match &result {
+                Ok(stats) => {
+                    // Cap not reached: the run is the full fixpoint.
+                    prop_assert!(stats.derived <= cap);
+                    prop_assert_eq!(&rows, &full_rows);
+                }
+                Err(EvalError::BudgetExhausted { resource, partial }) => {
+                    prop_assert_eq!(*resource, Resource::Rows);
+                    prop_assert_eq!(partial.derived, cap);
+                    prop_assert_eq!(rows.len(), cap);
+                    prop_assert_eq!(&rows[..], &full_rows[..cap]);
+                }
+                Err(other) => prop_assert!(false, "unexpected error {other:?}"),
+            }
+            match &reference {
+                None => reference = Some((rows, result.is_ok())),
+                Some((r, ok)) => {
+                    prop_assert_eq!(&rows, r, "rows diverged at {} threads", threads);
+                    prop_assert_eq!(result.is_ok(), *ok, "outcome diverged at {} threads", threads);
+                }
+            }
+        }
+    }
+}
+
+/// The row-count prefixes reachable by stopping at each round boundary.
+fn round_boundary_prefixes(
+    fx: &mut Fixture,
+    db_of: impl Fn(&mut Fixture) -> Database,
+) -> Vec<usize> {
+    let mut boundaries = vec![0];
+    for rounds in 1.. {
+        let mut db = db_of(fx);
+        let budget = Budget::unlimited().with_max_rounds(rounds);
+        let result = evaluate_governed(&mut db, &fx.rules, &quiet(budget));
+        boundaries.push(path_rows(&db, fx).len());
+        if result.is_ok() {
+            return boundaries; // fixpoint reached within the round cap
+        }
+    }
+    unreachable!()
+}
+
+/// An injected worker panic is caught: the error names the task, the
+/// process survives, and the database sits exactly at a round boundary of
+/// the unbudgeted run.
+#[test]
+fn panic_task_fault_is_isolated_at_a_round_boundary() {
+    let mut fx = fixture(false);
+    let mut full = chain_db(&mut fx, 24);
+    evaluate_governed(&mut full, &fx.rules, &quiet(Budget::unlimited())).unwrap();
+    let full_rows = path_rows(&full, &fx);
+    let boundaries = round_boundary_prefixes(&mut fx, |fx| chain_db(fx, 24));
+
+    let plan = DeltaPlan::new(&fx.rules);
+    let mut db = chain_db(&mut fx, 24);
+    let governor = Governor::new(Budget::unlimited()).with_faults(FaultPlan::parse("panic_task:3"));
+    let err = IncrementalEval::new()
+        .with_threads(4)
+        .with_parallel_threshold(1)
+        .with_governor(governor)
+        .run(&mut db, &fx.rules, &plan)
+        .unwrap_err();
+    let EvalError::WorkerPanicked { task, payload } = err else {
+        panic!("expected WorkerPanicked, got {err:?}");
+    };
+    assert_eq!(task, 3);
+    assert!(payload.contains("fault"), "unexpected payload {payload:?}");
+
+    let rows = path_rows(&db, &fx);
+    assert!(
+        boundaries.contains(&rows.len()),
+        "row count {} is not a round boundary (boundaries: {boundaries:?})",
+        rows.len()
+    );
+    assert_eq!(rows[..], full_rows[..rows.len()], "not a fixpoint prefix");
+}
+
+/// An injected round failure reports `Resource::Fault` with the database
+/// at the last completed round.
+#[test]
+fn fail_round_fault_stops_at_the_previous_round() {
+    let mut fx = fixture(false);
+
+    // Reference: exactly one completed round.
+    let mut one_round = chain_db(&mut fx, 16);
+    let budget = Budget::unlimited().with_max_rounds(1);
+    evaluate_governed(&mut one_round, &fx.rules, &quiet(budget)).unwrap_err();
+    let one_round_rows = path_rows(&one_round, &fx);
+
+    let mut db = chain_db(&mut fx, 16);
+    let governor = Governor::new(Budget::unlimited()).with_faults(FaultPlan::parse("fail_round:2"));
+    let err = evaluate_governed(&mut db, &fx.rules, &governor).unwrap_err();
+    let EvalError::BudgetExhausted { resource, partial } = err else {
+        panic!("expected BudgetExhausted, got {err:?}");
+    };
+    assert_eq!(resource, Resource::Fault);
+    assert_eq!(partial.rounds, 1);
+    assert_eq!(path_rows(&db, &fx), one_round_rows);
+}
+
+/// Regression: a 1 ms deadline on `tc_right(256)` returns promptly with
+/// `BudgetExhausted` instead of hanging. A `slow_probe` fault makes the
+/// deadline trip deterministic on arbitrarily fast machines.
+#[test]
+fn tight_deadline_on_tc_right_returns_instead_of_hanging() {
+    let mut fx = fixture(true);
+    let plan = DeltaPlan::new(&fx.rules);
+    let edges: Vec<(u8, u8)> = (0..255usize).map(|k| (k as u8, (k + 1) as u8)).collect();
+    let mut db = edge_db(&mut fx, &edges);
+    let governor = Governor::new(Budget::unlimited().with_max_millis(1))
+        .with_faults(FaultPlan::parse("slow_probe:200"));
+    let start = std::time::Instant::now();
+    let err = IncrementalEval::new()
+        .with_governor(governor)
+        .run(&mut db, &fx.rules, &plan)
+        .unwrap_err();
+    let EvalError::BudgetExhausted { resource, .. } = err else {
+        panic!("expected BudgetExhausted, got {err:?}");
+    };
+    assert_eq!(resource, Resource::Time);
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(30),
+        "deadline did not take effect"
+    );
+}
+
+/// Under the CI fault matrix (`FUNDB_FAULT` set), *default* governors must
+/// pick up the ambient plan: armed panics and round failures surface as
+/// error values (never a process abort), and `slow_probe` alone still
+/// completes with the exact fixpoint.
+#[test]
+fn ambient_fault_plan_reaches_default_governors() {
+    let plan = *FaultPlan::from_env();
+    if plan.is_inert() {
+        return; // not running under the fault matrix
+    }
+    let mut fx = fixture(false);
+    let mut full = chain_db(&mut fx, 24);
+    evaluate_governed(&mut full, &fx.rules, &quiet(Budget::unlimited())).unwrap();
+    let full_rows = path_rows(&full, &fx);
+
+    let delta_plan = DeltaPlan::new(&fx.rules);
+    let mut db = chain_db(&mut fx, 24);
+    let result = IncrementalEval::new()
+        .with_threads(4)
+        .with_parallel_threshold(1)
+        .with_governor(Governor::default())
+        .run(&mut db, &fx.rules, &delta_plan);
+    let rows = path_rows(&db, &fx);
+    if plan.panic_task.is_some() || plan.fail_round.is_some() {
+        assert!(result.is_err(), "armed fault was ignored: {result:?}");
+        assert_eq!(
+            rows[..],
+            full_rows[..rows.len()],
+            "faulted run left a non-prefix state"
+        );
+    } else {
+        result.expect("slow_probe alone must not fail an undeadlined run");
+        assert_eq!(rows, full_rows);
+    }
+}

@@ -265,7 +265,7 @@ fn section_3_6_congr() {
     ws.parse("Even(t) -> Even(t+2).\nEven(0).").unwrap();
     let spec = ws.graph_spec().unwrap();
     let eq = EqSpec::from_graph(&spec);
-    let congr = CongrForm::build(&eq, 10, &mut ws.interner);
+    let congr = CongrForm::build(&eq, 10, &mut ws.interner).unwrap();
     let even = fundb_term::Pred(ws.interner.get("Even").unwrap());
     let plus1 = fundb_term::Func(ws.interner.get("+1").unwrap());
     for n in 0..=10usize {
@@ -295,10 +295,12 @@ fn proposition_3_2_quotient_models() {
         let mut ws = Workspace::new();
         ws.parse(src).unwrap();
         let mut engine = ws.engine().unwrap();
-        engine.solve();
-        let spec = fundb_core::GraphSpec::from_engine(&mut engine);
+        engine.solve().unwrap();
+        let spec = fundb_core::GraphSpec::from_engine(&mut engine).unwrap();
         assert!(
-            QuotientModel::new(&spec).is_model_of(engine.compiled()),
+            QuotientModel::new(&spec)
+                .is_model_of(engine.compiled())
+                .unwrap(),
             "quotient model check failed for:\n{src}"
         );
     }
@@ -348,7 +350,7 @@ fn section_1_meets_engine_stats() {
     )
     .unwrap();
     let mut engine = fundb_core::Engine::build(&ws.program, &ws.db, &mut ws.interner).unwrap();
-    engine.solve();
+    engine.solve().unwrap();
     let stats = engine.stats().clone();
     assert_eq!(stats.passes, 2);
     assert_eq!(stats.pass_deltas, vec![3, 0]);
@@ -361,7 +363,7 @@ fn section_1_meets_engine_stats() {
 
     // Solving an already-solved engine is a strict no-op: no passes, no
     // probes, no deltas.
-    engine.solve();
+    engine.solve().unwrap();
     assert_eq!(engine.stats(), &stats);
 }
 
@@ -380,7 +382,7 @@ fn theorem_5_1_incremental_solve_bounded_delta() {
     )
     .unwrap();
     let mut engine = fundb_core::Engine::build(&ws.program, &ws.db, &mut ws.interner).unwrap();
-    engine.solve();
+    engine.solve().unwrap();
     let before = engine.stats().clone();
     assert_eq!(before.pass_deltas, vec![3, 0]);
 
@@ -392,7 +394,7 @@ fn theorem_5_1_incremental_solve_bounded_delta() {
     engine
         .add_fact_functional(sees, &[], &[tony], &ws.interner)
         .unwrap();
-    engine.solve();
+    engine.solve().unwrap();
 
     // The consequences are there: Sees alternates exactly like Meets.
     for n in 0..8usize {
@@ -417,7 +419,7 @@ fn theorem_5_1_incremental_solve_bounded_delta() {
     )
     .unwrap();
     let mut fresh = fundb_core::Engine::build(&ws2.program, &ws2.db, &mut ws2.interner).unwrap();
-    fresh.solve();
+    fresh.solve().unwrap();
     let incr_atoms = after.delta_atoms - before.delta_atoms;
     let incr_probes = after.join_probes - before.join_probes;
     assert!(incr_atoms < fresh.stats().delta_atoms);
@@ -429,6 +431,6 @@ fn theorem_5_1_incremental_solve_bounded_delta() {
     engine
         .add_fact_functional(meets, &[], &[tony], &ws.interner)
         .unwrap();
-    engine.solve();
+    engine.solve().unwrap();
     assert_eq!(engine.stats(), &after);
 }

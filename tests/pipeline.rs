@@ -127,7 +127,7 @@ fn kitchen_sink_agreement() {
 
     let normal = normalize(&ws.program, &mut ws.interner);
     let pure = to_pure(&normal, &ws.db, &mut ws.interner).unwrap();
-    let mat = BoundedMaterialization::run(&pure, 4, &mut ws.interner);
+    let mat = BoundedMaterialization::run(&pure, 4, &mut ws.interner).unwrap();
 
     // WasPut is derived through a backward rule.
     assert!(ws.holds(&spec, "WasPut(A)").unwrap());
@@ -225,7 +225,7 @@ fn incremental_updates_match_rebuild() {
     engine
         .add_fact_relational(next, &[jan, tony], &ws.interner)
         .unwrap();
-    engine.solve();
+    engine.solve().unwrap();
     assert!(engine.holds(meets, &[plus1, plus1], &[tony]));
     for n in 0..20usize {
         let who = if n % 2 == 0 { tony } else { jan };
@@ -236,7 +236,7 @@ fn incremental_updates_match_rebuild() {
     engine
         .add_fact_functional(meets, &[], &[jan], &ws.interner)
         .unwrap();
-    engine.solve();
+    engine.solve().unwrap();
     assert!(
         engine.holds(meets, &[plus1], &[tony]),
         "Jan day 0 ⇒ Tony day 1"
@@ -340,7 +340,7 @@ fn explanations_trace_back_to_facts() {
     .unwrap();
     let normal = normalize(&ws.program, &mut ws.interner);
     let pure = to_pure(&normal, &ws.db, &mut ws.interner).unwrap();
-    let mat = BoundedMaterialization::run_traced(&pure, 6, &mut ws.interner);
+    let mat = BoundedMaterialization::run_traced(&pure, 6, &mut ws.interner).unwrap();
 
     let meets = fundb_term::Pred(ws.interner.get("Meets").unwrap());
     let plus1 = fundb_term::Func(ws.interner.get("+1").unwrap());

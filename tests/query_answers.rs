@@ -17,7 +17,7 @@ fn theorem_5_1_on_random_programs() {
     for seed in 0..30u64 {
         let mut gen = random_program(GenConfig::default(), seed);
         let mut engine = Engine::build(&gen.program, &gen.db, &mut gen.interner).unwrap();
-        let spec = GraphSpec::from_engine(&mut engine);
+        let spec = GraphSpec::from_engine(&mut engine).unwrap();
         let s = fundb_term::Var(gen.interner.intern("qs"));
         let x = fundb_term::Var(gen.interner.intern("qx"));
         for &p in &gen.preds {
@@ -177,7 +177,7 @@ proptest! {
     fn incremental_answers_match_membership(seed in any::<u64>()) {
         let mut gen = random_program(GenConfig::default(), seed);
         let mut engine = Engine::build(&gen.program, &gen.db, &mut gen.interner).unwrap();
-        let spec = GraphSpec::from_engine(&mut engine);
+        let spec = GraphSpec::from_engine(&mut engine).unwrap();
         let s = fundb_term::Var(gen.interner.intern("qs"));
         let c = gen.consts[0];
         for &p in &gen.preds {
