@@ -1,6 +1,6 @@
 //! The experiment harness: regenerates every table of EXPERIMENTS.md.
 //!
-//! Usage: `cargo run --release -p fundb-bench --bin experiments [e1 … e12 | all]`
+//! Usage: `cargo run --release -p fundb-bench --bin experiments [e1 … e13 | all]`
 //!
 //! Each experiment prints a small table comparing the paper's claim with
 //! what this implementation measures. Absolute times are machine-dependent;
@@ -8,7 +8,7 @@
 //! targets.
 //!
 //! Every run also appends a machine-readable trajectory to
-//! `BENCH_pr4.json` (override with `FUNDB_BENCH_JSON`): one record per
+//! `BENCH_pr5.json` (override with `FUNDB_BENCH_JSON`): one record per
 //! experiment with its wall time, plus detailed records (rows/s, join
 //! probes, index hits/misses, threads) for the timed experiments. CI
 //! uploads the file so the bench history accumulates across PRs.
@@ -16,7 +16,7 @@
 use fundb_bench::{binary_counter, ring_planner, rotation, subset_lists};
 use fundb_core::{
     analysis, normalize, to_pure, BoundedMaterialization, CongrForm, DataParams, Engine, EqSpec,
-    Query,
+    GraphSpec, Query, ServeQuery,
 };
 use fundb_parser::Workspace;
 use fundb_temporal::TemporalSpec;
@@ -91,6 +91,11 @@ fn main() {
         e12_governor_overhead(&mut bench);
         bench.total("E12", t);
     }
+    if want("e13") {
+        let t = Instant::now();
+        e13_serving_throughput(&mut bench);
+        bench.total("E13", t);
+    }
 
     match bench.write() {
         Ok(path) => println!("bench trajectory written to {path}"),
@@ -134,8 +139,8 @@ impl Bench {
     /// Writes the trajectory file and returns its path.
     fn write(&self) -> std::io::Result<String> {
         let path =
-            std::env::var("FUNDB_BENCH_JSON").unwrap_or_else(|_| "BENCH_pr4.json".to_string());
-        let mut out = String::from("{\"schema\":\"fundb-bench-v1\",\"pr\":4,\"records\":[\n");
+            std::env::var("FUNDB_BENCH_JSON").unwrap_or_else(|_| "BENCH_pr5.json".to_string());
+        let mut out = String::from("{\"schema\":\"fundb-bench-v1\",\"pr\":5,\"records\":[\n");
         out.push_str(&self.records.join(",\n"));
         out.push_str("\n]}\n");
         std::fs::write(&path, out)?;
@@ -889,4 +894,166 @@ fn report_overhead(bench: &mut Bench, name: &str, base_ms: f64, gov_ms: f64) {
             ("overhead_pct", overhead_pct),
         ],
     );
+}
+
+/// E13 — the PR 5 read-serving layer: frozen specifications, the
+/// canonical-key answer cache, and the parallel batch path, measured
+/// against the per-query APIs that existed before this PR on the same
+/// materialized knowledge.
+fn e13_serving_throughput(bench: &mut Bench) {
+    use fundb_datalog as dl;
+
+    banner(
+        "E13",
+        "Frozen-spec serving throughput (freeze + memoize + batch)",
+        "engine-level (no paper claim): a sealed specification answers \
+         repeated yes/no queries through a canonical-key striped cache and \
+         a parallel batch path; answers stay byte-identical to the \
+         per-query walk at every thread count",
+    );
+    println!(
+        "{:>16} {:>8} {:>14} {:>12} {:>12} {:>10}",
+        "workload", "threads", "per-query q/s", "cold q/s", "warm q/s", "warm gain"
+    );
+
+    let n_queries = 4096usize;
+
+    // Functional workloads: the baseline is the mutable spec's per-query
+    // hash-map successor walk (`GraphSpec::holds`), the only read API
+    // before this PR. Paths overlap heavily, so the frozen cache collapses
+    // the workload onto a few canonical keys.
+    for (name, which) in [("rotation(64)", 64usize), ("counter(8)", 0)] {
+        let mut ws = if which > 0 {
+            rotation(which)
+        } else {
+            binary_counter(8)
+        };
+        let spec = ws.graph_spec().unwrap();
+        let funcs = spec.funcs.symbols().to_vec();
+        let atoms: Vec<_> = spec.atoms.iter().map(|(_, p, a)| (p, a.to_vec())).collect();
+        let queries: Vec<ServeQuery> = (0..n_queries)
+            .map(|k| {
+                let (pred, args) = &atoms[k % atoms.len()];
+                ServeQuery::Member {
+                    pred: *pred,
+                    path: (0..k % 64).map(|j| funcs[(k + j) % funcs.len()]).collect(),
+                    args: args.clone(),
+                }
+            })
+            .collect();
+        let t0 = Instant::now();
+        let expected: Vec<bool> = queries
+            .iter()
+            .map(|q| match q {
+                ServeQuery::Member { pred, path, args } => spec.holds(*pred, path, args),
+                ServeQuery::Relational { pred, args } => spec.holds_relational(*pred, args),
+            })
+            .collect();
+        let base_qps = n_queries as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+        serve_rows(bench, name, &spec, &queries, &expected, base_qps);
+    }
+
+    // Relational workloads (the chains of E11/E12): the baseline is the
+    // ad-hoc join API `fundb_datalog::query` over the materialized
+    // fixpoint — one compiled join program per call, the pre-PR way to ask
+    // a single `Path(a, b)?`.
+    for (name, n, right) in [
+        ("tc_chain(1024)", 1024usize, false),
+        ("tc_right(512)", 512, true),
+    ] {
+        let mut ws = Workspace::new();
+        let mut text = String::from(if right {
+            "Edge(x, y) -> Path(x, y).\nEdge(x, y), Path(y, z) -> Path(x, z).\n"
+        } else {
+            "Edge(x, y) -> Path(x, y).\nPath(x, y), Edge(y, z) -> Path(x, z).\n"
+        });
+        for k in 0..n {
+            text.push_str(&format!("Edge(V{k}, V{}).\n", k + 1));
+        }
+        ws.parse(&text).unwrap();
+        let spec = ws.graph_spec().unwrap();
+        let path_pred = fundb_term::Pred(ws.interner.get("Path").unwrap());
+        let node = |k: usize| fundb_term::Cst(ws.interner.get(&format!("V{k}")).unwrap());
+        // A fixed pseudo-random pair stream; ground truth on the chain is
+        // simply i < j, which cross-checks both serving paths for free.
+        let pairs: Vec<(usize, usize)> = (0..n_queries)
+            .map(|k| ((k * 7919) % (n + 1), (k * 104_729 + 13) % (n + 1)))
+            .collect();
+        let queries: Vec<ServeQuery> = pairs
+            .iter()
+            .map(|&(i, j)| ServeQuery::Relational {
+                pred: path_pred,
+                args: vec![node(i), node(j)],
+            })
+            .collect();
+        let t0 = Instant::now();
+        let expected: Vec<bool> = pairs
+            .iter()
+            .map(|&(i, j)| {
+                let body = [dl::Atom::new(
+                    path_pred,
+                    vec![dl::Term::Const(node(i)), dl::Term::Const(node(j))],
+                )];
+                !dl::query(&spec.nf, &body, &[]).unwrap().is_empty()
+            })
+            .collect();
+        let base_qps = n_queries as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+        for (&(i, j), &ans) in pairs.iter().zip(&expected) {
+            assert_eq!(ans, i < j, "chain ground truth at ({i}, {j})");
+        }
+        serve_rows(bench, name, &spec, &queries, &expected, base_qps);
+    }
+    println!(
+        "expected shape: warm-cache batch serving beats the per-query paths \
+         by well over 5x on tc_right(512) (amortized compilation + cache \
+         hits + cores); answers byte-identical at 1/2/4/8 threads\n"
+    );
+}
+
+/// Freezes `spec` once per thread count and times a cold and a warm batch
+/// pass, asserting byte-identical answers against the per-query baseline.
+fn serve_rows(
+    bench: &mut Bench,
+    name: &str,
+    spec: &GraphSpec,
+    queries: &[ServeQuery],
+    expected: &[bool],
+    base_qps: f64,
+) {
+    for &threads in &[1usize, 2, 4, 8] {
+        let frozen = spec.clone().freeze();
+        let t0 = Instant::now();
+        let cold = frozen.answer_batch_threads(queries, threads);
+        let cold_qps = queries.len() as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+        let t0 = Instant::now();
+        let warm = frozen.answer_batch_threads(queries, threads);
+        let warm_qps = queries.len() as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+        assert_eq!(
+            cold, expected,
+            "{name}: cold answers diverged at {threads} threads"
+        );
+        assert_eq!(
+            warm, expected,
+            "{name}: warm answers diverged at {threads} threads"
+        );
+        let gain = warm_qps / base_qps.max(1e-9);
+        println!(
+            "{:>16} {:>8} {:>14.0} {:>12.0} {:>12.0} {:>9.1}x",
+            name, threads, base_qps, cold_qps, warm_qps, gain
+        );
+        let stats = frozen.serve_stats();
+        bench.push(
+            "E13",
+            name,
+            &[
+                ("threads", threads as f64),
+                ("per_query_qps", base_qps),
+                ("cold_qps", cold_qps),
+                ("warm_qps", warm_qps),
+                ("warm_speedup_vs_perquery", gain),
+                ("cache_hits", stats.hits as f64),
+                ("cache_misses", stats.misses as f64),
+            ],
+        );
+    }
 }

@@ -17,7 +17,10 @@
 //! The specification is recomputed lazily: adding rules or facts
 //! invalidates the cached spec; queries and checks rebuild it on demand.
 
-use fundb_core::{analysis, write_spec_file, Budget, CancelToken, EvalError, Governor, GraphSpec};
+use fundb_core::{
+    analysis, write_spec_file, Budget, CancelToken, EvalError, Governor, GraphSpec, ServeQuery,
+    ServeStats,
+};
 use fundb_parser::Workspace;
 use std::io::Write;
 
@@ -37,6 +40,9 @@ pub struct Repl {
     /// Whether any evaluation in this session stopped on a budget, a
     /// cancellation or a worker panic (non-interactive runs exit non-zero).
     eval_failed: bool,
+    /// Accumulated answer-cache counters from `:bench-serve` runs, surfaced
+    /// by `:stats` through [`fundb_core::EngineStats`].
+    serve: ServeStats,
 }
 
 impl Default for Repl {
@@ -56,6 +62,7 @@ impl Repl {
             budget: Budget::unlimited(),
             cancel: CancelToken::new(),
             eval_failed: false,
+            serve: ServeStats::default(),
         }
     }
 
@@ -173,6 +180,7 @@ impl Repl {
                      :minimize       print the bisimulation-minimized spec\n\
                      :analyze        finiteness report\n\
                      :stats          LFP engine counters for the session program\n\
+                     :bench-serve [n] frozen-spec serving throughput on n queries (default 2048)\n\
                      :save <path>    write the spec to a .fspec file\n\
                      :limit <n>      set the query enumeration limit\n\
                      :budget <rows|rounds|ms|bytes> <n>  cap evaluations (0 = unlimited)\n\
@@ -298,6 +306,7 @@ impl Repl {
                         if let Err(e) = engine.solve() {
                             return self.report_error(&e, out);
                         }
+                        engine.record_serve_stats(self.serve.hits, self.serve.misses);
                         let s = engine.stats();
                         writeln!(
                             out,
@@ -324,6 +333,12 @@ impl Repl {
                         )?;
                         writeln!(
                             out,
+                            "serve cache hits: {}, serve cache misses: {} \
+                             (frozen-spec answer cache; populate with :bench-serve)",
+                            s.serve_cache_hits, s.serve_cache_misses
+                        )?;
+                        writeln!(
+                            out,
                             "eval threads: {} (override with FUNDB_THREADS; \
                              results are thread-count independent)",
                             engine.threads()
@@ -331,6 +346,10 @@ impl Repl {
                     }
                     Err(e) => writeln!(out, "error: {e}")?,
                 }
+            }
+            Some("bench-serve") => {
+                let n: usize = parts.next().and_then(|v| v.parse().ok()).unwrap_or(2048);
+                self.bench_serve(n.max(1), out)?;
             }
             Some("save") => match parts.next() {
                 Some(path) => {
@@ -400,6 +419,93 @@ impl Repl {
             }
         }
         Ok(())
+    }
+
+    /// `:bench-serve n` — freezes the current specification and measures
+    /// serving throughput on a synthetic membership workload: the per-query
+    /// hash-map walk of the mutable spec against the frozen batch path, cold
+    /// and warm. Answers are cross-checked, and the frozen spec's cache
+    /// counters accumulate into the session totals shown by `:stats`.
+    fn bench_serve(&mut self, n: usize, out: &mut dyn Write) -> std::io::Result<()> {
+        use std::time::{Duration, Instant};
+        if let Err(e) = self.spec().map(|_| ()) {
+            return self.report_error(&e, out);
+        }
+        let spec = self.spec.take().expect("just built");
+        let result = (|| -> std::io::Result<()> {
+            let funcs = spec.funcs.symbols().to_vec();
+            let atoms: Vec<_> = spec.atoms.iter().map(|(_, p, a)| (p, a.to_vec())).collect();
+            if atoms.is_empty() {
+                return writeln!(
+                    out,
+                    "bench-serve: the specification has no primary atoms; add facts first"
+                );
+            }
+            // A deterministic workload of overlapping paths: lengths cycle
+            // 0..64 and symbols rotate through the vocabulary, so the warm
+            // pass exercises cache sharing across equal canonical keys.
+            let queries: Vec<ServeQuery> = (0..n)
+                .map(|k| {
+                    let (pred, args) = &atoms[k % atoms.len()];
+                    let len = if funcs.is_empty() { 0 } else { k % 64 };
+                    ServeQuery::Member {
+                        pred: *pred,
+                        path: (0..len).map(|j| funcs[(k + j) % funcs.len()]).collect(),
+                        args: args.clone(),
+                    }
+                })
+                .collect();
+            let t0 = Instant::now();
+            let baseline: Vec<bool> = queries
+                .iter()
+                .map(|q| match q {
+                    ServeQuery::Member { pred, path, args } => spec.holds(*pred, path, args),
+                    ServeQuery::Relational { pred, args } => spec.holds_relational(*pred, args),
+                })
+                .collect();
+            let base_t = t0.elapsed();
+            let frozen = spec.clone().freeze();
+            let t0 = Instant::now();
+            let cold = frozen.answer_batch(&queries);
+            let cold_t = t0.elapsed();
+            let t0 = Instant::now();
+            let warm = frozen.answer_batch(&queries);
+            let warm_t = t0.elapsed();
+            if cold != baseline || warm != baseline {
+                writeln!(
+                    out,
+                    "bench-serve: ANSWER MISMATCH between the frozen and per-query paths \
+                     (please report this)"
+                )?;
+            }
+            let stats = frozen.serve_stats();
+            self.serve.hits += stats.hits;
+            self.serve.misses += stats.misses;
+            let qps = |t: Duration| {
+                let secs = t.as_secs_f64();
+                if secs > 0.0 {
+                    queries.len() as f64 / secs
+                } else {
+                    f64::INFINITY
+                }
+            };
+            writeln!(
+                out,
+                "bench-serve: {} membership queries, {} batch worker thread(s)",
+                queries.len(),
+                fundb_core::default_threads()
+            )?;
+            writeln!(out, "  per-query walk: {:>12.0} q/s", qps(base_t))?;
+            writeln!(out, "  frozen cold:    {:>12.0} q/s", qps(cold_t))?;
+            writeln!(out, "  frozen warm:    {:>12.0} q/s", qps(warm_t))?;
+            writeln!(
+                out,
+                "  answer cache: {} hits / {} misses (session totals in :stats)",
+                stats.hits, stats.misses
+            )
+        })();
+        self.spec = Some(spec);
+        result
     }
 
     fn spec_or_report(
@@ -656,6 +762,28 @@ mod tests {
         assert!(out.contains("join probes:"), "{out}");
         assert!(out.contains("index misses:"), "{out}");
         assert!(out.contains("eval threads:"), "{out}");
+    }
+
+    #[test]
+    fn bench_serve_reports_throughput_and_cache_counters() {
+        let mut repl = Repl::new();
+        let out = feed(
+            &mut repl,
+            &[
+                "Even(t) -> Even(t+2).",
+                "Even(0).",
+                ":bench-serve 256",
+                ":stats",
+            ],
+        );
+        assert!(out.contains("bench-serve: 256 membership queries"), "{out}");
+        assert!(out.contains("frozen warm:"), "{out}");
+        assert!(!out.contains("MISMATCH"), "{out}");
+        assert!(out.contains("serve cache hits:"), "{out}");
+        assert!(
+            !out.contains("serve cache hits: 0, serve cache misses: 0"),
+            "bench-serve counters should reach :stats\n{out}"
+        );
     }
 
     #[test]

@@ -150,6 +150,20 @@ impl CongruenceClosure {
         self.tree.display(n, interner)
     }
 
+    /// Split-borrows the pieces [`CongruenceClosure::freeze`] needs: the
+    /// union-find (mutably, for one final full compression), the per-class
+    /// successor tables, and the interned term count.
+    pub(crate) fn freeze_parts(
+        &mut self,
+    ) -> (
+        &mut UnionFind,
+        &FxHashMap<usize, FxHashMap<Func, NodeId>>,
+        usize,
+    ) {
+        let nterms = self.tree.len();
+        (&mut self.uf, &self.successors, nterms)
+    }
+
     /// Interns `f(t)`, identifying the fresh node with the class's existing
     /// `f`-successor when there is one.
     fn step(&mut self, t: NodeId, f: Func) -> NodeId {

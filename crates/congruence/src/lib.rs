@@ -21,9 +21,11 @@
 //! procedure below is the unary instance of DST.
 
 pub mod closure;
+pub mod frozen;
 pub mod generic;
 pub mod unionfind;
 
 pub use closure::CongruenceClosure;
+pub use frozen::{Canon, FrozenClosure};
 pub use generic::{GenCongruence, TermId};
 pub use unionfind::UnionFind;

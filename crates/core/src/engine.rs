@@ -142,6 +142,12 @@ pub struct EngineStats {
     pub datalog_rounds: usize,
     /// Rows derived by local Datalog evaluations (before absorption).
     pub derived_rows: usize,
+    /// Frozen-spec answer-cache hits absorbed from the serving layer (see
+    /// [`crate::serve::ServeStats`]); evaluation itself never touches the
+    /// serve cache, so these stay 0 unless a frozen spec reports in.
+    pub serve_cache_hits: u64,
+    /// Frozen-spec answer-cache misses absorbed from the serving layer.
+    pub serve_cache_misses: u64,
 }
 
 impl EngineStats {
@@ -331,6 +337,14 @@ impl Engine {
     /// Instrumentation counters accumulated by [`Engine::solve`].
     pub fn stats(&self) -> &EngineStats {
         &self.stats
+    }
+
+    /// Absorbs serving-layer answer-cache counters (cumulative totals from
+    /// [`crate::serve::ServeStats`]) into the engine's stats so `:stats` and
+    /// the bench harness report construction and serving side by side.
+    pub fn record_serve_stats(&mut self, hits: u64, misses: u64) {
+        self.stats.serve_cache_hits = hits;
+        self.stats.serve_cache_misses = misses;
     }
 
     // --- incremental updates -------------------------------------------------

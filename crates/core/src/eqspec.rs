@@ -180,6 +180,11 @@ impl EqSpec {
         self.cc.congruent_paths(a, b)
     }
 
+    /// The congruence closure over `R`, for the serving layer's freeze.
+    pub(crate) fn closure(&self) -> &CongruenceClosure {
+        &self.cc
+    }
+
     /// Renders `R` deterministically.
     pub fn render_equations(&self, interner: &Interner) -> Vec<String> {
         let show = |p: &[Func]| {

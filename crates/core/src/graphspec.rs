@@ -133,23 +133,24 @@ impl GraphSpec {
         let funcs = cp.funcs.clone();
         let c = cp.c;
 
-        let mut spec = GraphSpec {
-            c,
-            funcs: funcs.clone(),
-            tree: TermTree::new(),
-            nodes: Vec::new(),
-            successor: FxHashMap::default(),
-            atoms: engine.atoms().clone(),
-            nf: engine.nf().clone(),
-            merges: Vec::new(),
-            active_count: 0,
-        };
+        // Build into locals; the single `funcs` clone above is moved into
+        // the struct at the end.
+        let mut tree = TermTree::new();
+        let mut nodes: Vec<SpecNode> = Vec::new();
+        let mut successor: FxHashMap<(SpecNodeId, Func), SpecNodeId> = FxHashMap::default();
+        let mut merges: Vec<(Vec<Func>, SpecNodeId)> = Vec::new();
+        let mut active_count = 0usize;
+        fn push(nodes: &mut Vec<SpecNode>, term: NodeId, state: State) -> SpecNodeId {
+            let id = SpecNodeId::from_index(nodes.len());
+            nodes.push(SpecNode { term, state });
+            id
+        }
 
         // --- Depth ≤ c region: one singleton cluster per term. -------------
         let root_cursor = engine.root_cursor();
         let root_state = engine.cursor_state(&root_cursor);
-        let root_term = spec.tree.root();
-        let root_id = spec.push_node(root_term, root_state);
+        let root_term = tree.root();
+        let root_id = push(&mut nodes, root_term, root_state);
         let mut level: Vec<(SpecNodeId, Cursor)> = vec![(root_id, root_cursor)];
         for _depth in 0..c {
             let mut next = Vec::with_capacity(level.len() * funcs.len());
@@ -157,9 +158,9 @@ impl GraphSpec {
                 for &f in funcs.symbols() {
                     let child_cursor = engine.child_cursor(&cursor, f);
                     let child_state = engine.cursor_state(&child_cursor);
-                    let term = spec.tree.child(spec.nodes[id.index()].term, f);
-                    let child_id = spec.push_node(term, child_state);
-                    spec.successor.insert((id, f), child_id);
+                    let term = tree.child(nodes[id.index()].term, f);
+                    let child_id = push(&mut nodes, term, child_state);
+                    successor.insert((id, f), child_id);
                     next.push((child_id, child_cursor));
                 }
             }
@@ -177,28 +178,51 @@ impl GraphSpec {
         }
         // Active(u) :- Potential(u), ¬∃v (Active(v), v ≺ u, v ∼ u):
         // processing in ≺ order, the representative of each state is the
-        // first term carrying it.
-        let mut active_by_state: FxHashMap<State, SpecNodeId> = FxHashMap::default();
+        // first term carrying it. Hash-bucket dedup (hash → candidate ids,
+        // confirmed against the stored slice) lets each state move into its
+        // node instead of being cloned per active term.
+        let mut active_by_state: FxHashMap<u64, Vec<SpecNodeId>> = FxHashMap::default();
         while let Some((parent, f, cursor)) = queue.pop_front() {
             let state = engine.cursor_state(&cursor);
-            if let Some(&rep) = active_by_state.get(&state) {
+            let h = {
+                use std::hash::{Hash, Hasher};
+                let mut hasher = fundb_term::FxHasher::default();
+                state.hash(&mut hasher);
+                hasher.finish()
+            };
+            let bucket = active_by_state.entry(h).or_default();
+            if let Some(rep) = bucket
+                .iter()
+                .copied()
+                .find(|id| nodes[id.index()].state == state)
+            {
                 // successor_f(parent) = rep; record f(parent) ≅ rep for R.
-                spec.successor.insert((parent, f), rep);
-                let mut potential_path = spec.tree.path(spec.nodes[parent.index()].term);
+                successor.insert((parent, f), rep);
+                let mut potential_path = tree.path(nodes[parent.index()].term);
                 potential_path.push(f);
-                spec.merges.push((potential_path, rep));
+                merges.push((potential_path, rep));
             } else {
-                let term = spec.tree.child(spec.nodes[parent.index()].term, f);
-                let id = spec.push_node(term, state.clone());
-                spec.active_count += 1;
-                active_by_state.insert(state, id);
-                spec.successor.insert((parent, f), id);
+                let term = tree.child(nodes[parent.index()].term, f);
+                let id = push(&mut nodes, term, state);
+                active_count += 1;
+                bucket.push(id);
+                successor.insert((parent, f), id);
                 for &g in funcs.symbols() {
                     queue.push_back((id, g, engine.child_cursor(&cursor, g)));
                 }
             }
         }
-        Ok(spec)
+        Ok(GraphSpec {
+            c,
+            funcs,
+            tree,
+            nodes,
+            successor,
+            atoms: engine.atoms().clone(),
+            nf: engine.nf().clone(),
+            merges,
+            active_count,
+        })
     }
 
     fn push_node(&mut self, term: NodeId, state: State) -> SpecNodeId {
@@ -291,25 +315,30 @@ impl GraphSpec {
                 block[i] = *by_state.entry(&node.state).or_insert(next_id);
             }
         }
-        // Refine by successor signature.
+        // Refine by successor signature. All n·k signature entries live in
+        // one flat arena reused across rounds (keyed by borrowed slices), so
+        // refinement allocates nothing per node.
+        let k = self.funcs.len();
+        let mut sig = vec![0usize; n * k];
+        let mut new_block = vec![0usize; n];
         loop {
-            let mut sig_to_block: FxHashMap<(usize, Vec<usize>), usize> = FxHashMap::default();
-            let mut new_block = vec![0usize; n];
             for i in 0..n {
                 let id = SpecNodeId::from_index(i);
-                let succ_sig: Vec<usize> = self
-                    .funcs
-                    .symbols()
-                    .iter()
-                    .map(|&f| block[self.successor[&(id, f)].index()])
-                    .collect();
+                for (j, &f) in self.funcs.symbols().iter().enumerate() {
+                    sig[i * k + j] = block[self.successor[&(id, f)].index()];
+                }
+            }
+            let mut sig_to_block: FxHashMap<(usize, &[usize]), usize> = FxHashMap::default();
+            for i in 0..n {
                 let next_id = sig_to_block.len();
-                new_block[i] = *sig_to_block.entry((block[i], succ_sig)).or_insert(next_id);
+                new_block[i] = *sig_to_block
+                    .entry((block[i], &sig[i * k..(i + 1) * k]))
+                    .or_insert(next_id);
             }
             if new_block == block {
                 break;
             }
-            block = new_block;
+            std::mem::swap(&mut block, &mut new_block);
         }
         // Representative of each block: the ≺-smallest member (blocks are
         // discovered in node order, which is ≺ order).

@@ -45,6 +45,7 @@ pub mod program;
 pub mod pure;
 pub mod query;
 pub mod quotient;
+pub mod serve;
 pub mod spec_io;
 pub mod state;
 
@@ -62,12 +63,15 @@ pub use program::{Atom, Database, FTerm, NTerm, Program, Rule, Schema};
 pub use pure::{to_pure, PureProgram};
 pub use query::{IncrementalAnswer, Query};
 pub use quotient::QuotientModel;
+pub use serve::{FrozenEqSpec, FrozenGraphSpec, ServeQuery, ServeStats};
 pub use spec_io::{read_spec, read_spec_file, write_spec, write_spec_file, SpecBundle};
 pub use state::State;
 
 // Execution-governor types, re-exported from the Datalog substrate so
 // downstream crates can budget/cancel runs without a direct dependency.
-pub use fundb_datalog::{Budget, CancelToken, EvalError, FaultPlan, Governor, Resource};
+pub use fundb_datalog::{
+    default_threads, Budget, CancelToken, EvalError, FaultPlan, Governor, Resource,
+};
 
 /// Common imports for downstream users.
 pub mod prelude {

@@ -173,6 +173,40 @@ impl Query {
             Ok(IncrementalAnswer::Tuples(tuples))
         }
     }
+
+    /// Batched [`Query::answer_incremental`]: answers every query against
+    /// the same specification, chunked over `std::thread::scope` workers.
+    /// Each worker owns a disjoint input-ordered chunk of the output, so
+    /// the result vector is byte-identical at any thread count; on failure
+    /// the error of the *first* failing query in input order is returned
+    /// (never a race winner's).
+    pub fn answer_incremental_batch(
+        queries: &[Query],
+        spec: &GraphSpec,
+        interner: &Interner,
+        threads: usize,
+    ) -> Result<Vec<IncrementalAnswer>> {
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        let workers = threads.clamp(1, queries.len());
+        let chunk = queries.len().div_ceil(workers);
+        let mut slots: Vec<Option<Result<IncrementalAnswer>>> = Vec::new();
+        slots.resize_with(queries.len(), || None);
+        std::thread::scope(|s| {
+            for (qs, outs) in queries.chunks(chunk).zip(slots.chunks_mut(chunk)) {
+                s.spawn(move || {
+                    for (q, slot) in qs.iter().zip(outs.iter_mut()) {
+                        *slot = Some(q.answer_incremental(spec, interner));
+                    }
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every slot is written by exactly one worker"))
+            .collect()
+    }
 }
 
 /// An incremental query answer `(Q(B), F)`.

@@ -41,6 +41,28 @@ pub struct SpecBundle {
     pub sym_map: FxHashMap<(MixedSym, Box<[Cst]>), Func>,
 }
 
+/// A sealed specification plus the mixed→pure symbol map that interprets
+/// user-facing terms against it.
+pub type FrozenBundle = (
+    crate::serve::FrozenGraphSpec,
+    FxHashMap<(MixedSym, Box<[Cst]>), Func>,
+);
+
+impl SpecBundle {
+    /// Seals the bundled specification for serving, keeping the symbol map
+    /// for translating user-facing mixed terms. The paper's "the original
+    /// deductive rules may be forgotten" (§1), operationally: load a spec
+    /// file, freeze it, share it.
+    pub fn freeze(self) -> FrozenBundle {
+        (self.spec.freeze(), self.sym_map)
+    }
+}
+
+/// Reads a specification file and seals it for serving in one step.
+pub fn read_spec_file_frozen(path: &str, interner: &mut Interner) -> Result<FrozenBundle> {
+    Ok(read_spec_file(path, interner)?.freeze())
+}
+
 /// Translates a ground (possibly mixed) functional term into a pure symbol
 /// path using a mixed→pure instantiation map. `None` when the term is
 /// non-ground or uses an instantiation absent from the map (such terms never

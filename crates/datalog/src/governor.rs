@@ -355,6 +355,23 @@ impl Governor {
         self.inner.rounds.load(Ordering::Relaxed)
     }
 
+    /// Lightweight cancellation/deadline gate for governed *read-side* work
+    /// (spec freezing, batch answering) that is not organized in fixpoint
+    /// rounds. Checks, in order, cancellation then the wall-clock deadline
+    /// (arming it on first use, like any governed run), and advances no row
+    /// or round counters. Callers poll this at chunk boundaries.
+    pub fn checkpoint(&self) -> Result<(), Resource> {
+        if self.inner.cancel.is_cancelled() {
+            return Err(Resource::Cancelled);
+        }
+        if let Some(deadline) = self.deadline() {
+            if Instant::now() >= deadline {
+                return Err(Resource::Time);
+            }
+        }
+        Ok(())
+    }
+
     /// The wall-clock deadline, armed on first call (i.e. when the first
     /// governed run starts).
     pub(crate) fn deadline(&self) -> Option<Instant> {

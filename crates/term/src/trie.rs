@@ -1,0 +1,156 @@
+//! A hash-consed trie over `[Func]` prefixes carrying a `u32` payload.
+//!
+//! Serving-layer canonicalization answers "which specification node
+//! represents the cluster of this path?" for many overlapping paths. The
+//! walk itself is O(|path|); a [`PathTrie`] memoizes every prefix seen so
+//! far — each distinct prefix becomes one dense trie node holding the
+//! payload computed for it — so a lookup costs O(unseen suffix) instead of
+//! O(path). Prefixes are hash-consed: re-inserting an existing prefix is a
+//! no-op returning the existing node, so the trie never holds duplicates
+//! and memory is bounded by the number of distinct prefixes ever queried.
+//!
+//! The payload is an opaque `u32` chosen by the caller (the serving layer
+//! stores dense specification-node indices).
+
+use crate::hash::FxHashMap;
+use crate::interner::Func;
+
+/// Dense handle of a memoized prefix in a [`PathTrie`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct TrieNode(u32);
+
+impl TrieNode {
+    /// Dense index of the node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Hash-consed `[Func]`-prefix → `u32` memo table.
+#[derive(Clone, Debug)]
+pub struct PathTrie {
+    /// `(prefix node, next symbol) → extended prefix node`.
+    edges: FxHashMap<(TrieNode, Func), TrieNode>,
+    /// Payload of each prefix, by dense node index. `values[0]` is the
+    /// payload of the empty prefix.
+    values: Vec<u32>,
+}
+
+impl PathTrie {
+    /// Creates a trie containing only the empty prefix with the given
+    /// payload.
+    pub fn new(root_value: u32) -> Self {
+        PathTrie {
+            edges: FxHashMap::default(),
+            values: vec![root_value],
+        }
+    }
+
+    /// The node of the empty prefix.
+    #[inline]
+    pub fn root(&self) -> TrieNode {
+        TrieNode(0)
+    }
+
+    /// Number of memoized prefixes (including the empty one).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether only the empty prefix is memoized.
+    pub fn is_empty(&self) -> bool {
+        self.values.len() == 1
+    }
+
+    /// Payload stored for a memoized prefix.
+    #[inline]
+    pub fn value(&self, n: TrieNode) -> u32 {
+        self.values[n.index()]
+    }
+
+    /// The memoized extension of prefix `n` by symbol `f`, if present.
+    #[inline]
+    pub fn get_child(&self, n: TrieNode, f: Func) -> Option<TrieNode> {
+        self.edges.get(&(n, f)).copied()
+    }
+
+    /// Extends prefix `n` by `f`, storing `value` for the new prefix.
+    /// Hash-consed: if the extension is already memoized the existing node
+    /// is returned and `value` is ignored (first write wins).
+    pub fn child(&mut self, n: TrieNode, f: Func, value: u32) -> TrieNode {
+        if let Some(&c) = self.edges.get(&(n, f)) {
+            return c;
+        }
+        let id = TrieNode(u32::try_from(self.values.len()).expect("path trie overflow"));
+        self.values.push(value);
+        self.edges.insert((n, f), id);
+        id
+    }
+
+    /// Walks the longest memoized prefix of `path`. Returns the deepest
+    /// node reached and how many symbols it covers; `path[consumed..]` is
+    /// the unmemoized suffix.
+    pub fn longest_prefix(&self, path: &[Func]) -> (TrieNode, usize) {
+        let mut node = self.root();
+        for (i, &f) in path.iter().enumerate() {
+            match self.get_child(node, f) {
+                Some(c) => node = c,
+                None => return (node, i),
+            }
+        }
+        (node, path.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interner::Interner;
+
+    fn funcs(n: usize) -> Vec<Func> {
+        let mut i = Interner::new();
+        (0..n).map(|k| Func(i.intern(&format!("f{k}")))).collect()
+    }
+
+    #[test]
+    fn empty_trie_covers_nothing_but_the_root() {
+        let fs = funcs(2);
+        let t = PathTrie::new(7);
+        assert!(t.is_empty());
+        assert_eq!(t.value(t.root()), 7);
+        let (node, consumed) = t.longest_prefix(&[fs[0], fs[1]]);
+        assert_eq!(node, t.root());
+        assert_eq!(consumed, 0);
+    }
+
+    #[test]
+    fn inserted_prefixes_are_found_and_shared() {
+        let fs = funcs(2);
+        let (f, g) = (fs[0], fs[1]);
+        let mut t = PathTrie::new(0);
+        let nf = t.child(t.root(), f, 10);
+        let nfg = t.child(nf, g, 20);
+        // Hash-consing: re-inserting returns the same node, value untouched.
+        assert_eq!(t.child(t.root(), f, 99), nf);
+        assert_eq!(t.value(nf), 10);
+        assert_eq!(t.len(), 3);
+
+        let (node, consumed) = t.longest_prefix(&[f, g, f]);
+        assert_eq!(node, nfg);
+        assert_eq!(consumed, 2);
+        assert_eq!(t.value(node), 20);
+    }
+
+    #[test]
+    fn sibling_branches_do_not_collide() {
+        let fs = funcs(2);
+        let (f, g) = (fs[0], fs[1]);
+        let mut t = PathTrie::new(0);
+        let nf = t.child(t.root(), f, 1);
+        let ng = t.child(t.root(), g, 2);
+        assert_ne!(nf, ng);
+        assert_eq!(t.longest_prefix(&[f]).0, nf);
+        assert_eq!(t.longest_prefix(&[g]).0, ng);
+    }
+}

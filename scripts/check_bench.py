@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Validate a committed bench trajectory against the fundb-bench-v1 schema.
+
+Usage: check_bench.py BENCH_prN.json
+
+Fails (exit 1) when the file is absent, is not valid JSON, or does not
+follow the fundb-bench-v1 shape: a top-level object with
+  schema  == "fundb-bench-v1"
+  pr      -- positive integer
+  records -- non-empty list of flat objects, each carrying string
+             "experiment" and "workload" keys plus numeric measurements.
+"""
+
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"check_bench: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    if len(sys.argv) != 2:
+        fail("usage: check_bench.py BENCH_prN.json")
+    path = sys.argv[1]
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except FileNotFoundError:
+        fail(f"{path} is missing — regenerate it with "
+             f"`cargo run --release -p fundb-bench --bin experiments` and commit it")
+    except json.JSONDecodeError as e:
+        fail(f"{path} is not valid JSON: {e}")
+
+    if not isinstance(doc, dict):
+        fail(f"{path}: top level must be an object")
+    if doc.get("schema") != "fundb-bench-v1":
+        fail(f"{path}: schema must be \"fundb-bench-v1\", got {doc.get('schema')!r}")
+    pr = doc.get("pr")
+    if not isinstance(pr, int) or isinstance(pr, bool) or pr < 1:
+        fail(f"{path}: pr must be a positive integer, got {pr!r}")
+    records = doc.get("records")
+    if not isinstance(records, list) or not records:
+        fail(f"{path}: records must be a non-empty list")
+    for i, rec in enumerate(records):
+        if not isinstance(rec, dict):
+            fail(f"{path}: records[{i}] is not an object")
+        for key in ("experiment", "workload"):
+            if not isinstance(rec.get(key), str) or not rec[key]:
+                fail(f"{path}: records[{i}] lacks a non-empty string {key!r}")
+        measurements = {k: v for k, v in rec.items()
+                        if k not in ("experiment", "workload")}
+        if not measurements:
+            fail(f"{path}: records[{i}] carries no measurements")
+        for k, v in measurements.items():
+            if isinstance(v, bool) or not isinstance(v, (int, float)):
+                fail(f"{path}: records[{i}].{k} must be numeric, got {v!r}")
+
+    experiments = sorted({r["experiment"] for r in records})
+    print(f"check_bench: OK: {path} (pr {pr}, {len(records)} records, "
+          f"experiments: {', '.join(experiments)})")
+
+
+if __name__ == "__main__":
+    main()

@@ -245,6 +245,146 @@ fn tight_deadline_on_tc_right_returns_instead_of_hanging() {
     );
 }
 
+/// PR 5 read-serving layer under the governor: a cancellation or an
+/// exhausted wall-clock budget tripping during `freeze_governed` or a
+/// governed batch must surface as a clean `EvalError::BudgetExhausted` —
+/// and the frozen spec's answer cache must stay fully usable afterwards
+/// (no poisoned shard, no partial answer ever observable).
+mod serving_trips {
+    use super::quiet;
+    use fundb_core::program::{FTerm, Program, Rule as CoreRule};
+    use fundb_core::{Engine, GraphSpec, ServeQuery};
+    use fundb_datalog::{Budget, EvalError, Resource};
+    use fundb_term::{Func, Interner, Pred, Var};
+
+    /// The §3.5 Even lasso — small, but its frozen spec exercises every
+    /// serving path (walk, cache, batch).
+    fn even_spec() -> (GraphSpec, Pred, Func) {
+        let mut i = Interner::new();
+        let even = Pred(i.intern("Even"));
+        let succ = Func(i.intern("+1"));
+        let t = Var(i.intern("t"));
+        let fat = |ft: FTerm| fundb_core::program::Atom::Functional {
+            pred: even,
+            fterm: ft,
+            args: vec![],
+        };
+        let mut prog = Program::new();
+        prog.push(CoreRule::new(
+            fat(FTerm::Pure(
+                succ,
+                Box::new(FTerm::Pure(succ, Box::new(FTerm::Var(t)))),
+            )),
+            vec![fat(FTerm::Var(t))],
+        ));
+        let mut db = fundb_core::program::Database::new();
+        db.facts.push(fat(FTerm::Zero));
+        let mut engine = Engine::build(&prog, &db, &mut i).unwrap();
+        let spec = GraphSpec::from_engine(&mut engine).unwrap();
+        (spec, even, succ)
+    }
+
+    fn queries(even: Pred, succ: Func, n: usize) -> Vec<ServeQuery> {
+        (0..n)
+            .map(|k| ServeQuery::Member {
+                pred: even,
+                path: vec![succ; k],
+                args: vec![],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cancelled_freeze_and_batch_return_eval_errors() {
+        let (spec, even, succ) = even_spec();
+        let gov = quiet(Budget::unlimited());
+        gov.cancel();
+
+        let err = spec.clone().freeze_governed(&gov).unwrap_err();
+        let EvalError::BudgetExhausted { resource, .. } = err else {
+            panic!("expected BudgetExhausted from freeze, got {err:?}");
+        };
+        assert_eq!(resource, Resource::Cancelled);
+
+        let frozen = spec.freeze();
+        let qs = queries(even, succ, 64);
+        for threads in [1usize, 4] {
+            let err = frozen
+                .answer_batch_governed(&qs, &gov, threads)
+                .unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    EvalError::BudgetExhausted {
+                        resource: Resource::Cancelled,
+                        ..
+                    }
+                ),
+                "expected a cancellation trip at {threads} threads, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn exhausted_deadline_trips_with_resource_time() {
+        let (spec, even, succ) = even_spec();
+        // A zero wall-clock budget: the deadline is armed — and already
+        // behind — at the first read-side checkpoint.
+        let gov = quiet(Budget::unlimited().with_max_millis(0));
+
+        let err = spec.clone().freeze_governed(&gov).unwrap_err();
+        let EvalError::BudgetExhausted { resource, .. } = err else {
+            panic!("expected BudgetExhausted from freeze, got {err:?}");
+        };
+        assert_eq!(resource, Resource::Time);
+
+        let frozen = spec.freeze();
+        let err = frozen
+            .answer_batch_governed(&queries(even, succ, 64), &gov, 2)
+            .unwrap_err();
+        let EvalError::BudgetExhausted { resource, .. } = err else {
+            panic!("expected BudgetExhausted from batch, got {err:?}");
+        };
+        assert_eq!(resource, Resource::Time);
+    }
+
+    /// After a mid-service trip the cache shards are not poisoned and not
+    /// partially wrong: every later read — single, batched at several
+    /// thread counts, memoized — still answers exactly.
+    #[test]
+    fn tripped_batches_leave_the_cache_shards_usable() {
+        let (spec, even, succ) = even_spec();
+        let frozen = spec.freeze();
+        let qs = queries(even, succ, 128);
+
+        // Warm part of the cache, then trip a governed batch on it.
+        let warm: Vec<bool> = qs[..32].iter().map(|q| frozen.answer(q)).collect();
+        let gov = quiet(Budget::unlimited());
+        gov.cancel();
+        frozen.answer_batch_governed(&qs, &gov, 4).unwrap_err();
+
+        for threads in [1usize, 2, 4, 8] {
+            let all = frozen.answer_batch_threads(&qs, threads);
+            for (k, (&got, q)) in all.iter().zip(&qs).enumerate() {
+                assert_eq!(got, frozen.answer(q), "query {k} at {threads} threads");
+                assert_eq!(got, k % 2 == 0, "Even({k}) ground truth");
+            }
+        }
+        assert_eq!(
+            &warm[..],
+            &qs[..32]
+                .iter()
+                .map(|q| frozen.answer(q))
+                .collect::<Vec<_>>()[..]
+        );
+        let stats = frozen.serve_stats();
+        assert!(
+            stats.hits > 0 && stats.misses > 0,
+            "cache never engaged: {stats:?}"
+        );
+    }
+}
+
 /// Under the CI fault matrix (`FUNDB_FAULT` set), *default* governors must
 /// pick up the ambient plan: armed panics and round failures surface as
 /// error values (never a process abort), and `slow_probe` alone still

@@ -1,0 +1,205 @@
+//! Differential properties of the read-serving layer (PR 5): frozen
+//! snapshots must be answer-for-answer indistinguishable from their
+//! mutable originals, batch answering must be indistinguishable from a
+//! per-query loop at every thread count, and — on forward programs, where
+//! the naive bounded materialization is exact — everything must agree
+//! with the naive baseline too.
+
+mod common;
+
+use common::{all_paths, random_program, GenConfig};
+use fundb_core::program::{Atom, FTerm, NTerm};
+use fundb_core::{
+    normalize, to_pure, BoundedMaterialization, Engine, EqSpec, GraphSpec, Query, ServeQuery,
+};
+use proptest::prelude::*;
+
+const DEPTH: usize = 4;
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        .. ProptestConfig::default()
+    })]
+
+    /// Six-way membership agreement on forward programs (where the naive
+    /// baseline is exact): the mutable graph spec, its minimization, the
+    /// frozen graph spec, the frozen minimized spec, the mutable and the
+    /// frozen equational specs all answer exactly like the naive bounded
+    /// materialization on every atom up to `DEPTH`.
+    #[test]
+    fn frozen_specs_agree_with_unfrozen_and_naive(seed in any::<u64>()) {
+        let mut gen = random_program(
+            GenConfig { forward_only: true, ..GenConfig::default() },
+            seed,
+        );
+        let normal = normalize(&gen.program, &mut gen.interner);
+        let pure = to_pure(&normal, &gen.db, &mut gen.interner).unwrap();
+        let mat = BoundedMaterialization::run(&pure, DEPTH + 2, &mut gen.interner).unwrap();
+        let mut engine = Engine::build(&gen.program, &gen.db, &mut gen.interner).unwrap();
+        let spec = GraphSpec::from_engine(&mut engine).unwrap();
+        let minimized = spec.minimized();
+        let mut eq = EqSpec::from_graph(&spec);
+        let frozen_eq = eq.freeze();
+        let frozen_min = minimized.clone().freeze();
+        let frozen = spec.clone().freeze();
+        for path in all_paths(&gen.funcs, DEPTH) {
+            for &p in &gen.preds {
+                for &c in &gen.consts {
+                    let expected = mat.holds(p, &path, &[c]);
+                    prop_assert_eq!(
+                        spec.holds(p, &path, &[c]), expected,
+                        "mutable spec disagrees with naive: {:?} {:?} {:?}", p, path, c
+                    );
+                    prop_assert_eq!(
+                        minimized.holds(p, &path, &[c]), expected,
+                        "minimized spec disagrees: {:?} {:?} {:?}", p, path, c
+                    );
+                    prop_assert_eq!(
+                        frozen.holds(p, &path, &[c]), expected,
+                        "frozen spec disagrees: {:?} {:?} {:?}", p, path, c
+                    );
+                    prop_assert_eq!(
+                        frozen_min.holds(p, &path, &[c]), expected,
+                        "frozen minimized spec disagrees: {:?} {:?} {:?}", p, path, c
+                    );
+                    prop_assert_eq!(
+                        eq.holds(p, &path, &[c]), expected,
+                        "mutable eq spec disagrees: {:?} {:?} {:?}", p, path, c
+                    );
+                    prop_assert_eq!(
+                        frozen_eq.holds(p, &path, &[c]), expected,
+                        "frozen eq spec disagrees: {:?} {:?} {:?}", p, path, c
+                    );
+                }
+            }
+        }
+        // Relational membership goes through the frozen answer cache too.
+        for &c in &gen.consts {
+            let expected = spec.holds_relational(gen.rel, &[c]);
+            prop_assert_eq!(frozen.holds_relational(gen.rel, &[c]), expected);
+            prop_assert_eq!(frozen_eq.holds_relational(gen.rel, &[c]), expected);
+        }
+        // The frozen closure's congruence test matches the mutable one.
+        let paths = all_paths(&gen.funcs, 3);
+        for a in &paths {
+            for b in &paths {
+                prop_assert_eq!(
+                    frozen_eq.congruent(a, b),
+                    eq.congruent(a, b),
+                    "congruence disagrees on {:?} vs {:?}", a, b
+                );
+            }
+        }
+    }
+
+    /// On general programs the frozen snapshots agree with the unfrozen
+    /// spec (no naive oracle here — back-propagation can outrun any
+    /// bounded depth), including a second warm pass answered from the
+    /// cache.
+    #[test]
+    fn frozen_specs_agree_on_general_programs(seed in any::<u64>()) {
+        let mut gen = random_program(GenConfig::default(), seed);
+        let mut engine = Engine::build(&gen.program, &gen.db, &mut gen.interner).unwrap();
+        let spec = GraphSpec::from_engine(&mut engine).unwrap();
+        let eq = EqSpec::from_graph(&spec);
+        let frozen_eq = eq.freeze();
+        let frozen = spec.clone().freeze();
+        for sweep in 0..2 {
+            for path in all_paths(&gen.funcs, DEPTH) {
+                for &p in &gen.preds {
+                    for &c in &gen.consts {
+                        let expected = spec.holds(p, &path, &[c]);
+                        prop_assert_eq!(
+                            frozen.holds(p, &path, &[c]), expected,
+                            "frozen spec (sweep {}): {:?} {:?} {:?}", sweep, p, path, c
+                        );
+                        prop_assert_eq!(
+                            frozen_eq.holds(p, &path, &[c]), expected,
+                            "frozen eq spec: {:?} {:?} {:?}", p, path, c
+                        );
+                        prop_assert_eq!(
+                            frozen.representative_memoized(&path),
+                            frozen.representative_of(&path),
+                            "memoized representative diverged on {:?}", path
+                        );
+                    }
+                }
+            }
+        }
+        let stats = frozen.serve_stats();
+        prop_assert!(stats.hits > 0, "second sweep must hit the cache: {:?}", stats);
+    }
+
+    /// `answer_batch` is indistinguishable from a per-query loop at 1, 2,
+    /// 4 and 8 threads — byte-identical answer vectors, shared cache or
+    /// not.
+    #[test]
+    fn batch_equals_per_query_loop_at_any_thread_count(seed in any::<u64>()) {
+        let mut gen = random_program(GenConfig::default(), seed);
+        let mut engine = Engine::build(&gen.program, &gen.db, &mut gen.interner).unwrap();
+        let spec = GraphSpec::from_engine(&mut engine).unwrap();
+        let frozen = spec.freeze();
+        let mut queries: Vec<ServeQuery> = Vec::new();
+        for path in all_paths(&gen.funcs, DEPTH) {
+            for &p in &gen.preds {
+                for &c in &gen.consts {
+                    queries.push(ServeQuery::Member {
+                        pred: p,
+                        path: path.clone(),
+                        args: vec![c],
+                    });
+                }
+            }
+        }
+        for &c in &gen.consts {
+            queries.push(ServeQuery::Relational { pred: gen.rel, args: vec![c] });
+        }
+        let seq: Vec<bool> = queries.iter().map(|q| frozen.answer(q)).collect();
+        for &threads in &THREADS {
+            prop_assert_eq!(
+                &frozen.answer_batch_threads(&queries, threads),
+                &seq,
+                "batch diverged from the per-query loop at {} threads", threads
+            );
+        }
+    }
+
+    /// The batched `answer_incremental` returns exactly the per-query
+    /// results, in input order, at every thread count.
+    #[test]
+    fn incremental_batch_equals_per_query_loop(seed in any::<u64>()) {
+        let mut gen = random_program(GenConfig::default(), seed);
+        let mut engine = Engine::build(&gen.program, &gen.db, &mut gen.interner).unwrap();
+        let spec = GraphSpec::from_engine(&mut engine).unwrap();
+        let s = fundb_term::Var(gen.interner.intern("qs"));
+        let x = fundb_term::Var(gen.interner.intern("qx"));
+        let queries: Vec<Query> = gen
+            .preds
+            .iter()
+            .map(|&p| Query {
+                out_fvar: Some(s),
+                out_nvars: vec![x],
+                body: vec![Atom::Functional {
+                    pred: p,
+                    fterm: FTerm::Var(s),
+                    args: vec![NTerm::Var(x)],
+                }],
+            })
+            .collect();
+        let seq: Vec<_> = queries
+            .iter()
+            .map(|q| q.answer_incremental(&spec, &gen.interner).unwrap())
+            .collect();
+        for &threads in &THREADS {
+            let batch =
+                Query::answer_incremental_batch(&queries, &spec, &gen.interner, threads)
+                    .unwrap();
+            prop_assert_eq!(
+                &batch, &seq,
+                "incremental batch diverged at {} threads", threads
+            );
+        }
+    }
+}
