@@ -20,6 +20,8 @@
 use fundb_parser::Workspace;
 use std::fmt::Write as _;
 
+pub mod scenariogen;
+
 /// One fact rotating through `k` participants (`Meets` with `k` students):
 /// period-`k` temporal program, linear-size specification.
 pub fn rotation(k: usize) -> Workspace {

@@ -1,0 +1,518 @@
+//! Seeded, reproducible adversarial scenario families for differential
+//! fuzzing and the E14 planner experiment.
+//!
+//! Every hand-written workload in this crate (chains, counters, rotations)
+//! presents the join compiler with the same few friendly shapes. The
+//! families here generate the shapes those workloads never produce —
+//! skewed fan-out, dense near-cross-products, cyclic rule dependencies,
+//! bounded-derivation-depth layerings, and temporal lassos — each from a
+//! single `u64` seed, so a failing case is reproducible by its seed alone.
+//!
+//! Each relational scenario is emitted **twice from the same seed**: once
+//! as datalog-level rules + facts (for the evaluator lattice: compiled,
+//! interpreted, naive, greedy-planned vs cost-planned, governed) and once
+//! as concrete syntax (for the parser → engine → frozen-spec serving
+//! lattice). The two must denote the same program; the fuzz harness in
+//! `tests/fuzz_scenarios.rs` holds every pairing to that.
+//!
+//! Generators draw only from [`rand::rngs::StdRng`] seeded with the given
+//! seed — no ambient entropy — and never touch the thread RNG, so a
+//! scenario is a pure function of `(family, seed)`.
+
+use fundb_datalog::{Atom, Database, Rule, Term};
+use fundb_term::{Cst, Interner, Pred, Var};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+
+/// A generated relational scenario: one program in two representations
+/// plus a ground membership workload.
+pub struct Scenario {
+    /// Family name (`"skew"`, `"dense"`, `"cyclic"`, `"bounded"`).
+    pub family: &'static str,
+    /// The seed that produced it.
+    pub seed: u64,
+    /// Concrete syntax: rules then facts, parseable by
+    /// `fundb_parser::Workspace`.
+    pub text: String,
+    /// Interner for the datalog representation below.
+    pub interner: Interner,
+    /// The same rules at the datalog level.
+    pub rules: Vec<Rule>,
+    /// The same facts at the datalog level.
+    pub db: Database,
+    /// Ground membership queries `(predicate name, argument constant
+    /// names)` — a mix of likely-positive and likely-negative tuples. Names
+    /// resolve in `interner` and in any workspace that parsed `text`.
+    pub queries: Vec<(String, Vec<String>)>,
+}
+
+/// A generated temporal scenario: a forward temporal program in concrete
+/// syntax plus a point/interval query workload.
+pub struct TemporalScenario {
+    /// The seed that produced it.
+    pub seed: u64,
+    /// Concrete syntax with `t`/`t+1` temporal arguments and numeral facts.
+    pub text: String,
+    /// Point queries `(predicate name, time, argument constant names)`.
+    pub queries: Vec<(String, u64, Vec<String>)>,
+    /// Interval queries `(predicate name, from, to, argument constant
+    /// names)`: the harness checks every point of `from..=to`.
+    pub intervals: Vec<(String, u64, u64, Vec<String>)>,
+}
+
+/// A seeded scenario family: pure function from seed to scenario.
+pub type ScenarioFn = fn(u64) -> Scenario;
+
+/// The relational families, by name, for data-driven harnesses.
+pub const RELATIONAL_FAMILIES: &[(&str, ScenarioFn)] = &[
+    ("skew", skew),
+    ("dense", dense),
+    ("cyclic", cyclic),
+    ("bounded", bounded_depth),
+];
+
+/// Incrementally builds the two representations in lock-step so they
+/// cannot drift apart.
+struct Build {
+    interner: Interner,
+    text: String,
+    rules: Vec<Rule>,
+    db: Database,
+    /// `(name, arity)` of every predicate that received a fact or a head,
+    /// for query sampling.
+    preds: Vec<(String, usize)>,
+    /// Constant names used in facts, for query sampling.
+    consts: Vec<String>,
+}
+
+/// A term spec: variable (lowercase) or constant (uppercase) by name.
+#[derive(Clone)]
+enum T {
+    V(&'static str),
+    C(String),
+}
+
+impl Build {
+    fn new() -> Build {
+        Build {
+            interner: Interner::new(),
+            text: String::new(),
+            rules: Vec::new(),
+            db: Database::new(),
+            preds: Vec::new(),
+            consts: Vec::new(),
+        }
+    }
+
+    fn note_pred(&mut self, name: &str, arity: usize) {
+        if !self.preds.iter().any(|(n, _)| n == name) {
+            self.preds.push((name.to_string(), arity));
+        }
+    }
+
+    fn term(&mut self, t: &T) -> Term {
+        match t {
+            T::V(v) => Term::Var(Var(self.interner.intern(v))),
+            T::C(c) => Term::Const(Cst(self.interner.intern(c))),
+        }
+    }
+
+    fn atom(&mut self, pred: &str, args: &[T]) -> Atom {
+        let p = Pred(self.interner.intern(pred));
+        let args = args.iter().map(|t| self.term(t)).collect();
+        Atom::new(p, args)
+    }
+
+    fn render(pred: &str, args: &[T]) -> String {
+        let parts: Vec<&str> = args
+            .iter()
+            .map(|t| match t {
+                T::V(v) => *v,
+                T::C(c) => c.as_str(),
+            })
+            .collect();
+        format!("{pred}({})", parts.join(", "))
+    }
+
+    /// Adds a rule to both representations. `head`/`body` are
+    /// `(pred, args)` pairs; the body is kept in the given (often
+    /// deliberately adversarial) written order.
+    fn rule(&mut self, head: (&str, &[T]), body: &[(&str, &[T])]) {
+        self.note_pred(head.0, head.1.len());
+        let rendered: Vec<String> = body.iter().map(|(p, a)| Build::render(p, a)).collect();
+        writeln!(
+            self.text,
+            "{} -> {}.",
+            rendered.join(", "),
+            Build::render(head.0, head.1)
+        )
+        .unwrap();
+        let h = self.atom(head.0, head.1);
+        let b = body.iter().map(|(p, a)| self.atom(p, a)).collect();
+        self.rules.push(Rule::new(h, b));
+    }
+
+    /// Adds a ground fact to both representations. Duplicate facts (the
+    /// random generators do produce them) are dropped on both sides, so
+    /// the text stays line-for-line aligned with the datalog database.
+    fn fact(&mut self, pred: &str, args: &[&str]) {
+        self.note_pred(pred, args.len());
+        let p = Pred(self.interner.intern(pred));
+        let row: Vec<Cst> = args.iter().map(|c| Cst(self.interner.intern(c))).collect();
+        if !self.db.insert(p, &row) {
+            return;
+        }
+        writeln!(self.text, "{pred}({}).", args.join(", ")).unwrap();
+        for c in args {
+            if !self.consts.iter().any(|k| k == c) {
+                self.consts.push((*c).to_string());
+            }
+        }
+    }
+
+    /// Samples `k` ground membership queries over the predicates and
+    /// constants seen so far.
+    fn finish(mut self, family: &'static str, seed: u64, rng: &mut StdRng, k: usize) -> Scenario {
+        let mut queries = Vec::with_capacity(k);
+        if !self.preds.is_empty() && !self.consts.is_empty() {
+            for _ in 0..k {
+                let (name, arity) = self.preds[rng.gen_range(0..self.preds.len())].clone();
+                let args: Vec<String> = (0..arity)
+                    .map(|_| self.consts[rng.gen_range(0..self.consts.len())].clone())
+                    .collect();
+                // Intern query constants on the datalog side too, so both
+                // representations can resolve every query by name.
+                for a in &args {
+                    self.interner.intern(a);
+                }
+                queries.push((name, args));
+            }
+        }
+        Scenario {
+            family,
+            seed,
+            text: self.text,
+            interner: self.interner,
+            rules: self.rules,
+            db: self.db,
+            queries,
+        }
+    }
+}
+
+/// Skewed fan-out: one hub with `m` spokes plus a short chain, a tiny tag
+/// relation, and rule bodies written big-relation-first — the shape where
+/// the boundness-greedy order degenerates to the written order and pays
+/// `|E|` probes that the cost model avoids.
+pub fn skew(seed: u64) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x736b_6577);
+    let mut b = Build::new();
+    let m = rng.gen_range(24..=48);
+    let chain = rng.gen_range(4..=8usize);
+    // Hub fan-out.
+    for i in 0..m {
+        b.fact("E", &["Hub", &format!("Sp{i}")]);
+    }
+    // Chain off the hub.
+    let node = |j: usize| {
+        if j == 0 {
+            "Hub".to_string()
+        } else {
+            format!("K{j}")
+        }
+    };
+    for j in 0..chain {
+        b.fact("E", &[&node(j), &node(j + 1)]);
+    }
+    // Tiny tag relation on a few chain nodes.
+    let tags = rng.gen_range(2..=4usize);
+    for j in 0..tags {
+        let at = rng.gen_range(1..=chain);
+        b.fact("S", &[&node(at), &format!("Tag{j}")]);
+    }
+    // Adversarial written order: the big E first in every body.
+    let (x, y, z, w) = (T::V("x"), T::V("y"), T::V("z"), T::V("w"));
+    b.rule(
+        ("T", &[x.clone(), z.clone()]),
+        &[
+            ("E", &[x.clone(), y.clone()]),
+            ("S", &[y.clone(), z.clone()]),
+        ],
+    );
+    b.rule(
+        ("T", &[x.clone(), z.clone()]),
+        &[
+            ("E", &[x.clone(), y.clone()]),
+            ("T", &[y.clone(), z.clone()]),
+        ],
+    );
+    b.rule(
+        ("U", &[x.clone(), w.clone()]),
+        &[
+            ("E", &[x.clone(), y.clone()]),
+            ("E", &[y.clone(), z.clone()]),
+            ("S", &[z.clone(), w.clone()]),
+        ],
+    );
+    // A constant-bound atom: the hub's direct neighbourhood.
+    b.rule(
+        ("Hx", std::slice::from_ref(&y)),
+        &[("E", &[T::C("Hub".to_string()), y.clone()])],
+    );
+    b.finish("skew", seed, &mut rng, 12)
+}
+
+/// Dense near-cross-products: two relations filled to a random density
+/// over a small domain joined through a sparse filter written last — the
+/// planner should hoist the filter; greedy enumerates the dense pairs.
+pub fn dense(seed: u64) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6465_6e73);
+    let mut b = Build::new();
+    let n = rng.gen_range(4..=6usize);
+    let dom: Vec<String> = (0..n).map(|i| format!("D{i}")).collect();
+    for rel in ["A", "B"] {
+        let density = rng.gen_range(40..=80); // percent
+        let mut any = false;
+        for i in 0..n {
+            for j in 0..n {
+                if rng.gen_range(0..100) < density {
+                    b.fact(rel, &[&dom[i], &dom[j]]);
+                    any = true;
+                }
+            }
+        }
+        if !any {
+            b.fact(rel, &[&dom[0], &dom[n - 1]]);
+        }
+    }
+    // Sparse filter.
+    for _ in 0..rng.gen_range(2..=3usize) {
+        let i = rng.gen_range(0..n);
+        let j = rng.gen_range(0..n);
+        b.fact("C", &[&dom[i], &dom[j]]);
+    }
+    let (x, y, z, w) = (T::V("x"), T::V("y"), T::V("z"), T::V("w"));
+    // Dense pair first, filter last: worst written order.
+    b.rule(
+        ("R", &[x.clone(), z.clone()]),
+        &[
+            ("A", &[x.clone(), y.clone()]),
+            ("B", &[y.clone(), z.clone()]),
+            ("C", &[z.clone(), w.clone()]),
+        ],
+    );
+    b.rule(
+        ("R", &[x.clone(), z.clone()]),
+        &[
+            ("R", &[x.clone(), y.clone()]),
+            ("A", &[y.clone(), z.clone()]),
+        ],
+    );
+    b.finish("dense", seed, &mut rng, 12)
+}
+
+/// Cyclic / strongly-connected rule dependencies: `k` mutually recursive
+/// predicates rotating over a random edge relation, so the dependency
+/// graph is one SCC and semi-naive deltas chase each other around the
+/// cycle for several rounds.
+pub fn cyclic(seed: u64) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6379_636c);
+    let mut b = Build::new();
+    let k = rng.gen_range(2..=4usize);
+    let n = rng.gen_range(6..=10usize);
+    let edges = 2 * n;
+    for _ in 0..edges {
+        let i = rng.gen_range(0..n);
+        let j = rng.gen_range(0..n);
+        b.fact("E", &[&format!("N{i}"), &format!("N{j}")]);
+    }
+    // A tiny mark relation for one skew-shaped rule.
+    for _ in 0..2 {
+        let i = rng.gen_range(0..n);
+        b.fact(
+            "M",
+            &[&format!("N{i}"), &format!("Mark{}", rng.gen_range(0..2))],
+        );
+    }
+    let (x, y, z) = (T::V("x"), T::V("y"), T::V("z"));
+    b.rule(
+        ("P0", &[x.clone(), y.clone()]),
+        &[("E", &[x.clone(), y.clone()])],
+    );
+    for i in 0..k {
+        let head = format!("P{}", (i + 1) % k);
+        let body_pred = format!("P{i}");
+        b.rule(
+            (head.as_str(), &[x.clone(), z.clone()]),
+            &[
+                (body_pred.as_str(), &[x.clone(), y.clone()]),
+                ("E", &[y.clone(), z.clone()]),
+            ],
+        );
+    }
+    // Big-first body over the SCC output.
+    b.rule(
+        ("W", &[x.clone(), z.clone()]),
+        &[
+            ("P0", &[x.clone(), y.clone()]),
+            ("M", &[y.clone(), z.clone()]),
+        ],
+    );
+    b.finish("cyclic", seed, &mut rng, 12)
+}
+
+/// Bounded derivation depth: a non-recursive layered program (depth `d`)
+/// over per-layer bipartite edge relations, in the spirit of
+/// bounded/FC-bounded programs — every derivation is at most `d` rules
+/// deep, so naive evaluation is exact after `d + 1` rounds.
+pub fn bounded_depth(seed: u64) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6264_6570);
+    let mut b = Build::new();
+    let d = rng.gen_range(3..=5usize);
+    let width = rng.gen_range(3..=5usize);
+    let node = |layer: usize, i: usize| format!("Lv{layer}N{i}");
+    // Per-layer bipartite edges, dense enough that facts flow to the top.
+    for layer in 0..d {
+        let e = format!("E{layer}");
+        for i in 0..width {
+            for j in 0..width {
+                if rng.gen_range(0..100) < 55 {
+                    b.fact(&e, &[&node(layer, i), &node(layer + 1, j)]);
+                }
+            }
+        }
+        // Guarantee at least one edge per layer so depth is realized.
+        b.fact(&e, &[&node(layer, 0), &node(layer + 1, 0)]);
+    }
+    for i in 0..width {
+        if i == 0 || rng.gen_range(0..100) < 50 {
+            b.fact("L0", &[&node(0, i)]);
+        }
+    }
+    let (x, y, z) = (T::V("x"), T::V("y"), T::V("z"));
+    for layer in 0..d {
+        let head = format!("L{}", layer + 1);
+        let lower = format!("L{layer}");
+        let e = format!("E{layer}");
+        b.rule(
+            (head.as_str(), std::slice::from_ref(&y)),
+            &[
+                (lower.as_str(), std::slice::from_ref(&x)),
+                (e.as_str(), &[x.clone(), y.clone()]),
+            ],
+        );
+    }
+    // One two-hop rule with the dense relations first.
+    b.rule(
+        ("G", &[x.clone(), z.clone()]),
+        &[
+            ("E0", &[x.clone(), y.clone()]),
+            ("E1", &[y.clone(), z.clone()]),
+            ("L0", std::slice::from_ref(&x)),
+        ],
+    );
+    b.finish("bounded", seed, &mut rng, 12)
+}
+
+/// Temporal lasso scenarios: a small forward temporal program (bodies at
+/// `t`, heads at `t` or `t+1`, numeral facts near 0) whose specification
+/// is an eventually-periodic lasso; queries probe single points and whole
+/// intervals, including far beyond the prefix.
+pub fn temporal(seed: u64) -> TemporalScenario {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7465_6d70);
+    let k = rng.gen_range(2..=3usize);
+    let nconsts = rng.gen_range(1..=2usize);
+    let pred = |i: usize| format!("P{i}");
+    let cst = |i: usize| format!("K{i}");
+    let mut text = String::new();
+    // Always include a driving rule so something propagates forward.
+    writeln!(text, "P0(t, x) -> P1(t+1, x).").unwrap();
+    for _ in 0..rng.gen_range(2..=4usize) {
+        let body_len = rng.gen_range(1..=2usize);
+        let mut body: Vec<String> = Vec::new();
+        for _ in 0..body_len {
+            body.push(format!("{}(t, x)", pred(rng.gen_range(0..k))));
+        }
+        let head_off = rng.gen_range(0..=1usize);
+        let head = pred(rng.gen_range(0..k));
+        let head = if head_off == 0 {
+            format!("{head}(t, x)")
+        } else {
+            format!("{head}(t+1, x)")
+        };
+        writeln!(text, "{} -> {}.", body.join(", "), head).unwrap();
+    }
+    // Facts at small positions; at least one at 0.
+    let nfacts = rng.gen_range(1..=3usize);
+    for f in 0..nfacts {
+        let at = if f == 0 { 0 } else { rng.gen_range(0..=2usize) };
+        writeln!(
+            text,
+            "{}({at}, {}).",
+            pred(rng.gen_range(0..k)),
+            cst(rng.gen_range(0..nconsts))
+        )
+        .unwrap();
+    }
+    let mut queries = Vec::new();
+    for _ in 0..16 {
+        queries.push((
+            pred(rng.gen_range(0..k)),
+            rng.gen_range(0..40u64),
+            vec![cst(rng.gen_range(0..nconsts))],
+        ));
+    }
+    let mut intervals = Vec::new();
+    for _ in 0..3 {
+        let from = rng.gen_range(0..24u64);
+        let to = from + rng.gen_range(1..=12u64);
+        intervals.push((
+            pred(rng.gen_range(0..k)),
+            from,
+            to,
+            vec![cst(rng.gen_range(0..nconsts))],
+        ));
+    }
+    TemporalScenario {
+        seed,
+        text,
+        queries,
+        intervals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_are_reproducible_from_their_seed() {
+        for &(name, f) in RELATIONAL_FAMILIES {
+            let a = f(42);
+            let b = f(42);
+            let c = f(43);
+            assert_eq!(a.text, b.text, "{name} not deterministic");
+            assert_eq!(a.queries, b.queries, "{name} queries not deterministic");
+            assert_ne!(a.text, c.text, "{name} ignores its seed");
+        }
+        let t1 = temporal(7);
+        let t2 = temporal(7);
+        assert_eq!(t1.text, t2.text);
+        assert_eq!(t1.queries, t2.queries);
+    }
+
+    #[test]
+    fn relational_representations_agree_textually() {
+        // Every rule and fact the datalog side holds must appear in the
+        // text: same number of statements, and the dl fact count matches
+        // the number of fact lines.
+        for &(_, f) in RELATIONAL_FAMILIES {
+            let s = f(9);
+            let lines = s.text.lines().count();
+            let fact_lines = s.text.lines().filter(|l| !l.contains("->")).count();
+            assert_eq!(lines, s.rules.len() + fact_lines);
+            assert_eq!(s.db.fact_count(), fact_lines, "dedup'd facts mismatch");
+        }
+    }
+}

@@ -115,6 +115,42 @@ impl DeltaPlan {
         }
     }
 
+    /// Builds the plan with the cardinality cost model: per-rule atom
+    /// orders (and with them composite-index demands) are chosen from a
+    /// statistics snapshot of `db` taken now, at plan time. The snapshot is
+    /// immutable, so the plan — and row derivation order under it — is
+    /// fixed for the whole run regardless of how the database grows, which
+    /// preserves byte-determinism across thread counts. Rules whose body
+    /// predicates are all absent from the snapshot (cold) compile with the
+    /// same greedy order as [`DeltaPlan::new`].
+    pub fn planned(rules: &[Rule], db: &Database) -> DeltaPlan {
+        let stats = db.plan_stats();
+        let mut by_pred: FxHashMap<Pred, Vec<(u32, u32)>> = FxHashMap::default();
+        for (ri, rule) in rules.iter().enumerate() {
+            for (ai, atom) in rule.body.iter().enumerate() {
+                by_pred
+                    .entry(atom.pred)
+                    .or_default()
+                    .push((ri as u32, ai as u32));
+            }
+        }
+        let programs: Vec<CompiledRule> = rules
+            .iter()
+            .map(|r| CompiledRule::with_stats(r, &stats))
+            .collect();
+        let mut demands = Vec::new();
+        for cr in &programs {
+            cr.demands(&mut demands);
+        }
+        demands.sort_unstable();
+        demands.dedup();
+        DeltaPlan {
+            by_pred,
+            programs,
+            demands,
+        }
+    }
+
     /// The `(rule, body position)` pairs that consume facts of `p`.
     pub fn positions(&self, p: Pred) -> &[(u32, u32)] {
         self.by_pred.get(&p).map_or(&[], Vec::as_slice)
@@ -484,7 +520,6 @@ impl DerivedBuffer {
 
     /// Grounds `rule`'s head under `subst` directly into the arena (the
     /// interpreted oracle's emit path).
-    #[cfg(test)]
     fn push_head(&mut self, rule: &Rule, subst: &FxHashMap<Var, Cst>) {
         let start = u32::try_from(self.data.len()).expect("derived buffer overflow");
         for t in &rule.head.args {
@@ -742,7 +777,9 @@ pub fn evaluate_governed(
     rules: &[Rule],
     governor: &Governor,
 ) -> Result<EvalStats, EvalError> {
-    let plan = DeltaPlan::new(rules);
+    // One-shot entry point: the initial facts are already loaded, so plan
+    // against their statistics (cold relations fall back to greedy).
+    let plan = DeltaPlan::planned(rules, db);
     IncrementalEval::new()
         .with_governor(governor.clone())
         .run(db, rules, &plan)
@@ -763,7 +800,7 @@ pub fn evaluate_naive_governed(
     rules: &[Rule],
     governor: &Governor,
 ) -> Result<EvalStats, EvalError> {
-    let plan = DeltaPlan::new(rules);
+    let plan = DeltaPlan::planned(rules, db);
     let fault = *governor.fault();
     let mut stats = EvalStats::default();
     loop {
@@ -965,7 +1002,6 @@ fn query_rec(
 /// oracle for the compiled [`JoinProgram`] path: it visits atoms in
 /// written order, binds variables through a hash map, and selects through
 /// [`crate::rel::Relation::select`] patterns.
-#[cfg(test)]
 #[allow(clippy::too_many_arguments)]
 fn join_rec(
     db: &Database,
@@ -1041,13 +1077,11 @@ fn join_rec(
 }
 
 /// Either a delta-range scan or an indexed selection, as one iterator type.
-#[cfg(test)]
 enum SelectOrRange<'a, 'p> {
     Range(crate::rel::Rows<'a>),
     Select(crate::rel::Select<'a, 'p>),
 }
 
-#[cfg(test)]
 impl<'a> Iterator for SelectOrRange<'a, '_> {
     type Item = &'a [Cst];
 
@@ -1062,16 +1096,17 @@ impl<'a> Iterator for SelectOrRange<'a, '_> {
 
 /// Tiny inline buffer for per-atom freshly-bound variables (atoms rarely
 /// bind more than a handful).
-#[cfg(test)]
 fn smallvec_like() -> Vec<Var> {
     Vec::with_capacity(4)
 }
 
 /// The interpreted naive fixpoint: identical contract to
 /// [`evaluate_naive`], but runs [`join_rec`] — the PR 1/2 interpreter —
-/// instead of compiled programs. Differential-testing oracle only.
-#[cfg(test)]
-fn evaluate_naive_interpreted(db: &mut Database, rules: &[Rule]) -> EvalStats {
+/// instead of compiled programs. Differential-testing oracle only; exposed
+/// (hidden) so the cross-crate fuzz harness can anchor its agreement
+/// lattice on the oldest, simplest evaluator in the tree.
+#[doc(hidden)]
+pub fn evaluate_naive_interpreted(db: &mut Database, rules: &[Rule]) -> EvalStats {
     let mut stats = EvalStats::default();
     loop {
         stats.rounds += 1;
@@ -1172,6 +1207,62 @@ mod tests {
         evaluate(&mut db1, &rules).unwrap();
         evaluate_naive(&mut db2, &rules).unwrap();
         assert_eq!(db1.dump(&fx.i), db2.dump(&fx.i));
+    }
+
+    #[test]
+    fn stale_stats_change_plans_not_answers() {
+        // Stats drift: a plan compiled from an *old* snapshot (here: a
+        // 2-edge chain) keeps answering correctly after the database has
+        // grown past anything the estimates describe. Only probe counts may
+        // differ from a fresh plan — never the fixpoint.
+        let mut fx = fixture();
+        let rules = transitive_closure_rules(&fx);
+        let mut db = chain_db(&mut fx, 2);
+        let stale_plan = DeltaPlan::planned(&rules, &db);
+        // Grow the database 20x after the snapshot was taken.
+        for k in 2..40 {
+            let a = Cst(fx.i.intern(&format!("v{k}")));
+            let b = Cst(fx.i.intern(&format!("v{}", k + 1)));
+            db.insert(fx.edge, &[a, b]);
+        }
+        let mut stale_db = db.clone();
+        let mut fresh_db = db.clone();
+        let mut greedy_db = db;
+        IncrementalEval::new()
+            .run(&mut stale_db, &rules, &stale_plan)
+            .unwrap();
+        let fresh_plan = DeltaPlan::planned(&rules, &fresh_db);
+        IncrementalEval::new()
+            .run(&mut fresh_db, &rules, &fresh_plan)
+            .unwrap();
+        evaluate_naive(&mut greedy_db, &rules).unwrap();
+        assert_eq!(stale_db.dump(&fx.i), fresh_db.dump(&fx.i));
+        assert_eq!(stale_db.dump(&fx.i), greedy_db.dump(&fx.i));
+    }
+
+    #[test]
+    fn planned_plan_is_deterministic_across_thread_counts() {
+        let mut fx = fixture();
+        let rules = transitive_closure_rules(&fx);
+        let base = chain_db(&mut fx, 16);
+        let plan = DeltaPlan::planned(&rules, &base);
+        let mut reference: Option<(Vec<String>, EvalStats)> = None;
+        for threads in [1usize, 2, 4, 8] {
+            let mut db = base.clone();
+            let stats = IncrementalEval::new()
+                .with_threads(threads)
+                .with_parallel_threshold(1)
+                .run(&mut db, &rules, &plan)
+                .unwrap();
+            let dump = db.dump(&fx.i);
+            match &reference {
+                None => reference = Some((dump, stats)),
+                Some((d, s)) => {
+                    assert_eq!(&dump, d, "threads={threads} changed rows");
+                    assert_eq!(&stats, s, "threads={threads} changed stats");
+                }
+            }
+        }
     }
 
     #[test]

@@ -28,6 +28,8 @@ pub mod provenance;
 pub mod rel;
 pub mod rule;
 
+#[doc(hidden)]
+pub use engine::evaluate_naive_interpreted;
 pub use engine::{
     default_threads, evaluate, evaluate_governed, evaluate_naive, evaluate_naive_governed, query,
     query_governed, DeltaPlan, EvalStats, IncrementalEval, DEFAULT_MIN_PARALLEL_ROWS,
@@ -39,5 +41,5 @@ pub use program::JoinProgram;
 pub use provenance::{
     evaluate_traced, evaluate_traced_governed, Derivation, Justification, Provenance,
 };
-pub use rel::{Database, Probe, Relation, RowId, RowPool, Tuple};
+pub use rel::{Database, PlanStats, Probe, RelStats, Relation, RowId, RowPool, Tuple};
 pub use rule::{Atom, Rule, Term};

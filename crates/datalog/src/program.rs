@@ -19,11 +19,19 @@
 //!   bitmask keying the on-demand composite indexes of
 //!   [`Relation`](crate::Relation), so a multi-column probe is one hash
 //!   lookup over the resolved key instead of a candidate scan;
-//! * body atoms are **reordered greedily by boundness**: the delta atom (if
-//!   any) runs outermost — its rows are the reason the rule fires at all —
-//!   then repeatedly the atom with the most bound positions, ties broken by
-//!   original body position. The order is fixed at compile time, which keeps
-//!   every run (and every thread count) byte-identical.
+//! * body atoms are **reordered at compile time**: the delta atom (if any)
+//!   runs outermost — its rows are the reason the rule fires at all — and
+//!   the remaining atoms are ordered either greedily by boundness (most
+//!   bound positions first, ties by original body position) or, when the
+//!   caller supplies a [`PlanStats`] snapshot
+//!   ([`JoinProgram::compile_with_stats`]), by a cardinality cost model:
+//!   repeatedly the atom with the smallest estimated candidate count
+//!   `rows / Π distinct(bound col)`, clamped from above by the worst
+//!   single-column bucket (skew) and from below by 1. Predicates the
+//!   snapshot knows nothing about are costed pessimistically, and a rule
+//!   whose body is entirely cold falls back to the greedy order. Either
+//!   way the order is fixed at compile time, which keeps every run (and
+//!   every thread count) byte-identical.
 //!
 //! Execution walks the ops depth-first exactly like the old interpreter, so
 //! compiled evaluation derives the same rows; only the visit order of
@@ -31,8 +39,8 @@
 
 use crate::engine::EvalStats;
 use crate::governor::{ProbeGuard, Resource, PROBE_CHECK_MASK};
-use crate::rel::{Database, Relation, RowId};
-use crate::rule::{Rule, Term};
+use crate::rel::{Database, PlanStats, Relation, RowId};
+use crate::rule::{Atom, Rule, Term};
 use fundb_term::{Cst, FxHashMap, FxHashSet, Pred, Sym, Var};
 use std::hash::Hasher;
 
@@ -114,6 +122,21 @@ impl JoinProgram {
     /// makes chunked delta ranges partition the work exactly.
     pub fn compile(rule: &Rule, delta_atom: Option<usize>) -> JoinProgram {
         let order = greedy_order(rule, delta_atom);
+        JoinProgram::compile_ordered(rule, &order)
+    }
+
+    /// Compiles `rule` with the cardinality-estimate cost ordering (see
+    /// [`cost_order`]); the delta atom, if any, is still forced outermost.
+    /// Composite-index demands follow from the chosen order: each atom's
+    /// signature is the set of columns bound before it runs, so a different
+    /// order demands different indexes — [`JoinProgram::demands`] reports
+    /// whatever this plan actually probes.
+    pub fn compile_with_stats(
+        rule: &Rule,
+        delta_atom: Option<usize>,
+        stats: &PlanStats,
+    ) -> JoinProgram {
+        let order = cost_order(rule, delta_atom, stats);
         JoinProgram::compile_ordered(rule, &order)
     }
 
@@ -410,6 +433,90 @@ fn greedy_order(rule: &Rule, delta_atom: Option<usize>) -> Vec<usize> {
     order
 }
 
+/// The cardinality-estimate atom ordering. Like [`greedy_order`] it pins
+/// the delta atom outermost (chunked delta ranges must partition the work
+/// exactly), but the remaining atoms are chosen by estimated candidate
+/// count instead of bound-position count:
+///
+/// * a known atom costs `rows / Π distinct(bound col)` — the uniform
+///   selectivity estimate — clamped from above by the smallest
+///   `max_bucket(bound col)` (a single-column probe can never return more
+///   rows than its worst bucket, however skewed) and from below by 1;
+/// * an atom whose predicate the snapshot does not know (usually an IDB
+///   predicate, empty now but growing during the run) is costed
+///   pessimistically at the snapshot's total row count, discounted by half
+///   per bound column;
+/// * ties keep the earliest body position, so the order — and with it row
+///   derivation order — is deterministic.
+///
+/// When the snapshot is cold, or no body predicate has statistics, the
+/// estimates would be pure guesswork: fall back to [`greedy_order`]
+/// entirely so warm and cold compiles of stat-less rules agree exactly.
+fn cost_order(rule: &Rule, delta_atom: Option<usize>, stats: &PlanStats) -> Vec<usize> {
+    let any_known = rule.body.iter().any(|a| stats.get(a.pred).is_some());
+    if !any_known {
+        return greedy_order(rule, delta_atom);
+    }
+    let n = rule.body.len();
+    let mut order = Vec::with_capacity(n);
+    let mut used = vec![false; n];
+    let mut bound: FxHashSet<Var> = FxHashSet::default();
+    if let Some(ai) = delta_atom {
+        order.push(ai);
+        used[ai] = true;
+        bound.extend(rule.body[ai].vars());
+    }
+    // Unknown predicates are assumed at least as large as everything we can
+    // see (floored so a near-empty snapshot still treats them as non-trivial).
+    let default_rows = stats.total_rows().max(64) as f64;
+    while order.len() < n {
+        let mut best = usize::MAX;
+        let mut best_cost = f64::INFINITY;
+        for (i, atom) in rule.body.iter().enumerate() {
+            if used[i] {
+                continue;
+            }
+            let cost = atom_cost(atom, &bound, stats, default_rows);
+            if cost < best_cost {
+                best = i;
+                best_cost = cost;
+            }
+        }
+        order.push(best);
+        used[best] = true;
+        bound.extend(rule.body[best].vars());
+    }
+    order
+}
+
+/// Estimated candidate rows one visit of `atom` enumerates, given the
+/// variables bound by already-placed atoms. See [`cost_order`].
+fn atom_cost(atom: &Atom, bound: &FxHashSet<Var>, stats: &PlanStats, default_rows: f64) -> f64 {
+    let rs = stats.get(atom.pred);
+    let rows = rs.map_or(default_rows, |r| r.rows as f64);
+    let mut est = rows;
+    let mut cap = rows;
+    for (col, t) in atom.args.iter().enumerate() {
+        let is_bound = match t {
+            Term::Const(_) => true,
+            Term::Var(v) => bound.contains(v),
+        };
+        if !is_bound {
+            continue;
+        }
+        match rs {
+            Some(r) => {
+                est /= r.distinct.get(col).copied().unwrap_or(1).max(1) as f64;
+                cap = cap.min(r.max_bucket.get(col).copied().unwrap_or(0).max(1) as f64);
+            }
+            // No per-column statistics: assume a bound column halves the
+            // candidates, so more-bound unknown atoms still order earlier.
+            None => est /= 2.0,
+        }
+    }
+    est.max(1.0).min(cap.max(1.0))
+}
+
 /// A rule compiled for every role it can play in a semi-naive round: once
 /// with no delta restriction (first/naive rounds) and once per body atom
 /// as the delta atom.
@@ -425,6 +532,17 @@ impl CompiledRule {
             full: JoinProgram::compile(rule, None),
             per_delta: (0..rule.body.len())
                 .map(|ai| JoinProgram::compile(rule, Some(ai)))
+                .collect(),
+        }
+    }
+
+    /// Like [`CompiledRule::new`] but with the cost-model ordering over a
+    /// statistics snapshot.
+    pub(crate) fn with_stats(rule: &Rule, stats: &PlanStats) -> CompiledRule {
+        CompiledRule {
+            full: JoinProgram::compile_with_stats(rule, None, stats),
+            per_delta: (0..rule.body.len())
+                .map(|ai| JoinProgram::compile_with_stats(rule, Some(ai), stats))
                 .collect(),
         }
     }
@@ -543,6 +661,119 @@ mod tests {
             ],
         );
         assert_eq!(JoinProgram::compile(&rule, None).atom_order(), vec![1, 0]);
+    }
+
+    /// A database with `n` distinct rows `(A_i, B_{i % spread})` under
+    /// `pred`, for building statistics snapshots in planner tests.
+    fn seeded_rel(db: &mut Database, i: &mut Interner, pred: Pred, n: usize, spread: usize) {
+        let name = i.resolve(pred.sym()).to_owned();
+        for k in 0..n {
+            let a = Cst(i.intern(&format!("{name}a{k}")));
+            let b = Cst(i.intern(&format!("{name}b{}", k % spread.max(1))));
+            db.insert(pred, &[a, b]);
+        }
+    }
+
+    #[test]
+    fn cold_stats_fall_back_to_greedy() {
+        let mut i = Interner::new();
+        let rule = tc_right(&mut i);
+        let cold = PlanStats::empty();
+        for delta in [None, Some(0), Some(1)] {
+            let greedy = JoinProgram::compile(&rule, delta);
+            let planned = JoinProgram::compile_with_stats(&rule, delta, &cold);
+            assert_eq!(planned.atom_order(), greedy.atom_order());
+        }
+    }
+
+    #[test]
+    fn stats_hoist_the_small_relation() {
+        let mut i = Interner::new();
+        let big = Pred(i.intern("Big"));
+        let small = Pred(i.intern("Small"));
+        let out = Pred(i.intern("Out"));
+        let (x, y, z) = (Var(i.intern("x")), Var(i.intern("y")), Var(i.intern("z")));
+        // Out(x,z) :- Big(x,y), Small(y,z) — written adversarially: the
+        // big relation first. No atom starts bound, so greedy keeps the
+        // written order; the cost model flips it.
+        let rule = Rule::new(
+            Atom::new(out, vec![Term::Var(x), Term::Var(z)]),
+            vec![
+                Atom::new(big, vec![Term::Var(x), Term::Var(y)]),
+                Atom::new(small, vec![Term::Var(y), Term::Var(z)]),
+            ],
+        );
+        assert_eq!(JoinProgram::compile(&rule, None).atom_order(), vec![0, 1]);
+        let mut db = Database::new();
+        seeded_rel(&mut db, &mut i, big, 60, 10);
+        seeded_rel(&mut db, &mut i, small, 3, 3);
+        let planned = JoinProgram::compile_with_stats(&rule, None, &db.plan_stats());
+        assert_eq!(planned.atom_order(), vec![1, 0]);
+        // Big now runs with column 1 bound, so its signature demands the
+        // per-column index, not a scan.
+        assert_eq!(planned.ops[1].sig, 0b10);
+    }
+
+    #[test]
+    fn all_constant_atoms_run_first_and_probe_fully_bound() {
+        let mut i = Interner::new();
+        let p = Pred(i.intern("P"));
+        let q = Pred(i.intern("Q"));
+        let r = Pred(i.intern("R"));
+        let (x, y) = (Var(i.intern("x")), Var(i.intern("y")));
+        let (a, b) = (Cst(i.intern("a")), Cst(i.intern("b")));
+        // R(x,y) :- P(x, y), Q(a, b): the fully-constant atom estimates at
+        // most one candidate, so the planner hoists it even from last place.
+        let rule = Rule::new(
+            Atom::new(r, vec![Term::Var(x), Term::Var(y)]),
+            vec![
+                Atom::new(p, vec![Term::Var(x), Term::Var(y)]),
+                Atom::new(q, vec![Term::Const(a), Term::Const(b)]),
+            ],
+        );
+        let mut db = Database::new();
+        seeded_rel(&mut db, &mut i, p, 40, 8);
+        db.insert(q, &[a, b]);
+        let planned = JoinProgram::compile_with_stats(&rule, None, &db.plan_stats());
+        assert_eq!(planned.atom_order(), vec![1, 0]);
+        assert_eq!(planned.ops[0].sig, 0b11);
+        assert_eq!(planned.ops[0].key, vec![Slot::Const(a), Slot::Const(b)]);
+    }
+
+    #[test]
+    fn single_atom_rules_plan_trivially() {
+        let mut i = Interner::new();
+        let p = Pred(i.intern("P"));
+        let q = Pred(i.intern("Q"));
+        let x = Var(i.intern("x"));
+        let rule = Rule::new(
+            Atom::new(q, vec![Term::Var(x)]),
+            vec![Atom::new(p, vec![Term::Var(x)])],
+        );
+        let mut db = Database::new();
+        db.insert(p, &[Cst(i.intern("a"))]);
+        let stats = db.plan_stats();
+        for delta in [None, Some(0)] {
+            assert_eq!(
+                JoinProgram::compile_with_stats(&rule, delta, &stats).atom_order(),
+                vec![0]
+            );
+        }
+    }
+
+    #[test]
+    fn delta_atom_stays_outermost_even_when_expensive() {
+        let mut i = Interner::new();
+        let rule = tc_right(&mut i);
+        let mut db = Database::new();
+        // Edge tiny, Path huge: cost alone would hoist Edge, but the delta
+        // atom must stay first for chunked ranges to partition the work.
+        let edge = rule.body[0].pred;
+        let path = rule.body[1].pred;
+        seeded_rel(&mut db, &mut i, edge, 2, 2);
+        seeded_rel(&mut db, &mut i, path, 80, 10);
+        let planned = JoinProgram::compile_with_stats(&rule, Some(1), &db.plan_stats());
+        assert_eq!(planned.atom_order(), vec![1, 0]);
     }
 
     #[test]

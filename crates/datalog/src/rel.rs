@@ -138,6 +138,12 @@ pub struct Relation {
     /// incrementally on insert. Buckets are hash-of-key, so probes must
     /// still confirm the candidate rows (exactly like `dedup`).
     composite: FxHashMap<u64, FxHashMap<u64, Vec<u32>>>,
+    /// `max_bucket[col]` = size of the largest bucket in `index[col]`,
+    /// maintained on insert. Together with `index[col].len()` (the distinct
+    /// value count) this is the per-column statistic the compile-time cost
+    /// model in `program.rs` consumes: `rows / distinct` is the uniform
+    /// selectivity estimate and `max_bucket` its worst-case (skew) clamp.
+    max_bucket: Vec<usize>,
 }
 
 impl Relation {
@@ -149,6 +155,7 @@ impl Relation {
             dedup: FxHashMap::default(),
             index: (0..arity).map(|_| FxHashMap::default()).collect(),
             composite: FxHashMap::default(),
+            max_bucket: vec![0; arity],
         }
     }
 
@@ -165,6 +172,29 @@ impl Relation {
     /// Whether the relation has no tuples.
     pub fn is_empty(&self) -> bool {
         self.len == 0
+    }
+
+    /// Number of distinct values in column `col` (the size of its
+    /// per-column index — maintained for free on every insert).
+    pub fn distinct(&self, col: usize) -> usize {
+        self.index[col].len()
+    }
+
+    /// Size of the largest per-value bucket in column `col`'s index: the
+    /// worst-case number of rows a single-column probe on `col` can return.
+    /// Maintained incrementally on insert.
+    pub fn max_bucket(&self, col: usize) -> usize {
+        self.max_bucket[col]
+    }
+
+    /// A point-in-time cardinality snapshot of this relation for the
+    /// compile-time cost model.
+    pub fn stats(&self) -> RelStats {
+        RelStats {
+            rows: self.len,
+            distinct: (0..self.arity()).map(|c| self.distinct(c)).collect(),
+            max_bucket: self.max_bucket.clone(),
+        }
     }
 
     /// Approximate resident bytes: the arena plus one `u32` posting per row
@@ -193,7 +223,11 @@ impl Relation {
         bucket.push(id.0);
         self.len += 1;
         for (col, &v) in t.iter().enumerate() {
-            self.index[col].entry(v).or_default().push(id.0);
+            let bucket = self.index[col].entry(v).or_default();
+            bucket.push(id.0);
+            if bucket.len() > self.max_bucket[col] {
+                self.max_bucket[col] = bucket.len();
+            }
         }
         for (&sig, map) in &mut self.composite {
             map.entry(hash_sig_cols(t, sig)).or_default().push(id.0);
@@ -438,6 +472,61 @@ impl<'a> Iterator for Select<'a, '_> {
     }
 }
 
+/// A point-in-time cardinality snapshot of one relation, consumed by the
+/// compile-time join cost model in `program.rs`.
+///
+/// All three statistics are maintained for free by [`Relation::insert_row`]:
+/// `rows` is the arena length, `distinct[col]` is the size of the per-column
+/// index map, and `max_bucket[col]` is the largest bucket that index has ever
+/// held. A snapshot never mutates — plans compiled from it stay fixed for a
+/// whole evaluation, which is what keeps parallel runs byte-deterministic.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RelStats {
+    /// Number of tuples at snapshot time.
+    pub rows: usize,
+    /// Distinct values per column at snapshot time.
+    pub distinct: Vec<usize>,
+    /// Largest single-value index bucket per column at snapshot time: the
+    /// worst-case fan-out of a one-column probe (skew clamp).
+    pub max_bucket: Vec<usize>,
+}
+
+/// A database-wide statistics snapshot: one [`RelStats`] per non-empty
+/// relation. The cost model treats predicates absent from the snapshot as
+/// *cold* and falls back to the greedy boundness order for rules whose
+/// bodies it knows nothing about.
+#[derive(Clone, Debug, Default)]
+pub struct PlanStats {
+    per_pred: FxHashMap<Pred, RelStats>,
+    total_rows: usize,
+}
+
+impl PlanStats {
+    /// A snapshot with no statistics at all: every lookup misses, so every
+    /// compile falls back to the greedy order.
+    pub fn empty() -> PlanStats {
+        PlanStats::default()
+    }
+
+    /// The snapshot for `p`, if `p` had rows at snapshot time.
+    pub fn get(&self, p: Pred) -> Option<&RelStats> {
+        self.per_pred.get(&p)
+    }
+
+    /// Total rows across all snapshotted relations. Used as the pessimistic
+    /// default cardinality for predicates the snapshot knows nothing about
+    /// (typically IDB predicates that are empty now but grow during the
+    /// run).
+    pub fn total_rows(&self) -> usize {
+        self.total_rows
+    }
+
+    /// Whether the snapshot carries no statistics (cold start).
+    pub fn is_cold(&self) -> bool {
+        self.per_pred.is_empty()
+    }
+}
+
 /// A database: one [`Relation`] per predicate, created on demand.
 #[derive(Clone, Default)]
 pub struct Database {
@@ -499,6 +588,26 @@ impl Database {
     /// Iterates `(predicate, relation)` pairs in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = (Pred, &Relation)> {
         self.relations.iter().map(|(&p, r)| (p, r))
+    }
+
+    /// Snapshots cardinality statistics for every non-empty relation, for
+    /// the compile-time cost model ([`crate::DeltaPlan::planned`]). Empty
+    /// relations are omitted so the planner treats them as cold rather than
+    /// as genuinely-zero-cost (an IDB relation that is empty *now* usually
+    /// is not by round two).
+    pub fn plan_stats(&self) -> PlanStats {
+        let mut per_pred = FxHashMap::default();
+        let mut total_rows = 0;
+        for (&p, rel) in self.relations.iter() {
+            if !rel.is_empty() {
+                total_rows += rel.len();
+                per_pred.insert(p, rel.stats());
+            }
+        }
+        PlanStats {
+            per_pred,
+            total_rows,
+        }
     }
 
     /// Renders all facts sorted by text, for tests and goldens.

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Validate a committed bench trajectory against the fundb-bench-v1 schema.
 
-Usage: check_bench.py BENCH_prN.json
+Usage: check_bench.py BENCH_prN.json [--require E11,E14,...]
 
 Fails (exit 1) when the file is absent, is not valid JSON, or does not
 follow the fundb-bench-v1 shape: a top-level object with
@@ -9,6 +9,10 @@ follow the fundb-bench-v1 shape: a top-level object with
   pr      -- positive integer
   records -- non-empty list of flat objects, each carrying string
              "experiment" and "workload" keys plus numeric measurements.
+
+With --require, additionally fails when any of the named experiments has
+no record in the trajectory — the gate CI uses to make sure a freshly
+added experiment family cannot silently drop out of the committed file.
 """
 
 import json
@@ -21,9 +25,17 @@ def fail(msg: str) -> None:
 
 
 def main() -> None:
-    if len(sys.argv) != 2:
-        fail("usage: check_bench.py BENCH_prN.json")
-    path = sys.argv[1]
+    argv = sys.argv[1:]
+    required: set[str] = set()
+    if "--require" in argv:
+        at = argv.index("--require")
+        if at + 1 >= len(argv):
+            fail("--require needs a comma-separated experiment list")
+        required = {e.strip() for e in argv[at + 1].split(",") if e.strip()}
+        argv = argv[:at] + argv[at + 2:]
+    if len(argv) != 1:
+        fail("usage: check_bench.py BENCH_prN.json [--require E11,E14,...]")
+    path = argv[0]
     try:
         with open(path, encoding="utf-8") as f:
             doc = json.load(f)
@@ -58,6 +70,10 @@ def main() -> None:
                 fail(f"{path}: records[{i}].{k} must be numeric, got {v!r}")
 
     experiments = sorted({r["experiment"] for r in records})
+    missing = sorted(required - set(experiments))
+    if missing:
+        fail(f"{path}: required experiments absent: {', '.join(missing)} "
+             f"(present: {', '.join(experiments)})")
     print(f"check_bench: OK: {path} (pr {pr}, {len(records)} records, "
           f"experiments: {', '.join(experiments)})")
 

@@ -1,0 +1,334 @@
+//! Differential fuzz harness over generated scenario families (PR 6).
+//!
+//! Each seed drives `fundb_bench::scenariogen` to produce one scenario of
+//! a family (skewed fan-out, dense cross-products, cyclic rule
+//! dependencies, bounded derivation depth, temporal lassos) and asserts
+//! the full agreement lattice on it:
+//!
+//! * compiled semi-naive ≡ compiled naive ≡ the PR 1/2 interpreter,
+//! * cost-planned ≡ greedy-planned (the planner may change probe order,
+//!   never answers),
+//! * byte-identical rows *and* statistics at 1/2/4/8 threads for a fixed
+//!   plan,
+//! * governed runs that hit a budget stop on a completed-round prefix of
+//!   the ungoverned run,
+//! * the parsed text through engine → `GraphSpec` → frozen serving
+//!   answers membership exactly like the datalog fixpoint, at every batch
+//!   thread count,
+//! * temporal scenarios: `TemporalSpec` ≡ `GraphSpec` ≡ frozen spec on
+//!   points and whole intervals, far beyond the lasso prefix.
+//!
+//! Case counts (48 × 4 relational families + 24 temporal = 216 scenarios)
+//! keep the default `cargo test` run above the 200-scenario floor;
+//! `PROPTEST_CASES` scales the budget up in the nightly job.
+
+use fundb_bench::scenariogen::{self, Scenario, TemporalScenario, RELATIONAL_FAMILIES};
+use fundb_core::ServeQuery;
+use fundb_datalog as dl;
+use fundb_parser::Workspace;
+use fundb_temporal::TemporalSpec;
+use fundb_term::{Cst, Func, Pred};
+use proptest::prelude::*;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// `(pred index, rows-in-insertion-order)` per relation — the shape every
+/// determinism/prefix comparison below works over.
+type Dump = Vec<(usize, Vec<Vec<usize>>)>;
+
+/// Per-predicate rows in insertion order, as plain indices: the
+/// byte-determinism and prefix checks compare these, not just sorted
+/// answer sets.
+fn row_lists(db: &dl::Database) -> Dump {
+    let mut out: Dump = db
+        .iter()
+        .map(|(p, rel)| {
+            let rows = rel
+                .rows()
+                .map(|r| r.iter().map(|c| c.index()).collect())
+                .collect();
+            (p.index(), rows)
+        })
+        .collect();
+    out.sort_by_key(|&(p, _)| p);
+    out
+}
+
+/// Asserts `partial` is a completed-round prefix of `full`: every relation
+/// present in `partial` holds a prefix (in insertion order) of the same
+/// relation's rows in `full`.
+fn assert_prefix(
+    partial: &[(usize, Vec<Vec<usize>>)],
+    full: &[(usize, Vec<Vec<usize>>)],
+    ctx: &str,
+) {
+    for (p, rows) in partial {
+        let fr = full
+            .iter()
+            .find(|(fp, _)| fp == p)
+            .map(|(_, r)| r.as_slice())
+            .unwrap_or(&[]);
+        assert!(
+            rows.len() <= fr.len() && rows.as_slice() == &fr[..rows.len()],
+            "{ctx}: governed rows are not a prefix of the full run (pred {p})"
+        );
+    }
+}
+
+fn check_relational(s: &Scenario) {
+    let ctx = format!("{} seed {}", s.family, s.seed);
+
+    // Compiled semi-naive under the cost planner (the `evaluate` default).
+    let mut compiled = s.db.clone();
+    dl::evaluate(&mut compiled, &s.rules).unwrap_or_else(|e| panic!("{ctx}: evaluate: {e:?}"));
+    let dump = compiled.dump(&s.interner);
+
+    // Compiled naive.
+    let mut naive = s.db.clone();
+    dl::evaluate_naive(&mut naive, &s.rules).unwrap();
+    assert_eq!(dump, naive.dump(&s.interner), "{ctx}: naive disagrees");
+
+    // The PR 1/2 interpreter oracle.
+    let mut interp = s.db.clone();
+    dl::evaluate_naive_interpreted(&mut interp, &s.rules);
+    assert_eq!(
+        dump,
+        interp.dump(&s.interner),
+        "{ctx}: interpreter disagrees"
+    );
+
+    // Greedy-planned (planner off) answers must match cost-planned.
+    let mut greedy = s.db.clone();
+    let greedy_plan = dl::DeltaPlan::new(&s.rules);
+    dl::IncrementalEval::new()
+        .run(&mut greedy, &s.rules, &greedy_plan)
+        .unwrap();
+    assert_eq!(
+        dump,
+        greedy.dump(&s.interner),
+        "{ctx}: greedy plan disagrees"
+    );
+
+    // Byte-determinism: fixed plan, 1/2/4/8 threads, forced-parallel.
+    let plan = dl::DeltaPlan::planned(&s.rules, &s.db);
+    let mut reference: Option<(Dump, dl::EvalStats)> = None;
+    for threads in THREADS {
+        let mut db = s.db.clone();
+        let stats = dl::IncrementalEval::new()
+            .with_threads(threads)
+            .with_parallel_threshold(1)
+            .run(&mut db, &s.rules, &plan)
+            .unwrap();
+        let rows = row_lists(&db);
+        match &reference {
+            None => reference = Some((rows, stats)),
+            Some((r, st)) => {
+                assert_eq!(&rows, r, "{ctx}: rows differ at {threads} threads");
+                assert_eq!(&stats, st, "{ctx}: stats differ at {threads} threads");
+            }
+        }
+    }
+    let full_rows = row_lists(&compiled);
+
+    // Governed runs stop on completed-round prefixes.
+    for rounds in [1usize, 2] {
+        let mut db = s.db.clone();
+        let gov = dl::Governor::new(dl::Budget::unlimited().with_max_rounds(rounds));
+        match dl::evaluate_governed(&mut db, &s.rules, &gov) {
+            Ok(_) => assert_eq!(row_lists(&db), full_rows, "{ctx}: governed Ok differs"),
+            Err(dl::EvalError::BudgetExhausted { .. }) => {
+                assert_prefix(&row_lists(&db), &full_rows, &ctx);
+            }
+            Err(e) => panic!("{ctx}: unexpected governed error {e:?}"),
+        }
+    }
+
+    // The same program through text → parser → engine → frozen serving.
+    let mut ws = Workspace::new();
+    ws.parse(&s.text)
+        .unwrap_or_else(|e| panic!("{ctx}: parse: {e:?}"));
+    let spec = ws
+        .graph_spec()
+        .unwrap_or_else(|e| panic!("{ctx}: graph_spec: {e:?}"));
+    let frozen = spec.clone().freeze();
+    let mut queries = Vec::with_capacity(s.queries.len());
+    let mut expected = Vec::with_capacity(s.queries.len());
+    for (pname, argnames) in &s.queries {
+        // Resolve per representation; every query symbol appears in both.
+        let dp = Pred(s.interner.get(pname).unwrap());
+        let drow: Vec<Cst> = argnames
+            .iter()
+            .map(|a| Cst(s.interner.get(a).unwrap()))
+            .collect();
+        let truth = compiled.contains(dp, &drow);
+        let wp = Pred(ws.interner.get(pname).unwrap());
+        let wrow: Vec<Cst> = argnames
+            .iter()
+            .map(|a| Cst(ws.interner.get(a).unwrap()))
+            .collect();
+        assert_eq!(
+            spec.holds_relational(wp, &wrow),
+            truth,
+            "{ctx}: GraphSpec disagrees on {pname}({argnames:?})"
+        );
+        // And the one-off conjunctive query API over the fixpoint.
+        let body = [dl::Atom::new(
+            dp,
+            drow.iter().map(|&c| dl::Term::Const(c)).collect(),
+        )];
+        assert_eq!(
+            !dl::query(&compiled, &body, &[]).unwrap().is_empty(),
+            truth,
+            "{ctx}: dl::query disagrees on {pname}({argnames:?})"
+        );
+        queries.push(ServeQuery::Relational {
+            pred: wp,
+            args: wrow,
+        });
+        expected.push(truth);
+    }
+    for threads in THREADS {
+        assert_eq!(
+            frozen.answer_batch_threads(&queries, threads),
+            expected,
+            "{ctx}: frozen batch disagrees at {threads} threads"
+        );
+    }
+}
+
+fn check_temporal(t: &TemporalScenario) {
+    let ctx = format!("temporal seed {}", t.seed);
+    let mut ws = Workspace::new();
+    ws.parse(&t.text)
+        .unwrap_or_else(|e| panic!("{ctx}: parse: {e:?}"));
+    let spec = TemporalSpec::compute(&ws.program, &ws.db, &mut ws.interner)
+        .unwrap_or_else(|e| panic!("{ctx}: TemporalSpec: {e:?}"));
+    let gspec = ws
+        .graph_spec()
+        .unwrap_or_else(|e| panic!("{ctx}: graph_spec: {e:?}"));
+    let frozen = gspec.clone().freeze();
+    let succ = Func(ws.interner.get("+1").unwrap());
+    let (rho, rho_lambda) = spec.equation();
+    // Probe the whole prefix, two full cycles, and a margin beyond.
+    let horizon = (rho_lambda + (rho_lambda - rho) + 4) as u64;
+
+    let resolve = |ws: &mut Workspace, names: &[String]| -> Vec<Cst> {
+        names.iter().map(|n| Cst(ws.interner.intern(n))).collect()
+    };
+    let mut queries = Vec::new();
+    let mut expected = Vec::new();
+    let mut check_point = |ws: &mut Workspace, pname: &str, n: u64, args: &[String]| {
+        let p = Pred(ws.interner.intern(pname));
+        let row = resolve(ws, args);
+        let truth = spec.holds(p, n, &row);
+        let path: Vec<Func> = (0..n).map(|_| succ).collect();
+        assert_eq!(
+            gspec.holds(p, &path, &row),
+            truth,
+            "{ctx}: GraphSpec disagrees on {pname}@{n}({args:?})"
+        );
+        queries.push(ServeQuery::Member {
+            pred: p,
+            path,
+            args: row,
+        });
+        expected.push(truth);
+    };
+    for (pname, n, args) in &t.queries {
+        check_point(&mut ws, pname, *n, args);
+    }
+    for (pname, from, to, args) in &t.intervals {
+        for n in *from..=*to {
+            check_point(&mut ws, pname, n, args);
+        }
+    }
+    // A sweep across the equation's own landmarks: prefix end, one cycle,
+    // two cycles, horizon.
+    for (pname, _, args) in &t.queries[..t.queries.len().min(4)] {
+        for n in [rho as u64, rho_lambda as u64, horizon] {
+            check_point(&mut ws, pname, n, args);
+        }
+    }
+    let _ = check_point; // release the &mut queries/expected captures
+    for threads in THREADS {
+        assert_eq!(
+            frozen.answer_batch_threads(&queries, threads),
+            expected,
+            "{ctx}: frozen batch disagrees at {threads} threads"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn skew_scenarios_agree(seed in any::<u64>()) {
+        check_relational(&scenariogen::skew(seed));
+    }
+
+    #[test]
+    fn dense_scenarios_agree(seed in any::<u64>()) {
+        check_relational(&scenariogen::dense(seed));
+    }
+
+    #[test]
+    fn cyclic_scenarios_agree(seed in any::<u64>()) {
+        check_relational(&scenariogen::cyclic(seed));
+    }
+
+    #[test]
+    fn bounded_scenarios_agree(seed in any::<u64>()) {
+        check_relational(&scenariogen::bounded_depth(seed));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn temporal_scenarios_agree(seed in any::<u64>()) {
+        check_temporal(&scenariogen::temporal(seed));
+    }
+}
+
+/// Satellite: every historical counterexample seed committed in
+/// `tests/fuzz_scenarios.proptest-regressions` (and the differential
+/// suite's regression file) replays through *every* family on every
+/// default `cargo test` run — independently of the proptest runner's own
+/// regression-file resolution.
+#[test]
+fn regression_seeds_replay_through_all_families() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests");
+    let mut seeds = Vec::new();
+    for file in [
+        "fuzz_scenarios.proptest-regressions",
+        "differential.proptest-regressions",
+    ] {
+        let text = std::fs::read_to_string(format!("{dir}/{file}"))
+            .unwrap_or_else(|e| panic!("{file} must stay committed: {e}"));
+        for line in text.lines() {
+            if let Some(at) = line.find("seed = ") {
+                let tail = &line[at + "seed = ".len()..];
+                let num: String = tail.chars().take_while(char::is_ascii_digit).collect();
+                seeds.push(num.parse::<u64>().unwrap());
+            }
+        }
+    }
+    assert!(
+        seeds.len() >= 2,
+        "expected pinned regression seeds, found {seeds:?}"
+    );
+    for seed in seeds {
+        for &(_, f) in RELATIONAL_FAMILIES {
+            check_relational(&f(seed));
+        }
+        check_temporal(&scenariogen::temporal(seed));
+    }
+}
