@@ -70,6 +70,8 @@ pub const RELATIONAL_FAMILIES: &[(&str, ScenarioFn)] = &[
     ("dense", dense),
     ("cyclic", cyclic),
     ("bounded", bounded_depth),
+    ("tc_chain", tc_chain),
+    ("tc_right", tc_right),
 ];
 
 /// Incrementally builds the two representations in lock-step so they
@@ -412,6 +414,125 @@ pub fn bounded_depth(seed: u64) -> Scenario {
             ("L0", std::slice::from_ref(&x)),
         ],
     );
+    b.finish("bounded", seed, &mut rng, 12)
+}
+
+/// Shared builder for the deep transitive-closure families: a single chain
+/// `N0 → N1 → … → Ndepth` with a few off-chain distractor edges, closed
+/// under either the left-linear (`Path, Edge`) or right-recursive
+/// (`Edge, Path`) rule shape. Ground point queries like
+/// `Path(N0, Ndepth)` have an O(depth) demand cone while the full
+/// fixpoint is O(depth²) — the E15 contrast workload.
+fn tc_sized(
+    family: &'static str,
+    seed: u64,
+    rng: &mut StdRng,
+    depth: usize,
+    left_linear: bool,
+) -> Scenario {
+    let mut b = Build::new();
+    let node = |i: usize| format!("N{i}");
+    for i in 0..depth {
+        b.fact("Edge", &[&node(i), &node(i + 1)]);
+    }
+    // Off-chain distractors: dead-end spurs the closure must still cover.
+    for e in 0..rng.gen_range(2..=5usize) {
+        let at = rng.gen_range(0..depth);
+        b.fact("Edge", &[&node(at), &format!("Off{e}")]);
+    }
+    let (x, y, z) = (T::V("x"), T::V("y"), T::V("z"));
+    b.rule(
+        ("Path", &[x.clone(), y.clone()]),
+        &[("Edge", &[x.clone(), y.clone()])],
+    );
+    if left_linear {
+        b.rule(
+            ("Path", &[x.clone(), z.clone()]),
+            &[
+                ("Path", &[x.clone(), y.clone()]),
+                ("Edge", &[y.clone(), z.clone()]),
+            ],
+        );
+    } else {
+        b.rule(
+            ("Path", &[x.clone(), z.clone()]),
+            &[
+                ("Edge", &[x.clone(), y.clone()]),
+                ("Path", &[y.clone(), z.clone()]),
+            ],
+        );
+    }
+    b.finish(family, seed, rng, 12)
+}
+
+/// Left-linear transitive closure over a deep chain
+/// (`Path(x,z) :- Path(x,y), Edge(y,z)`), fuzz-sized depth.
+pub fn tc_chain(seed: u64) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7463_6368);
+    let depth = rng.gen_range(12..=28);
+    tc_sized("tc_chain", seed, &mut rng, depth, true)
+}
+
+/// [`tc_chain`] at an explicit depth, for the E15 goal-directed
+/// experiment (depth 512 point queries).
+pub fn tc_chain_n(seed: u64, depth: usize) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7463_6368);
+    tc_sized("tc_chain", seed, &mut rng, depth, true)
+}
+
+/// Right-recursive transitive closure over a deep chain
+/// (`Path(x,z) :- Edge(x,y), Path(y,z)`), fuzz-sized depth.
+pub fn tc_right(seed: u64) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7463_7274);
+    let depth = rng.gen_range(12..=28);
+    tc_sized("tc_right", seed, &mut rng, depth, false)
+}
+
+/// [`tc_right`] at an explicit depth, for the E15 goal-directed
+/// experiment (depth 512 point queries).
+pub fn tc_right_n(seed: u64, depth: usize) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7463_7274);
+    tc_sized("tc_right", seed, &mut rng, depth, false)
+}
+
+/// [`bounded_depth`] stretched to an explicit layer count with edge-first
+/// rule bodies (`E_l(x,y), L_l(x)`), so a ground top-layer goal's demand
+/// cone chases one backward path instead of materializing every layer.
+/// Width stays small; the full fixpoint is O(depth · width²).
+pub fn bounded_depth_n(seed: u64, depth: usize) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6264_6570);
+    let mut b = Build::new();
+    let width = 3usize;
+    let node = |layer: usize, i: usize| format!("Lv{layer}N{i}");
+    for layer in 0..depth {
+        let e = format!("E{layer}");
+        for i in 0..width {
+            for j in 0..width {
+                if rng.gen_range(0..100) < 55 {
+                    b.fact(&e, &[&node(layer, i), &node(layer + 1, j)]);
+                }
+            }
+        }
+        b.fact(&e, &[&node(layer, 0), &node(layer + 1, 0)]);
+    }
+    for i in 0..width {
+        if i == 0 || rng.gen_range(0..100) < 50 {
+            b.fact("L0", &[&node(0, i)]);
+        }
+    }
+    let (x, y) = (T::V("x"), T::V("y"));
+    for layer in 0..depth {
+        let head = format!("L{}", layer + 1);
+        let lower = format!("L{layer}");
+        let e = format!("E{layer}");
+        b.rule(
+            (head.as_str(), std::slice::from_ref(&y)),
+            &[
+                (e.as_str(), &[x.clone(), y.clone()]),
+                (lower.as_str(), std::slice::from_ref(&x)),
+            ],
+        );
+    }
     b.finish("bounded", seed, &mut rng, 12)
 }
 

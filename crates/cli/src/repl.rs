@@ -43,6 +43,10 @@ pub struct Repl {
     /// Accumulated answer-cache counters from `:bench-serve` runs, surfaced
     /// by `:stats` through [`fundb_core::EngineStats`].
     serve: ServeStats,
+    /// Accumulated goal-directed query counters (magic rules synthesized,
+    /// demand-set sizes) from `?-` answers and `:plan`, surfaced by
+    /// `:stats` through [`fundb_core::EngineStats`].
+    demand: fundb_datalog::EvalStats,
 }
 
 impl Default for Repl {
@@ -63,6 +67,7 @@ impl Repl {
             cancel: CancelToken::new(),
             eval_failed: false,
             serve: ServeStats::default(),
+            demand: fundb_datalog::EvalStats::default(),
         }
     }
 
@@ -180,6 +185,7 @@ impl Repl {
                      :minimize       print the bisimulation-minimized spec\n\
                      :analyze        finiteness report\n\
                      :stats          LFP engine counters for the session program\n\
+                     :plan <query>   adorned magic-set rewrite and join order for a goal\n\
                      :bench-serve [n] frozen-spec serving throughput on n queries (default 2048)\n\
                      :save <path>    write the spec to a .fspec file\n\
                      :limit <n>      set the query enumeration limit\n\
@@ -307,6 +313,7 @@ impl Repl {
                             return self.report_error(&e, out);
                         }
                         engine.record_serve_stats(self.serve.hits, self.serve.misses);
+                        engine.record_demand_stats(self.demand);
                         let s = engine.stats();
                         writeln!(
                             out,
@@ -339,6 +346,12 @@ impl Repl {
                         )?;
                         writeln!(
                             out,
+                            "magic rules: {}, demanded tuples: {} \
+                             (goal-directed queries this session; see :plan)",
+                            s.magic_rules, s.demanded_tuples
+                        )?;
+                        writeln!(
+                            out,
                             "eval threads: {} (override with FUNDB_THREADS; \
                              results are thread-count independent)",
                             engine.threads()
@@ -350,6 +363,22 @@ impl Repl {
             Some("bench-serve") => {
                 let n: usize = parts.next().and_then(|v| v.parse().ok()).unwrap_or(2048);
                 self.bench_serve(n.max(1), out)?;
+            }
+            Some("plan") => {
+                let body: String = parts.collect::<Vec<_>>().join(" ");
+                if body.is_empty() {
+                    writeln!(out, "usage: :plan <query>")?;
+                } else {
+                    let text = body
+                        .trim()
+                        .trim_start_matches("?-")
+                        .trim()
+                        .trim_end_matches('.');
+                    match self.ws.parse_query(text) {
+                        Ok(q) => self.plan_query(&q, out)?,
+                        Err(e) => writeln!(out, "error: {e}")?,
+                    }
+                }
             }
             Some("save") => match parts.next() {
                 Some(path) => {
@@ -532,7 +561,118 @@ impl Repl {
         self.run_query(&q, out)
     }
 
+    /// Dumps the adorned magic-set rewrite and chosen join orders for a
+    /// purely relational goal, without evaluating anything.
+    fn plan_query(&mut self, q: &fundb_core::Query, out: &mut dyn Write) -> std::io::Result<()> {
+        use fundb_datalog as dl;
+        let (Some((body, _)), Some(rules), Some(facts)) = (
+            q.to_datalog_goal(),
+            fundb_core::relational_rules(&self.ws.program),
+            fundb_core::relational_facts(&self.ws.db),
+        ) else {
+            return writeln!(
+                out,
+                "goal-directed planning applies to purely relational programs \
+                 and queries; this session has functional atoms"
+            );
+        };
+        let Some(mp) = dl::magic_rewrite(&rules, &body) else {
+            return writeln!(
+                out,
+                "rewrite is a no-op for this goal (all-free or EDB-only): \
+                 falls back to full materialization"
+            );
+        };
+        // Compile against the same overlay snapshot query answering would
+        // see: base facts plus the ground magic seeds.
+        let mut overlay = facts;
+        for (p, row) in &mp.seeds {
+            overlay.insert(*p, row);
+        }
+        let stats = overlay.plan_stats();
+        writeln!(
+            out,
+            "goal-directed plan (magic-set rewrite, left-to-right SIP):"
+        )?;
+        for (p, row) in &mp.seeds {
+            let args = row
+                .iter()
+                .map(|c| self.ws.interner.resolve(c.sym()))
+                .collect::<Vec<_>>()
+                .join(",");
+            writeln!(out, "  {}({args}).", mp.display_pred(*p, &self.ws.interner))?;
+        }
+        for rule in &mp.rules {
+            let head = mp.display_atom(&rule.head, &self.ws.interner);
+            let body_text = rule
+                .body
+                .iter()
+                .map(|a| mp.display_atom(a, &self.ws.interner))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let order = dl::JoinProgram::compile_with_stats(rule, None, &stats).atom_order();
+            let order_text = order
+                .iter()
+                .map(|&i| mp.display_pred(rule.body[i].pred, &self.ws.interner))
+                .collect::<Vec<_>>()
+                .join(", ");
+            writeln!(out, "  {head} :- {body_text}.  [join order: {order_text}]")?;
+        }
+        let goal = mp
+            .query_body
+            .iter()
+            .map(|a| mp.display_atom(a, &self.ws.interner))
+            .collect::<Vec<_>>()
+            .join(", ");
+        writeln!(out, "  ?- {goal}.")?;
+        writeln!(
+            out,
+            "magic rules: {} ({} ground seed(s)), rewritten rules: {}",
+            mp.magic_rule_count,
+            mp.seeds.len(),
+            mp.rules.len()
+        )?;
+        Ok(())
+    }
+
     fn run_query(&mut self, q: &fundb_core::Query, out: &mut dyn Write) -> std::io::Result<()> {
+        // Cold purely-relational goals go goal-directed: the magic rewrite
+        // evaluates only the demanded cone into a scratch overlay, skipping
+        // spec construction entirely. A cached spec is cheaper than any
+        // re-derivation, so this only triggers before the first build (or
+        // after invalidation).
+        if self.spec.is_none() && q.validate(&self.ws.interner).is_ok() {
+            self.arm_governor();
+            let gov = self.ws.governor().clone();
+            if let Some(result) = q.answer_goal_directed(&self.ws.program, &self.ws.db, &gov) {
+                return match result {
+                    Ok(ans) => {
+                        self.demand.magic_rules += ans.stats.magic_rules;
+                        self.demand.demanded_tuples += ans.stats.demanded_tuples;
+                        if ans.rows.is_empty() {
+                            writeln!(out, "no answers")
+                        } else {
+                            let mut rows: Vec<String> = ans
+                                .rows
+                                .iter()
+                                .map(|t| {
+                                    t.iter()
+                                        .map(|c| self.ws.interner.resolve(c.sym()))
+                                        .collect::<Vec<_>>()
+                                        .join(", ")
+                                })
+                                .collect();
+                            rows.sort();
+                            for r in rows {
+                                writeln!(out, "  ({r})")?;
+                            }
+                            Ok(())
+                        }
+                    }
+                    Err(e) => self.report_error(&e, out),
+                };
+            }
+        }
         if let Err(e) = self.spec().map(|_| ()) {
             return self.report_error(&e, out);
         }
@@ -762,6 +902,47 @@ mod tests {
         assert!(out.contains("join probes:"), "{out}");
         assert!(out.contains("index misses:"), "{out}");
         assert!(out.contains("eval threads:"), "{out}");
+    }
+
+    #[test]
+    fn relational_goals_run_goal_directed_and_plan_dumps_adornments() {
+        let mut repl = Repl::new();
+        let out = feed(
+            &mut repl,
+            &[
+                "Edge(x, y) -> Path(x, y).",
+                "Edge(x, y), Path(y, z) -> Path(x, z).",
+                "Edge(A, B). Edge(B, C). Edge(C, D).",
+                "?- Path(A, x).",
+                ":plan Path(A, x)",
+                ":stats",
+            ],
+        );
+        // Goal-directed answers: everything reachable from A.
+        assert!(out.contains("(B)"), "{out}");
+        assert!(out.contains("(C)"), "{out}");
+        assert!(out.contains("(D)"), "{out}");
+        // :plan dumps the adorned program with its seed and join orders.
+        assert!(out.contains("m_Path_bf"), "{out}");
+        assert!(out.contains("Path_bf"), "{out}");
+        assert!(out.contains("join order:"), "{out}");
+        // :stats surfaces the accumulated demand counters.
+        assert!(out.contains("magic rules:"), "{out}");
+        assert!(out.contains("demanded tuples:"), "{out}");
+    }
+
+    #[test]
+    fn plan_reports_noop_for_all_free_goals() {
+        let mut repl = Repl::new();
+        let out = feed(
+            &mut repl,
+            &[
+                "Edge(x, y) -> Path(x, y).",
+                "Edge(A, B).",
+                ":plan Path(x, y)",
+            ],
+        );
+        assert!(out.contains("no-op"), "{out}");
     }
 
     #[test]

@@ -148,6 +148,13 @@ pub struct EngineStats {
     pub serve_cache_hits: u64,
     /// Frozen-spec answer-cache misses absorbed from the serving layer.
     pub serve_cache_misses: u64,
+    /// Magic rules synthesized by goal-directed (demand-rewritten) query
+    /// answering (see [`dl::EvalStats::magic_rules`]); stays 0 unless a
+    /// goal-directed query reports in.
+    pub magic_rules: usize,
+    /// Demand-set sizes summed over goal-directed queries (see
+    /// [`dl::EvalStats::demanded_tuples`]).
+    pub demanded_tuples: usize,
 }
 
 impl EngineStats {
@@ -157,6 +164,8 @@ impl EngineStats {
         self.join_probes += es.join_probes;
         self.index_hits += es.index_hits;
         self.index_misses += es.index_misses;
+        self.magic_rules += es.magic_rules;
+        self.demanded_tuples += es.demanded_tuples;
     }
 }
 
@@ -345,6 +354,15 @@ impl Engine {
     pub fn record_serve_stats(&mut self, hits: u64, misses: u64) {
         self.stats.serve_cache_hits = hits;
         self.stats.serve_cache_misses = misses;
+    }
+
+    /// Absorbs the counters of a goal-directed (magic-rewritten) query run
+    /// (see [`dl::query_demand`]) into the engine's stats, so demand-driven
+    /// answering shows up next to full-materialization work in `:stats` and
+    /// the bench harness.
+    pub fn record_demand_stats(&mut self, es: dl::EvalStats) {
+        self.stats.magic_rules += es.magic_rules;
+        self.stats.demanded_tuples += es.demanded_tuples;
     }
 
     // --- incremental updates -------------------------------------------------

@@ -61,7 +61,7 @@ pub use naive::BoundedMaterialization;
 pub use normalize::normalize;
 pub use program::{Atom, Database, FTerm, NTerm, Program, Rule, Schema};
 pub use pure::{to_pure, PureProgram};
-pub use query::{IncrementalAnswer, Query};
+pub use query::{relational_facts, relational_rules, IncrementalAnswer, Query};
 pub use quotient::QuotientModel;
 pub use serve::{FrozenEqSpec, FrozenGraphSpec, ServeQuery, ServeStats};
 pub use spec_io::{read_spec, read_spec_file, write_spec, write_spec_file, SpecBundle};

@@ -22,8 +22,56 @@ use crate::engine::Engine;
 use crate::error::{Error, Result};
 use crate::graphspec::{GraphSpec, SpecNodeId};
 use crate::program::{Atom, Database, FTerm, NTerm, Program, Rule};
+use fundb_datalog as dl;
 use fundb_datalog::{Probe, RowId};
 use fundb_term::{Cst, Func, FxHashMap, FxHashSet, Interner, Pred, Sym, Var};
+
+/// A purely relational atom in function-free Datalog form; `None` if the
+/// atom is functional.
+fn to_dl_atom(atom: &Atom) -> Option<dl::Atom> {
+    match atom {
+        Atom::Relational { pred, args } => Some(dl::Atom::new(
+            *pred,
+            args.iter()
+                .map(|t| match t {
+                    NTerm::Var(v) => dl::Term::Var(*v),
+                    NTerm::Const(c) => dl::Term::Const(*c),
+                })
+                .collect(),
+        )),
+        Atom::Functional { .. } => None,
+    }
+}
+
+/// The rules of a purely relational program in function-free Datalog form;
+/// `None` as soon as any rule mentions a functional atom.
+pub fn relational_rules(program: &Program) -> Option<Vec<dl::Rule>> {
+    program
+        .rules
+        .iter()
+        .map(|r| {
+            let head = to_dl_atom(&r.head)?;
+            let body = r.body.iter().map(to_dl_atom).collect::<Option<Vec<_>>>()?;
+            Some(dl::Rule::new(head, body))
+        })
+        .collect()
+}
+
+/// The facts of a purely relational database as a Datalog [`dl::Database`];
+/// `None` as soon as any fact is functional.
+pub fn relational_facts(db: &Database) -> Option<dl::Database> {
+    let mut out = dl::Database::new();
+    for fact in &db.facts {
+        match fact {
+            Atom::Relational { pred, args } => {
+                let row: Vec<Cst> = args.iter().map(|t| t.as_const()).collect::<Option<_>>()?;
+                out.insert(*pred, &row);
+            }
+            Atom::Functional { .. } => return None,
+        }
+    }
+    Some(out)
+}
 
 /// A positive conjunctive query with at most one functional variable.
 ///
@@ -148,10 +196,21 @@ impl Query {
             });
         }
         let has_fvar = self.body.iter().any(|a| a.spine_var().is_some());
+        if !has_fvar {
+            // A body with no functional atom at all routes through the
+            // shared Datalog query executor over the primary relational
+            // store — the same compiled-join path goal-directed answering
+            // uses — rather than the per-cluster interpreter.
+            if let Some((body, out)) = self.to_datalog_goal() {
+                let rows = dl::query(&spec.nf, &body, &out)?;
+                return Ok(IncrementalAnswer::Tuples(rows.into_iter().collect()));
+            }
+        }
         // Compile the conjunction once; every cluster reuses the program.
         let compiled = CompiledBody::compile(&self.body, &self.out_nvars);
         if !has_fvar {
-            // Purely relational/ground: evaluate once.
+            // Ground functional atoms present: evaluate once against the
+            // spec (cluster representatives resolve the ground spines).
             let tuples = compiled.eval_at(spec, None);
             return Ok(IncrementalAnswer::Tuples(tuples));
         }
@@ -172,6 +231,47 @@ impl Query {
             }
             Ok(IncrementalAnswer::Tuples(tuples))
         }
+    }
+
+    /// The body and output variables in function-free Datalog form, if the
+    /// query is purely relational (no functional atom, no functional
+    /// output).
+    pub fn to_datalog_goal(&self) -> Option<(Vec<dl::Atom>, Vec<Var>)> {
+        if self.out_fvar.is_some() {
+            return None;
+        }
+        let body = self
+            .body
+            .iter()
+            .map(to_dl_atom)
+            .collect::<Option<Vec<_>>>()?;
+        Some((body, self.out_nvars.clone()))
+    }
+
+    /// Strategy 3 (goal-directed): when program, database, and query are
+    /// all purely relational, skip the graph specification entirely —
+    /// rewrite the rules by the magic-set transformation for this goal's
+    /// binding pattern and evaluate only the demanded cone into a scratch
+    /// overlay ([`dl::query_demand_governed`]). Ground and partially-bound
+    /// goals touch a fraction of the full fixpoint; degenerate goals fall
+    /// back to full materialization inside the same call (see
+    /// [`dl::DemandAnswer::goal_directed`]).
+    ///
+    /// Returns `None` when a functional atom occurs anywhere, so callers
+    /// fall back to spec-based answering.
+    pub fn answer_goal_directed(
+        &self,
+        program: &Program,
+        db: &Database,
+        governor: &dl::Governor,
+    ) -> Option<Result<dl::DemandAnswer>> {
+        let (body, out_vars) = self.to_datalog_goal()?;
+        let rules = relational_rules(program)?;
+        let facts = relational_facts(db)?;
+        Some(
+            dl::query_demand_governed(&facts, &rules, &body, &out_vars, governor)
+                .map_err(Error::from),
+        )
     }
 
     /// Batched [`Query::answer_incremental`]: answers every query against

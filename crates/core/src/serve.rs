@@ -97,8 +97,12 @@ pub struct ServeStats {
     pub misses: u64,
 }
 
-/// One cached answer: the owned key confirms hash-bucket candidates.
-type CacheEntry = ((Pred, u32, Box<[Cst]>), bool);
+/// One cached answer: the owned key confirms hash-bucket candidates. The
+/// `u64` component is the *adornment* of the goal (bound-argument bitmask,
+/// see [`dl::magic`]): membership probes are fully ground (all-bound), and
+/// keying on the adorned goal keeps warm serving composable with
+/// demand-driven answering, which caches per binding pattern.
+type CacheEntry = ((Pred, u32, u64, Box<[Cst]>), bool);
 
 /// An immutable, shareable graph specification `(B, F)` snapshot.
 ///
@@ -289,7 +293,7 @@ impl FrozenGraphSpec {
         let Some(rep) = self.rep_index(path) else {
             return false; // outside the vocabulary: not in L (Prop. 2.1)
         };
-        self.cached(pred, rep, args, |spec| {
+        self.cached(pred, rep, dl::magic::all_bound(args.len()), args, |spec| {
             spec.atoms
                 .get(pred, args)
                 .is_some_and(|id| spec.nodes[rep as usize].state.contains(id))
@@ -299,7 +303,13 @@ impl FrozenGraphSpec {
     /// Yes-no membership for a relational tuple, through the same cache
     /// (under a sentinel representative).
     pub fn holds_relational(&self, pred: Pred, args: &[Cst]) -> bool {
-        self.cached(pred, REL_REP, args, |spec| spec.nf.contains(pred, args))
+        self.cached(
+            pred,
+            REL_REP,
+            dl::magic::all_bound(args.len()),
+            args,
+            |spec| spec.nf.contains(pred, args),
+        )
     }
 
     /// Answers one query.
@@ -390,27 +400,30 @@ impl FrozenGraphSpec {
         }
     }
 
-    /// Looks `(pred, rep, args)` up in the striped cache, computing and
-    /// inserting via `compute` on first sight. Shard locks are recovered
-    /// from poisoning, so a panicked worker cannot wedge the cache.
+    /// Looks the adorned goal `(pred, rep, adorn, args)` up in the striped
+    /// cache, computing and inserting via `compute` on first sight. Shard
+    /// locks are recovered from poisoning, so a panicked worker cannot
+    /// wedge the cache.
     fn cached(
         &self,
         pred: Pred,
         rep: u32,
+        adorn: u64,
         args: &[Cst],
         compute: impl FnOnce(&GraphSpec) -> bool,
     ) -> bool {
         let mut hasher = FxHasher::default();
         pred.hash(&mut hasher);
         rep.hash(&mut hasher);
+        adorn.hash(&mut hasher);
         args.hash(&mut hasher);
         let h = hasher.finish();
         let shard = &self.shards[h as usize & (CACHE_SHARDS - 1)];
         {
             let guard = shard.lock().unwrap_or_else(PoisonError::into_inner);
             if let Some(entries) = guard.get(&h) {
-                for ((p, r, a), ans) in entries {
-                    if *p == pred && *r == rep && a.as_ref() == args {
+                for ((p, r, ad, a), ans) in entries {
+                    if *p == pred && *r == rep && *ad == adorn && a.as_ref() == args {
                         self.hits.fetch_add(1, Ordering::Relaxed);
                         return *ans;
                     }
@@ -425,9 +438,9 @@ impl FrozenGraphSpec {
         let entries = guard.entry(h).or_default();
         if !entries
             .iter()
-            .any(|((p, r, a), _)| *p == pred && *r == rep && a.as_ref() == args)
+            .any(|((p, r, ad, a), _)| *p == pred && *r == rep && *ad == adorn && a.as_ref() == args)
         {
-            entries.push(((pred, rep, args.to_vec().into_boxed_slice()), ans));
+            entries.push(((pred, rep, adorn, args.to_vec().into_boxed_slice()), ans));
         }
         ans
     }

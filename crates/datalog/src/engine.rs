@@ -59,6 +59,15 @@ pub struct EvalStats {
     /// single-column bucket (immutable callers that cannot build composite
     /// indexes on demand).
     pub index_misses: usize,
+    /// Number of magic rules (guard rules plus ground seeds) synthesized by
+    /// the goal-directed rewrite, when this run came from [`query_demand`];
+    /// zero for plain fixpoint evaluation.
+    pub magic_rules: usize,
+    /// Total rows across the overlay's magic relations after a
+    /// [`query_demand`] evaluation: the size of the demand set the goal
+    /// actually touched. Set once after the fixpoint (never inside
+    /// workers), so thread-count stats equality is unaffected.
+    pub demanded_tuples: usize,
 }
 
 impl EvalStats {
@@ -69,6 +78,8 @@ impl EvalStats {
         self.join_probes += other.join_probes;
         self.index_hits += other.index_hits;
         self.index_misses += other.index_misses;
+        self.magic_rules += other.magic_rules;
+        self.demanded_tuples += other.demanded_tuples;
     }
 }
 
@@ -762,6 +773,10 @@ fn run_tasks_parallel(
         stats.join_probes += st.join_probes;
         stats.index_hits += st.index_hits;
         stats.index_misses += st.index_misses;
+        // Magic counters are set once after the fixpoint, never inside
+        // worker tasks; summing keeps the merge total even so.
+        stats.magic_rules += st.magic_rules;
+        stats.demanded_tuples += st.demanded_tuples;
     }
     Ok(())
 }
@@ -884,6 +899,20 @@ pub fn query_governed(
     out_vars: &[Var],
     governor: &Governor,
 ) -> Result<Vec<Vec<Cst>>, EvalError> {
+    let mut stats = EvalStats::default();
+    query_collect(db, body, out_vars, governor, &mut stats)
+}
+
+/// The shared executor behind [`query_governed`] and the goal-directed
+/// [`query_demand_governed`]: runs the compiled body and *accumulates* probe
+/// counters into `stats` instead of discarding them.
+fn query_collect(
+    db: &Database,
+    body: &[Atom],
+    out_vars: &[Var],
+    governor: &Governor,
+    stats: &mut EvalStats,
+) -> Result<Vec<Vec<Cst>>, EvalError> {
     // Pose the query as a rule whose head projects the output variables;
     // the head predicate is never inserted anywhere, so a placeholder works.
     let pseudo = Rule::new(
@@ -896,7 +925,6 @@ pub fn query_governed(
     let order: Vec<usize> = (0..body.len()).collect();
     let prog = JoinProgram::compile_ordered(&pseudo, &order);
     let mut regs = register_file(&prog);
-    let mut stats = EvalStats::default();
     let mut out: Vec<Vec<Cst>> = Vec::new();
     // Dedup without a second copy of each row: hash buckets of indexes
     // into `out`, confirmed against the stored row (same scheme as the
@@ -910,7 +938,7 @@ pub fn query_governed(
             None,
             &mut regs,
             &guard,
-            &mut stats,
+            &mut *stats,
             &mut |head, regs| {
                 let row: Vec<Cst> = head
                     .iter()
@@ -932,12 +960,140 @@ pub fn query_governed(
         Ok(Ok(())) => Ok(out),
         Ok(Err(resource)) => Err(EvalError::BudgetExhausted {
             resource,
-            partial: stats,
+            partial: *stats,
         }),
         Err(payload) => Err(EvalError::WorkerPanicked {
             task,
             payload: panic_payload(payload),
         }),
+    }
+}
+
+/// The answer of a goal-directed query: the distinct output rows, the
+/// evaluation counters (overlay fixpoint plus final join, including
+/// `magic_rules` / `demanded_tuples`), and whether the magic rewrite
+/// actually applied or the engine fell back to full materialization.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DemandAnswer {
+    /// Distinct bindings of the output variables, in derivation order.
+    pub rows: Vec<Vec<Cst>>,
+    /// Counters for the whole answer: overlay evaluation + answer join.
+    pub stats: EvalStats,
+    /// `true` when the magic rewrite applied; `false` on the degenerate
+    /// fallbacks (all-free goal, EDB-only goal, over-wide atoms).
+    pub goal_directed: bool,
+}
+
+/// Goal-directed conjunctive query over `db` given the IDB `rules`: rewrites
+/// the program by [`crate::magic::magic_rewrite`] for the goal's binding
+/// pattern, evaluates the rewritten program into a scratch *overlay* database
+/// (the base `db` is never mutated — it stays a plain shared borrow), and
+/// joins the transformed body over the overlay. Answers equal
+/// `evaluate(db.clone(), rules)` followed by [`query`] — the differential
+/// fuzz harness pins that — but only the goal-reachable cone is derived.
+///
+/// Degenerate goals fall back transparently: an all-free goal materializes
+/// the full fixpoint into the overlay; a goal over EDB (or missing)
+/// predicates only is answered by a direct join against `db`.
+pub fn query_demand(
+    db: &Database,
+    rules: &[Rule],
+    body: &[Atom],
+    out_vars: &[Var],
+) -> Result<DemandAnswer, EvalError> {
+    query_demand_governed(db, rules, body, out_vars, &Governor::default())
+}
+
+/// [`query_demand`] under an explicit governor: the overlay fixpoint and the
+/// answer join observe the same budgets, cancellation, and fault plan as
+/// [`evaluate_governed`].
+pub fn query_demand_governed(
+    db: &Database,
+    rules: &[Rule],
+    body: &[Atom],
+    out_vars: &[Var],
+    governor: &Governor,
+) -> Result<DemandAnswer, EvalError> {
+    query_demand_tuned(db, rules, body, out_vars, governor, None, None)
+}
+
+/// [`query_demand_governed`] with the overlay evaluator's thread count and
+/// parallel threshold pinned, for determinism tests and benchmarks.
+#[doc(hidden)]
+pub fn query_demand_tuned(
+    db: &Database,
+    rules: &[Rule],
+    body: &[Atom],
+    out_vars: &[Var],
+    governor: &Governor,
+    threads: Option<usize>,
+    min_parallel_rows: Option<usize>,
+) -> Result<DemandAnswer, EvalError> {
+    let overlay_eval = |scratch: &mut Database, rules: &[Rule]| {
+        let plan = DeltaPlan::planned(rules, scratch);
+        let mut eval = IncrementalEval::new().with_governor(governor.clone());
+        if let Some(t) = threads {
+            eval = eval.with_threads(t);
+        }
+        if let Some(m) = min_parallel_rows {
+            eval = eval.with_parallel_threshold(m);
+        }
+        eval.run(scratch, rules, &plan)
+    };
+    let mut stats = EvalStats::default();
+    if let Some(mp) = crate::magic::magic_rewrite(rules, body) {
+        // Seed the overlay with exactly the base relations the rewritten
+        // program references, in first-reference order (deterministic row
+        // ids), plus the ground magic seeds from the goal's constants.
+        let mut scratch = Database::new();
+        for p in mp.base_preds() {
+            if let Some(rel) = db.relation(p) {
+                let dst = scratch.relation_mut(p, rel.arity());
+                for row in rel.rows() {
+                    dst.insert(row);
+                }
+            }
+        }
+        for (p, row) in &mp.seeds {
+            scratch.insert(*p, row);
+        }
+        stats.magic_rules = mp.magic_rule_count;
+        stats.absorb(overlay_eval(&mut scratch, &mp.rules)?);
+        stats.demanded_tuples = mp
+            .magic_preds()
+            .iter()
+            .map(|&p| scratch.relation(p).map_or(0, crate::rel::Relation::len))
+            .sum();
+        let rows = query_collect(&scratch, &mp.query_body, out_vars, governor, &mut stats)?;
+        Ok(DemandAnswer {
+            rows,
+            stats,
+            goal_directed: true,
+        })
+    } else {
+        let idb: fundb_term::FxHashSet<Pred> = rules.iter().map(|r| r.head.pred).collect();
+        if body.iter().any(|a| idb.contains(&a.pred)) {
+            // All-free (or over-wide) goal over IDB predicates: the full
+            // fixpoint is genuinely needed. Materialize it into an overlay
+            // so the contract (base never mutated) still holds.
+            let mut scratch = db.clone();
+            stats.absorb(overlay_eval(&mut scratch, rules)?);
+            let rows = query_collect(&scratch, body, out_vars, governor, &mut stats)?;
+            Ok(DemandAnswer {
+                rows,
+                stats,
+                goal_directed: false,
+            })
+        } else {
+            // EDB-only (or missing-predicate) goal: the base facts are
+            // already complete for every body atom; join directly.
+            let rows = query_collect(db, body, out_vars, governor, &mut stats)?;
+            Ok(DemandAnswer {
+                rows,
+                stats,
+                goal_directed: false,
+            })
+        }
     }
 }
 
@@ -1917,5 +2073,271 @@ mod tests {
         let body = vec![Atom::new(fx.path, vec![Term::Var(fx.x), Term::Var(fx.y)])];
         let err = query(&db, &body, &[w]).unwrap_err();
         assert!(matches!(err, EvalError::WorkerPanicked { .. }));
+    }
+
+    /// Full-materialization reference for the demand tests: evaluate the
+    /// fixpoint on a clone, run the plain query, return sorted rows.
+    fn materialized_answers(
+        db: &Database,
+        rules: &[Rule],
+        body: &[Atom],
+        out_vars: &[Var],
+    ) -> Vec<Vec<Cst>> {
+        let mut full = db.clone();
+        evaluate(&mut full, rules).unwrap();
+        let mut rows = query(&full, body, out_vars).unwrap();
+        rows.sort_unstable();
+        rows
+    }
+
+    fn sorted(mut rows: Vec<Vec<Cst>>) -> Vec<Vec<Cst>> {
+        rows.sort_unstable();
+        rows
+    }
+
+    #[test]
+    fn demand_matches_materialization_on_bound_goals() {
+        let mut fx = fixture();
+        let rules = transitive_closure_rules(&fx);
+        let db = chain_db(&mut fx, 16);
+        let v0 = Cst(fx.i.get("v0").unwrap());
+        let v9 = Cst(fx.i.get("v9").unwrap());
+        let bodies = vec![
+            // Ground point goal.
+            vec![Atom::new(fx.path, vec![Term::Const(v0), Term::Const(v9)])],
+            // First argument bound.
+            vec![Atom::new(fx.path, vec![Term::Const(v0), Term::Var(fx.y)])],
+            // Second argument bound.
+            vec![Atom::new(fx.path, vec![Term::Var(fx.x), Term::Const(v9)])],
+            // Join-bound IDB atom, no constants.
+            vec![
+                Atom::new(fx.edge, vec![Term::Var(fx.x), Term::Var(fx.y)]),
+                Atom::new(fx.path, vec![Term::Var(fx.y), Term::Var(fx.z)]),
+            ],
+        ];
+        for body in bodies {
+            let out_vars: Vec<Var> = {
+                let mut vs: Vec<Var> = body.iter().flat_map(Atom::vars).collect();
+                vs.sort_unstable();
+                vs.dedup();
+                vs
+            };
+            let ans = query_demand(&db, &rules, &body, &out_vars).unwrap();
+            assert!(ans.goal_directed);
+            assert!(ans.stats.magic_rules > 0);
+            assert!(ans.stats.demanded_tuples > 0);
+            assert_eq!(
+                sorted(ans.rows),
+                materialized_answers(&db, &rules, &body, &out_vars)
+            );
+        }
+    }
+
+    #[test]
+    fn demand_derives_less_than_materialization_on_point_goals() {
+        let mut fx = fixture();
+        let rules = transitive_closure_rules(&fx);
+        let db = chain_db(&mut fx, 64);
+        let v0 = Cst(fx.i.get("v0").unwrap());
+        let body = vec![Atom::new(fx.path, vec![Term::Const(v0), Term::Var(fx.y)])];
+        let ans = query_demand(&db, &rules, &body, &[fx.y]).unwrap();
+        assert_eq!(ans.rows.len(), 64);
+        // Only the cone from v0 is derived: O(n) tuples, not O(n²).
+        let mut full = db.clone();
+        let full_stats = evaluate(&mut full, &rules).unwrap();
+        assert!(
+            ans.stats.derived < full_stats.derived / 4,
+            "demand derived {} vs full {}",
+            ans.stats.derived,
+            full_stats.derived
+        );
+    }
+
+    #[test]
+    fn demand_does_not_mutate_the_base_database() {
+        let mut fx = fixture();
+        let rules = transitive_closure_rules(&fx);
+        let db = chain_db(&mut fx, 8);
+        let before = db.dump(&fx.i);
+        let v0 = Cst(fx.i.get("v0").unwrap());
+        let body = vec![Atom::new(fx.path, vec![Term::Const(v0), Term::Var(fx.y)])];
+        query_demand(&db, &rules, &body, &[fx.y]).unwrap();
+        assert_eq!(db.dump(&fx.i), before);
+        assert!(db.relation(fx.path).is_none());
+    }
+
+    #[test]
+    fn all_free_goal_falls_back_to_full_materialization() {
+        let mut fx = fixture();
+        let rules = transitive_closure_rules(&fx);
+        let db = chain_db(&mut fx, 8);
+        let body = vec![Atom::new(fx.path, vec![Term::Var(fx.x), Term::Var(fx.y)])];
+        let ans = query_demand(&db, &rules, &body, &[fx.x, fx.y]).unwrap();
+        assert!(!ans.goal_directed);
+        assert_eq!(ans.stats.magic_rules, 0);
+        assert_eq!(
+            sorted(ans.rows),
+            materialized_answers(&db, &rules, &body, &[fx.x, fx.y])
+        );
+        // The fallback also leaves the base database untouched.
+        assert!(db.relation(fx.path).is_none());
+    }
+
+    #[test]
+    fn missing_predicate_goal_answers_empty() {
+        let mut fx = fixture();
+        let rules = transitive_closure_rules(&fx);
+        let db = chain_db(&mut fx, 4);
+        let ghost = Pred(fx.i.intern("Ghost"));
+        let ans = query_demand(
+            &db,
+            &rules,
+            &[Atom::new(ghost, vec![Term::Var(fx.x)])],
+            &[fx.x],
+        )
+        .unwrap();
+        assert!(!ans.goal_directed);
+        assert!(ans.rows.is_empty());
+    }
+
+    #[test]
+    fn edb_only_ground_goal_is_answered_without_evaluation() {
+        let mut fx = fixture();
+        let rules = transitive_closure_rules(&fx);
+        let db = chain_db(&mut fx, 4);
+        let v0 = Cst(fx.i.get("v0").unwrap());
+        let v1 = Cst(fx.i.get("v1").unwrap());
+        let ans = query_demand(
+            &db,
+            &rules,
+            &[Atom::new(fx.edge, vec![Term::Const(v0), Term::Const(v1)])],
+            &[],
+        )
+        .unwrap();
+        assert!(!ans.goal_directed);
+        assert_eq!(ans.rows, vec![Vec::<Cst>::new()]);
+        // No fixpoint ran: nothing was derived anywhere.
+        assert_eq!(ans.stats.derived, 0);
+        assert_eq!(ans.stats.rounds, 0);
+    }
+
+    #[test]
+    fn demand_is_byte_deterministic_across_thread_counts() {
+        let mut fx = fixture();
+        let rules = transitive_closure_rules(&fx);
+        let db = chain_db(&mut fx, 32);
+        let v0 = Cst(fx.i.get("v0").unwrap());
+        let body = vec![Atom::new(fx.path, vec![Term::Const(v0), Term::Var(fx.y)])];
+        let gov = Governor::default();
+        // Force chunked parallel execution with a tiny threshold.
+        let base = query_demand_tuned(&db, &rules, &body, &[fx.y], &gov, Some(1), Some(1)).unwrap();
+        for threads in [2usize, 4, 8] {
+            let ans = query_demand_tuned(&db, &rules, &body, &[fx.y], &gov, Some(threads), Some(1))
+                .unwrap();
+            assert_eq!(ans.rows, base.rows, "rows differ at {threads} threads");
+            assert_eq!(ans.stats, base.stats, "stats differ at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn demand_honors_the_governor_budget() {
+        let mut fx = fixture();
+        let rules = transitive_closure_rules(&fx);
+        let db = chain_db(&mut fx, 32);
+        let v0 = Cst(fx.i.get("v0").unwrap());
+        let body = vec![Atom::new(fx.path, vec![Term::Const(v0), Term::Var(fx.y)])];
+        let gov = Governor::new(Budget::default().with_max_rows(3));
+        let err = query_demand_governed(&db, &rules, &body, &[fx.y], &gov).unwrap_err();
+        assert!(matches!(
+            err,
+            EvalError::BudgetExhausted {
+                resource: Resource::Rows,
+                ..
+            }
+        ));
+    }
+
+    /// Differential property over the same random-program generator as the
+    /// oracle test: goal-directed answers equal full materialization for
+    /// randomly bound goals, across every fallback class.
+    #[test]
+    fn demand_matches_materialization_on_random_programs() {
+        let mut i = Interner::new();
+        let preds: Vec<Pred> = (0..4).map(|k| Pred(i.intern(&format!("P{k}")))).collect();
+        let arity = [2usize, 1, 2, 2];
+        let vars: Vec<Var> = (0..4).map(|k| Var(i.intern(&format!("x{k}")))).collect();
+        let csts: Vec<Cst> = (0..6).map(|k| Cst(i.intern(&format!("c{k}")))).collect();
+        for seed in 0..40u64 {
+            let mut rng = Rng(seed.wrapping_mul(0xA076_1D64_78BD_642F) + 1);
+            let mut rules = Vec::new();
+            for _ in 0..(2 + rng.below(4)) {
+                let nbody = 1 + rng.below(3);
+                let body: Vec<Atom> = (0..nbody)
+                    .map(|_| {
+                        let p = rng.below(preds.len());
+                        let args = (0..arity[p])
+                            .map(|_| {
+                                if rng.below(4) == 0 {
+                                    Term::Const(csts[rng.below(csts.len())])
+                                } else {
+                                    Term::Var(vars[rng.below(vars.len())])
+                                }
+                            })
+                            .collect();
+                        Atom::new(preds[p], args)
+                    })
+                    .collect();
+                let body_vars: Vec<Var> = body.iter().flat_map(Atom::vars).collect();
+                let hp = rng.below(preds.len());
+                let head_args = (0..arity[hp])
+                    .map(|_| {
+                        if body_vars.is_empty() || rng.below(5) == 0 {
+                            Term::Const(csts[rng.below(csts.len())])
+                        } else {
+                            Term::Var(body_vars[rng.below(body_vars.len())])
+                        }
+                    })
+                    .collect();
+                rules.push(Rule::new(Atom::new(preds[hp], head_args), body));
+            }
+            let mut db = Database::new();
+            for _ in 0..(3 + rng.below(10)) {
+                let p = rng.below(preds.len());
+                let row: Vec<Cst> = (0..arity[p]).map(|_| csts[rng.below(csts.len())]).collect();
+                db.insert(preds[p], &row);
+            }
+            // Random goals: one or two atoms, arguments constant with
+            // probability 1/2 so all adornment classes occur.
+            for _ in 0..4 {
+                let ngoal = 1 + rng.below(2);
+                let body: Vec<Atom> = (0..ngoal)
+                    .map(|_| {
+                        let p = rng.below(preds.len());
+                        let args = (0..arity[p])
+                            .map(|_| {
+                                if rng.below(2) == 0 {
+                                    Term::Const(csts[rng.below(csts.len())])
+                                } else {
+                                    Term::Var(vars[rng.below(vars.len())])
+                                }
+                            })
+                            .collect();
+                        Atom::new(preds[p], args)
+                    })
+                    .collect();
+                let out_vars: Vec<Var> = {
+                    let mut vs: Vec<Var> = body.iter().flat_map(Atom::vars).collect();
+                    vs.sort_unstable();
+                    vs.dedup();
+                    vs
+                };
+                let ans = query_demand(&db, &rules, &body, &out_vars).unwrap();
+                assert_eq!(
+                    sorted(ans.rows),
+                    materialized_answers(&db, &rules, &body, &out_vars),
+                    "seed {seed}: demand and materialization disagree"
+                );
+            }
+        }
     }
 }

@@ -23,6 +23,7 @@
 
 pub mod engine;
 pub mod governor;
+pub mod magic;
 pub mod program;
 pub mod provenance;
 pub mod rel;
@@ -34,9 +35,11 @@ pub use engine::{
     default_threads, evaluate, evaluate_governed, evaluate_naive, evaluate_naive_governed, query,
     query_governed, DeltaPlan, EvalStats, IncrementalEval, DEFAULT_MIN_PARALLEL_ROWS,
 };
+pub use engine::{query_demand, query_demand_governed, query_demand_tuned, DemandAnswer};
 pub use governor::{
     Budget, CancelToken, EvalError, FaultPlan, Governor, Resource, PROBE_CHECK_INTERVAL,
 };
+pub use magic::{magic_rewrite, MagicProgram};
 pub use program::JoinProgram;
 pub use provenance::{
     evaluate_traced, evaluate_traced_governed, Derivation, Justification, Provenance,

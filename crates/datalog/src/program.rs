@@ -445,7 +445,11 @@ fn greedy_order(rule: &Rule, delta_atom: Option<usize>) -> Vec<usize> {
 /// * an atom whose predicate the snapshot does not know (usually an IDB
 ///   predicate, empty now but growing during the run) is costed
 ///   pessimistically at the snapshot's total row count, discounted by half
-///   per bound column;
+///   per bound column. Magic and adorned predicates minted by
+///   [`crate::magic`] land here by construction: their overlay relations
+///   are empty (or seed-only) at plan time and [`Database::plan_stats`]
+///   omits empty relations, so demand guards are never mistaken for
+///   zero-cost scans;
 /// * ties keep the earliest body position, so the order — and with it row
 ///   derivation order — is deterministic.
 ///
@@ -712,6 +716,45 @@ mod tests {
         // Big now runs with column 1 bound, so its signature demands the
         // per-column index, not a scan.
         assert_eq!(planned.ops[1].sig, 0b10);
+    }
+
+    #[test]
+    fn magic_predicates_cost_the_pessimistic_default() {
+        use fundb_term::Sym;
+        let mut i = Interner::new();
+        let edge = Pred(i.intern("Edge"));
+        let filler = Pred(i.intern("Filler"));
+        let (x, y) = (Var(i.intern("x")), Var(i.intern("y")));
+        // Synthetic predicates exactly as the magic rewrite mints them:
+        // indices past every interned symbol.
+        let adorned = Pred(Sym::synthetic(i.len() as u32));
+        let magic = Pred(Sym::synthetic(i.len() as u32 + 1));
+        // path_bf(x,y) :- m_path_bf(x), Edge(x,y).
+        let rule = Rule::new(
+            Atom::new(adorned, vec![Term::Var(x), Term::Var(y)]),
+            vec![
+                Atom::new(magic, vec![Term::Var(x)]),
+                Atom::new(edge, vec![Term::Var(x), Term::Var(y)]),
+            ],
+        );
+        let mut db = Database::new();
+        seeded_rel(&mut db, &mut i, edge, 40, 8);
+        seeded_rel(&mut db, &mut i, filler, 100, 10);
+        // The magic relation exists but is empty at plan time; the
+        // snapshot must omit it so it costs the pessimistic default
+        // (total rows, 140 here), not a genuinely-zero scan.
+        db.relation_mut(magic, 1);
+        let stats = db.plan_stats();
+        assert!(stats.get(magic).is_none());
+        let planned = JoinProgram::compile_with_stats(&rule, None, &stats);
+        // Known Edge (40 rows) beats the assumed-huge guard: the guard is
+        // not hoisted in the full program, and probes with x bound instead.
+        assert_eq!(planned.atom_order(), vec![1, 0]);
+        assert_eq!(planned.ops[1].sig, 0b1);
+        // The delta program for the growing magic relation still hoists
+        // the delta atom outermost, as every delta program does.
+        let delta = JoinProgram::compile_with_stats(&rule, Some(0), &stats);
+        assert_eq!(delta.atom_order(), vec![0, 1]);
     }
 
     #[test]

@@ -27,6 +27,17 @@ impl Sym {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Mints a handle at an arbitrary index, for symbols that are never
+    /// interned. Program transformations (e.g. the magic-set rewrite) use
+    /// indices past every interned symbol to name auxiliary predicates
+    /// without threading a `&mut Interner` through the rewrite; such
+    /// handles must stay internal to the transformed program, since
+    /// resolving them against an interner panics.
+    #[inline]
+    pub fn synthetic(index: u32) -> Sym {
+        Sym(index)
+    }
 }
 
 impl fmt::Debug for Sym {

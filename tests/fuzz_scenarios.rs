@@ -16,9 +16,12 @@
 //!   answers membership exactly like the datalog fixpoint, at every batch
 //!   thread count,
 //! * temporal scenarios: `TemporalSpec` ≡ `GraphSpec` ≡ frozen spec on
-//!   points and whole intervals, far beyond the lasso prefix.
+//!   points and whole intervals, far beyond the lasso prefix,
+//! * goal-directed (magic-set) rewritten evaluation ≡ unrewritten full
+//!   materialization on ground, partially-bound, and all-free goals, with
+//!   byte-identical rows and statistics at 1/2/4/8 overlay threads (PR 7).
 //!
-//! Case counts (48 × 4 relational families + 24 temporal = 216 scenarios)
+//! Case counts (48 × 6 relational families + 24 temporal = 312 scenarios)
 //! keep the default `cargo test` run above the 200-scenario floor;
 //! `PROPTEST_CASES` scales the budget up in the nightly job.
 
@@ -27,7 +30,7 @@ use fundb_core::ServeQuery;
 use fundb_datalog as dl;
 use fundb_parser::Workspace;
 use fundb_temporal::TemporalSpec;
-use fundb_term::{Cst, Func, Pred};
+use fundb_term::{Cst, Func, Pred, Var};
 use proptest::prelude::*;
 
 const THREADS: [usize; 4] = [1, 2, 4, 8];
@@ -143,6 +146,9 @@ fn check_relational(s: &Scenario) {
         }
     }
 
+    // Goal-directed (magic-set) evaluation must agree with the fixpoint.
+    check_demand(s, &compiled, &ctx);
+
     // The same program through text → parser → engine → frozen serving.
     let mut ws = Workspace::new();
     ws.parse(&s.text)
@@ -193,6 +199,83 @@ fn check_relational(s: &Scenario) {
             expected,
             "{ctx}: frozen batch disagrees at {threads} threads"
         );
+    }
+}
+
+/// Goal-directed differential (PR 7): the magic-set rewrite must answer
+/// every binding pattern of the scenario's query workload — fully ground,
+/// first-argument-bound, and all-free — exactly like the materialized
+/// fixpoint, and the overlay evaluation must be byte-deterministic (rows
+/// *and* statistics) across thread counts with the parallel path forced.
+fn check_demand(s: &Scenario, compiled: &dl::Database, ctx: &str) {
+    // Every family's rules use `x`/`y`/`z`, so these resolve in all
+    // scenarios; they stand in for the free argument positions of a goal.
+    let free = [
+        Var(s.interner.get("x").unwrap()),
+        Var(s.interner.get("y").unwrap()),
+        Var(s.interner.get("z").unwrap()),
+    ];
+    for (qi, (pname, argnames)) in s.queries.iter().take(4).enumerate() {
+        let p = Pred(s.interner.get(pname).unwrap());
+        let row: Vec<Cst> = argnames
+            .iter()
+            .map(|a| Cst(s.interner.get(a).unwrap()))
+            .collect();
+        let arity = row.len();
+        assert!(
+            arity <= free.len(),
+            "{ctx}: query arity outgrew the var pool"
+        );
+        let mut masks = vec![(1usize << arity) - 1, 1, 0];
+        masks.dedup();
+        for mask in masks {
+            let mut terms = Vec::with_capacity(arity);
+            let mut outs = Vec::new();
+            for (i, c) in row.iter().enumerate() {
+                if mask >> i & 1 == 1 {
+                    terms.push(dl::Term::Const(*c));
+                } else {
+                    terms.push(dl::Term::Var(free[i]));
+                    outs.push(free[i]);
+                }
+            }
+            let body = [dl::Atom::new(p, terms)];
+            let mut expected = dl::query(compiled, &body, &outs)
+                .unwrap_or_else(|e| panic!("{ctx}: full query: {e:?}"));
+            expected.sort();
+            let ans = dl::query_demand(&s.db, &s.rules, &body, &outs)
+                .unwrap_or_else(|e| panic!("{ctx}: demand query: {e:?}"));
+            let mut got = ans.rows.clone();
+            got.sort();
+            assert_eq!(
+                got, expected,
+                "{ctx}: demand disagrees on {pname} mask {mask:#b}"
+            );
+            // Thread determinism on the first goal's patterns: same rows
+            // and same stats at every thread count, forced-parallel.
+            if qi == 0 {
+                let gov = dl::Governor::default();
+                let mut reference: Option<dl::DemandAnswer> = None;
+                for threads in THREADS {
+                    let tuned = dl::query_demand_tuned(
+                        &s.db,
+                        &s.rules,
+                        &body,
+                        &outs,
+                        &gov,
+                        Some(threads),
+                        Some(1),
+                    )
+                    .unwrap_or_else(|e| panic!("{ctx}: tuned demand: {e:?}"));
+                    match &reference {
+                        None => reference = Some(tuned),
+                        Some(r) => {
+                            assert_eq!(&tuned, r, "{ctx}: demand differs at {threads} threads")
+                        }
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -284,6 +367,16 @@ proptest! {
     fn bounded_scenarios_agree(seed in any::<u64>()) {
         check_relational(&scenariogen::bounded_depth(seed));
     }
+
+    #[test]
+    fn tc_chain_scenarios_agree(seed in any::<u64>()) {
+        check_relational(&scenariogen::tc_chain(seed));
+    }
+
+    #[test]
+    fn tc_right_scenarios_agree(seed in any::<u64>()) {
+        check_relational(&scenariogen::tc_right(seed));
+    }
 }
 
 proptest! {
@@ -310,6 +403,7 @@ fn regression_seeds_replay_through_all_families() {
     for file in [
         "fuzz_scenarios.proptest-regressions",
         "differential.proptest-regressions",
+        "demand_differential.proptest-regressions",
     ] {
         let text = std::fs::read_to_string(format!("{dir}/{file}"))
             .unwrap_or_else(|e| panic!("{file} must stay committed: {e}"));
