@@ -1,6 +1,6 @@
 //! The experiment harness: regenerates every table of EXPERIMENTS.md.
 //!
-//! Usage: `cargo run --release -p fundb-bench --bin experiments [e1 … e15 | all]`
+//! Usage: `cargo run --release -p fundb-bench --bin experiments [e1 … e16 | all]`
 //!
 //! Each experiment prints a small table comparing the paper's claim with
 //! what this implementation measures. Absolute times are machine-dependent;
@@ -8,7 +8,7 @@
 //! targets.
 //!
 //! Every run also appends a machine-readable trajectory to
-//! `BENCH_pr7.json` (override with `FUNDB_BENCH_JSON`): one record per
+//! `BENCH_pr8.json` (override with `FUNDB_BENCH_JSON`): one record per
 //! experiment with its wall time, plus detailed records (rows/s, join
 //! probes, index hits/misses, threads) for the timed experiments. CI
 //! uploads the file so the bench history accumulates across PRs.
@@ -106,6 +106,11 @@ fn main() {
         e15_goal_directed(&mut bench);
         bench.total("E15", t);
     }
+    if want("e16") {
+        let t = Instant::now();
+        e16_adaptive(&mut bench);
+        bench.total("E16", t);
+    }
 
     match bench.write() {
         Ok(path) => println!("bench trajectory written to {path}"),
@@ -149,8 +154,8 @@ impl Bench {
     /// Writes the trajectory file and returns its path.
     fn write(&self) -> std::io::Result<String> {
         let path =
-            std::env::var("FUNDB_BENCH_JSON").unwrap_or_else(|_| "BENCH_pr7.json".to_string());
-        let mut out = String::from("{\"schema\":\"fundb-bench-v1\",\"pr\":7,\"records\":[\n");
+            std::env::var("FUNDB_BENCH_JSON").unwrap_or_else(|_| "BENCH_pr8.json".to_string());
+        let mut out = String::from("{\"schema\":\"fundb-bench-v1\",\"pr\":8,\"records\":[\n");
         out.push_str(&self.records.join(",\n"));
         out.push_str("\n]}\n");
         std::fs::write(&path, out)?;
@@ -1123,7 +1128,13 @@ fn e14_planner(bench: &mut Bench) {
                 } else {
                     dl::DeltaPlan::new(&s.rules)
                 };
-                let mut eval = dl::IncrementalEval::new().with_threads(1);
+                // Adaptivity off in BOTH arms: the PR 8 round-one planning
+                // pass would otherwise planify the greedy arm and this
+                // experiment would measure nothing. E16 measures that
+                // recovery; E14 isolates plan-time costing.
+                let mut eval = dl::IncrementalEval::new()
+                    .with_threads(1)
+                    .with_adaptive(false);
                 let t0 = Instant::now();
                 let stats = eval.run(&mut db, &s.rules, &plan).unwrap();
                 (t0.elapsed().as_secs_f64() * 1e3, stats, sorted_dump(&db))
@@ -1196,7 +1207,11 @@ fn e14_planner(bench: &mut Bench) {
             } else {
                 dl::DeltaPlan::new(&rules)
             };
-            let mut eval = dl::IncrementalEval::new().with_threads(1);
+            // Same discipline as the probe table: adaptivity off so the
+            // delta isolates the planner's one-off cost.
+            let mut eval = dl::IncrementalEval::new()
+                .with_threads(1)
+                .with_adaptive(false);
             let t0 = Instant::now();
             eval.run(&mut db, &rules, &plan).unwrap();
             t0.elapsed().as_secs_f64() * 1e3
@@ -1397,5 +1412,210 @@ fn e15_goal_directed(bench: &mut Bench) {
          bounded is the deliberate counterpoint: its dense layers make the \
          demand cone cover nearly the whole database, so the rewrite's \
          overhead loses and the no-op fallback heuristics matter\n"
+    );
+}
+
+/// E16 — adaptive join execution (PR 8): the same greedy-compiled plans
+/// with adaptivity off (the planned-once executor of PR 6/7) vs on (live
+/// delta statistics, the round-one planning pass, drift-triggered mid-run
+/// re-plans, and shared-prefix grouping). Answers must be identical; only
+/// probe counts and wall time may move. Gated: ≥1.3x probe reduction on at
+/// least two scenario families, and ≤2% wall drift on the established
+/// workloads whose plans never change.
+fn e16_adaptive(bench: &mut Bench) {
+    use fundb_bench::scenariogen::RELATIONAL_FAMILIES;
+    use fundb_datalog as dl;
+
+    banner(
+        "E16",
+        "Adaptive join execution on generated scenario families",
+        "engine-level (no paper claim): re-planning from live statistics at \
+         round boundaries plus shared-prefix grouping must cut join probes \
+         ≥1.3x on ≥2 families over the planned-once executor, answers \
+         byte-identical, with ≤2% wall drift where plans never change",
+    );
+
+    /// Canonical sorted dump, as in E14: plans and execution strategy may
+    /// differ, answers may not.
+    fn sorted_dump(db: &dl::Database) -> Vec<(usize, Vec<Vec<usize>>)> {
+        let mut rels: Vec<(usize, Vec<Vec<usize>>)> = db
+            .iter()
+            .map(|(p, rel)| {
+                let mut rows: Vec<Vec<usize>> = rel
+                    .rows()
+                    .map(|row| row.iter().map(|c| c.index()).collect())
+                    .collect();
+                rows.sort();
+                (p.index(), rows)
+            })
+            .collect();
+        rels.sort();
+        rels
+    }
+
+    println!(
+        "{:>10} {:>6} {:>13} {:>13} {:>7} {:>8} {:>8} {:>8} {:>7}",
+        "family", "seeds", "off probes", "on probes", "ratio", "replans", "shared", "bloom", "ms on"
+    );
+    let seeds: Vec<u64> = (1..=16).collect();
+    let mut families_won = 0usize;
+    for &(family, generate) in RELATIONAL_FAMILIES {
+        let (mut off_probes, mut on_probes) = (0u64, 0u64);
+        let (mut off_ms, mut on_ms) = (0f64, 0f64);
+        let (mut replans, mut shared, mut bloom) = (0u64, 0u64, 0u64);
+        for &seed in &seeds {
+            let run = |adaptive: bool| {
+                let s = generate(seed);
+                let mut db = s.db;
+                let plan = dl::DeltaPlan::new(&s.rules);
+                let mut eval = dl::IncrementalEval::new()
+                    .with_threads(1)
+                    .with_adaptive(adaptive);
+                let t0 = Instant::now();
+                let stats = eval.run(&mut db, &s.rules, &plan).unwrap();
+                (t0.elapsed().as_secs_f64() * 1e3, stats, sorted_dump(&db))
+            };
+            let (fm, fs, fd) = run(false);
+            let (nm, ns, nd) = run(true);
+            assert_eq!(fd, nd, "{family}(seed {seed}): adaptivity changed the answers");
+            off_probes += fs.join_probes as u64;
+            on_probes += ns.join_probes as u64;
+            off_ms += fm;
+            on_ms += nm;
+            replans += ns.replans as u64;
+            shared += ns.shared_prefix_hits as u64;
+            bloom += ns.bloom_skips as u64;
+        }
+        let ratio = off_probes as f64 / (on_probes as f64).max(1.0);
+        if ratio >= 1.3 {
+            families_won += 1;
+        }
+        println!(
+            "{:>10} {:>6} {:>13} {:>13} {:>6.2}x {:>8} {:>8} {:>8} {:>7.1}",
+            family,
+            seeds.len(),
+            off_probes,
+            on_probes,
+            ratio,
+            replans,
+            shared,
+            bloom,
+            on_ms
+        );
+        bench.push(
+            "E16",
+            family,
+            &[
+                ("scenarios", seeds.len() as f64),
+                ("off_probes", off_probes as f64),
+                ("on_probes", on_probes as f64),
+                ("probe_ratio", ratio),
+                ("off_ms", off_ms),
+                ("on_ms", on_ms),
+                ("replans", replans as f64),
+                ("shared_prefix_hits", shared as f64),
+                ("bloom_skips", bloom as f64),
+            ],
+        );
+    }
+    println!(
+        "families with ≥1.3x fewer probes under adaptive execution: \
+         {families_won}/{} (target ≥2, gated)",
+        RELATIONAL_FAMILIES.len()
+    );
+    assert!(
+        families_won >= 2,
+        "E16: adaptive execution cut probes ≥1.3x on only {families_won} \
+         families (target ≥2)"
+    );
+
+    // Wall-clock guard on the established workloads: tc_chain/tc_right
+    // written orders are already what the cost model picks and counter(8)
+    // runs through the general engine's small local evaluations — adaptive
+    // bookkeeping must stay ≤2% there. One untimed warmup per arm
+    // (first-touch pages and allocator arenas dominate the first run and
+    // would otherwise land on whichever arm goes first), then 21 interleaved
+    // off/on pairs. The reported delta is the MEDIAN of per-pair deltas:
+    // the two runs of a pair are adjacent in time so slow frequency drift
+    // cancels inside each pair, and the median rejects the scheduler
+    // outliers that a min-of estimator chases (E12/E14 time arms that
+    // differ by whole join orders, where min-of-7 is fine; here both arms
+    // run the same plan and the signal is a sub-noise bookkeeping cost).
+    fn median_pair(mut off: impl FnMut() -> f64, mut on: impl FnMut() -> f64) -> (f64, f64) {
+        off();
+        on();
+        let mut pairs: Vec<(f64, f64)> = (0..21).map(|_| (off(), on())).collect();
+        pairs.sort_by(|a, b| {
+            let da = (a.1 - a.0) / a.0.max(1e-9);
+            let db = (b.1 - b.0) / b.0.max(1e-9);
+            da.partial_cmp(&db).unwrap()
+        });
+        pairs[pairs.len() / 2]
+    }
+
+    println!(
+        "{:>16} {:>14} {:>14} {:>10}",
+        "workload", "off (ms)", "on (ms)", "delta"
+    );
+    for (name, n, right) in [
+        ("tc_chain(1024)", 1024usize, false),
+        ("tc_right(256)", 256, true),
+    ] {
+        let run = |adaptive: bool| {
+            let (_i, mut db, rules) = tc_chain_dir(n, right);
+            let plan = dl::DeltaPlan::new(&rules);
+            let mut eval = dl::IncrementalEval::new()
+                .with_threads(1)
+                .with_adaptive(adaptive);
+            let t0 = Instant::now();
+            eval.run(&mut db, &rules, &plan).unwrap();
+            t0.elapsed().as_secs_f64() * 1e3
+        };
+        let (off_ms, on_ms) = median_pair(|| run(false), || run(true));
+        let delta_pct = (on_ms - off_ms) / off_ms.max(1e-9) * 100.0;
+        println!("{name:>16} {off_ms:>14.2} {on_ms:>14.2} {delta_pct:>+9.2}%");
+        bench.push(
+            "E16",
+            name,
+            &[
+                ("off_ms", off_ms),
+                ("on_ms", on_ms),
+                ("delta_pct", delta_pct),
+            ],
+        );
+    }
+    // The general engine always runs adaptively (it owns its
+    // IncrementalEval), so this row measures the same run twice — the
+    // noise floor the ≤2% target is read against.
+    {
+        let run = || {
+            let mut ws = binary_counter(8);
+            let mut engine = Engine::build(&ws.program, &ws.db, &mut ws.interner).unwrap();
+            let t0 = Instant::now();
+            engine.solve().unwrap();
+            t0.elapsed().as_secs_f64() * 1e3
+        };
+        let (off_ms, on_ms) = median_pair(run, run);
+        let delta_pct = (on_ms - off_ms) / off_ms.max(1e-9) * 100.0;
+        println!(
+            "{:>16} {off_ms:>14.2} {on_ms:>14.2} {delta_pct:>+9.2}%  (adaptive on both sides: noise floor)",
+            "counter(8)"
+        );
+        bench.push(
+            "E16",
+            "counter(8)",
+            &[
+                ("off_ms", off_ms),
+                ("on_ms", on_ms),
+                ("delta_pct", delta_pct),
+            ],
+        );
+    }
+    println!(
+        "expected shape: skew/dense-style families win big (the round-one \
+         planning pass recovers E14's cost orders without pre-planning, \
+         drift re-plans keep them honest as deltas shift, shared prefixes \
+         collapse duplicate scans); tc/counter stay within noise since \
+         their written orders never change\n"
     );
 }

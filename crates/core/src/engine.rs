@@ -155,6 +155,15 @@ pub struct EngineStats {
     /// Demand-set sizes summed over goal-directed queries (see
     /// [`dl::EvalStats::demanded_tuples`]).
     pub demanded_tuples: usize,
+    /// Rule plans replaced mid-run by the adaptive evaluator (see
+    /// [`dl::EvalStats::replans`]).
+    pub replans: usize,
+    /// Composite-index probes answered by a bloom-filter rejection (see
+    /// [`dl::EvalStats::bloom_skips`]).
+    pub bloom_skips: usize,
+    /// Shared compiled-prefix evaluations reused across rules (see
+    /// [`dl::EvalStats::shared_prefix_hits`]).
+    pub shared_prefix_hits: usize,
 }
 
 impl EngineStats {
@@ -166,6 +175,9 @@ impl EngineStats {
         self.index_misses += es.index_misses;
         self.magic_rules += es.magic_rules;
         self.demanded_tuples += es.demanded_tuples;
+        self.replans += es.replans;
+        self.bloom_skips += es.bloom_skips;
+        self.shared_prefix_hits += es.shared_prefix_hits;
     }
 }
 
@@ -363,6 +375,9 @@ impl Engine {
     pub fn record_demand_stats(&mut self, es: dl::EvalStats) {
         self.stats.magic_rules += es.magic_rules;
         self.stats.demanded_tuples += es.demanded_tuples;
+        self.stats.replans += es.replans;
+        self.stats.bloom_skips += es.bloom_skips;
+        self.stats.shared_prefix_hits += es.shared_prefix_hits;
     }
 
     // --- incremental updates -------------------------------------------------
