@@ -1,6 +1,6 @@
 //! The experiment harness: regenerates every table of EXPERIMENTS.md.
 //!
-//! Usage: `cargo run --release -p fundb-bench --bin experiments [e1 … e16 | all]`
+//! Usage: `cargo run --release -p fundb-bench --bin experiments [e1 … e17 | all]`
 //!
 //! Each experiment prints a small table comparing the paper's claim with
 //! what this implementation measures. Absolute times are machine-dependent;
@@ -8,7 +8,7 @@
 //! targets.
 //!
 //! Every run also appends a machine-readable trajectory to
-//! `BENCH_pr8.json` (override with `FUNDB_BENCH_JSON`): one record per
+//! `BENCH_pr9.json` (override with `FUNDB_BENCH_JSON`): one record per
 //! experiment with its wall time, plus detailed records (rows/s, join
 //! probes, index hits/misses, threads) for the timed experiments. CI
 //! uploads the file so the bench history accumulates across PRs.
@@ -111,6 +111,11 @@ fn main() {
         e16_adaptive(&mut bench);
         bench.total("E16", t);
     }
+    if want("e17") {
+        let t = Instant::now();
+        e17_durability(&mut bench);
+        bench.total("E17", t);
+    }
 
     match bench.write() {
         Ok(path) => println!("bench trajectory written to {path}"),
@@ -154,8 +159,8 @@ impl Bench {
     /// Writes the trajectory file and returns its path.
     fn write(&self) -> std::io::Result<String> {
         let path =
-            std::env::var("FUNDB_BENCH_JSON").unwrap_or_else(|_| "BENCH_pr8.json".to_string());
-        let mut out = String::from("{\"schema\":\"fundb-bench-v1\",\"pr\":8,\"records\":[\n");
+            std::env::var("FUNDB_BENCH_JSON").unwrap_or_else(|_| "BENCH_pr9.json".to_string());
+        let mut out = String::from("{\"schema\":\"fundb-bench-v1\",\"pr\":9,\"records\":[\n");
         out.push_str(&self.records.join(",\n"));
         out.push_str("\n]}\n");
         std::fs::write(&path, out)?;
@@ -1455,7 +1460,15 @@ fn e16_adaptive(bench: &mut Bench) {
 
     println!(
         "{:>10} {:>6} {:>13} {:>13} {:>7} {:>8} {:>8} {:>8} {:>7}",
-        "family", "seeds", "off probes", "on probes", "ratio", "replans", "shared", "bloom", "ms on"
+        "family",
+        "seeds",
+        "off probes",
+        "on probes",
+        "ratio",
+        "replans",
+        "shared",
+        "bloom",
+        "ms on"
     );
     let seeds: Vec<u64> = (1..=16).collect();
     let mut families_won = 0usize;
@@ -1477,7 +1490,10 @@ fn e16_adaptive(bench: &mut Bench) {
             };
             let (fm, fs, fd) = run(false);
             let (nm, ns, nd) = run(true);
-            assert_eq!(fd, nd, "{family}(seed {seed}): adaptivity changed the answers");
+            assert_eq!(
+                fd, nd,
+                "{family}(seed {seed}): adaptivity changed the answers"
+            );
             off_probes += fs.join_probes as u64;
             on_probes += ns.join_probes as u64;
             off_ms += fm;
@@ -1617,5 +1633,232 @@ fn e16_adaptive(bench: &mut Bench) {
          drift re-plans keep them honest as deltas shift, shared prefixes \
          collapse duplicate scans); tc/counter stay within noise since \
          their written orders never change\n"
+    );
+}
+
+/// E17 — the PR 9 durable storage layer: steady-state cost of teeing every
+/// committed row and round marker into the write-ahead log, plus the time
+/// recovery needs to come back from a snapshot + WAL tail.
+fn e17_durability(bench: &mut Bench) {
+    use fundb_datalog as dl;
+    use fundb_storage::DurableDb;
+
+    banner(
+        "E17",
+        "Durable storage: WAL-on overhead and snapshot+replay recovery",
+        "engine-level (no paper claim): journaling the deterministic commit \
+         sequence (buffered appends, one flush per run) must cost ≤5% \
+         steady-state on the E12 workloads, and recovery must replay a \
+         crashed run onto its completed-round prefix in time linear in the \
+         log",
+    );
+
+    /// A binary counter at the datalog level: numbers are `bits`-wide rows
+    /// over constants {z, o}; one carry-ripple rule per bit position plus
+    /// the all-zeros seed derive all 2^bits tuples through a maximal-length
+    /// round chain — the round-marker-per-round worst case for the WAL.
+    fn dl_counter(
+        bits: usize,
+    ) -> (
+        fundb_term::Interner,
+        fundb_datalog::Database,
+        Vec<fundb_datalog::Rule>,
+    ) {
+        use fundb_datalog::{Atom, Database, Rule, Term};
+        use fundb_term::{Cst, Interner, Pred, Var};
+        let mut i = Interner::new();
+        let num = Pred(i.intern("Num"));
+        let (z, o) = (Cst(i.intern("z")), Cst(i.intern("o")));
+        let vars: Vec<Var> = (0..bits).map(|k| Var(i.intern(&format!("b{k}")))).collect();
+        // Rule for flipping bit `k` (0 = least significant): the `k` lower
+        // bits roll over from all-ones to all-zeros.
+        let rules = (0..bits)
+            .map(|k| {
+                let mut head = Vec::with_capacity(bits);
+                let mut body = Vec::with_capacity(bits);
+                for (pos, v) in vars.iter().enumerate().take(bits) {
+                    // Row order: most significant bit first.
+                    let low = bits - 1 - pos; // position from the low end
+                    if low < k {
+                        body.push(Term::Const(o));
+                        head.push(Term::Const(z));
+                    } else if low == k {
+                        body.push(Term::Const(z));
+                        head.push(Term::Const(o));
+                    } else {
+                        body.push(Term::Var(*v));
+                        head.push(Term::Var(*v));
+                    }
+                }
+                Rule::new(Atom::new(num, head), vec![Atom::new(num, body)])
+            })
+            .collect();
+        let mut db = Database::new();
+        db.insert(num, &vec![z; bits]);
+        (i, db, rules)
+    }
+
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static N: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "fundb-e17-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// Interleaved pairs, median by relative delta (see E16): one warm-up
+    /// pair, then 21 alternating (plain, WAL-on) runs.
+    fn median_pair(mut base: impl FnMut() -> f64, mut wal: impl FnMut() -> f64) -> (f64, f64) {
+        base();
+        wal();
+        let mut pairs: Vec<(f64, f64)> = (0..21).map(|_| (base(), wal())).collect();
+        pairs.sort_by(|a, b| {
+            let da = (a.1 - a.0) / a.0.max(1e-9);
+            let db = (b.1 - b.0) / b.0.max(1e-9);
+            da.partial_cmp(&db).unwrap()
+        });
+        pairs[pairs.len() / 2]
+    }
+
+    type Gen = fn() -> (
+        fundb_term::Interner,
+        fundb_datalog::Database,
+        Vec<fundb_datalog::Rule>,
+    );
+    let workloads: [(&str, Gen); 3] = [
+        ("tc_chain(512)", || tc_chain_dir(512, false)),
+        ("tc_right(256)", || tc_chain_dir(256, true)),
+        ("counter(10)", || dl_counter(10)),
+    ];
+
+    println!(
+        "{:>16} {:>13} {:>13} {:>9} {:>10} {:>10}",
+        "workload", "plain (ms)", "WAL on (ms)", "overhead", "records", "log KiB"
+    );
+    for (name, gen) in workloads {
+        // Plain in-memory run: only the fixpoint is timed.
+        let base = || {
+            let (_i, mut db, rules) = gen();
+            let plan = dl::DeltaPlan::planned(&rules, &db);
+            let mut eval = dl::IncrementalEval::new().with_threads(1);
+            let t0 = Instant::now();
+            eval.run(&mut db, &rules, &plan).unwrap();
+            t0.elapsed().as_secs_f64() * 1e3
+        };
+        // WAL-on: same fixpoint through DurableDb::run (facts and rules
+        // are journaled before the clock starts — steady-state only).
+        let mut last = (0u64, 0u64); // (records, bytes) of the final run
+        let wal = |last: &mut (u64, u64)| {
+            let dir = scratch_dir("run");
+            let (mut i, db, rules) = gen();
+            let mut ddb = DurableDb::open(&dir, &mut i).unwrap();
+            for (p, rel) in db.iter() {
+                for row in rel.rows() {
+                    ddb.insert(&i, p, row).unwrap();
+                }
+            }
+            for rule in &rules {
+                ddb.log_rule(&i, rule).unwrap();
+            }
+            ddb.commit().unwrap();
+            let plan = dl::DeltaPlan::planned(ddb.rules(), ddb.database());
+            let mut eval = dl::IncrementalEval::new().with_threads(1);
+            let t0 = Instant::now();
+            ddb.run(&i, &mut eval, &plan).unwrap();
+            let ms = t0.elapsed().as_secs_f64() * 1e3;
+            let w = ddb.wal_stats();
+            *last = (w.records, w.bytes);
+            drop(ddb);
+            let _ = std::fs::remove_dir_all(&dir);
+            ms
+        };
+        let (base_ms, wal_ms) = median_pair(base, || wal(&mut last));
+        let overhead_pct = (wal_ms - base_ms) / base_ms.max(1e-9) * 100.0;
+        let (records, bytes) = last;
+        println!(
+            "{name:>16} {base_ms:>13.2} {wal_ms:>13.2} {overhead_pct:>+8.2}% {records:>10} {:>10.1}",
+            bytes as f64 / 1024.0
+        );
+        bench.push(
+            "E17",
+            name,
+            &[
+                ("base_ms", base_ms),
+                ("wal_ms", wal_ms),
+                ("overhead_pct", overhead_pct),
+                ("wal_records", records as f64),
+                ("wal_bytes", bytes as f64),
+            ],
+        );
+    }
+
+    // Recovery: one crashed-looking WAL (the full tc_chain log, never
+    // snapshotted) replayed from scratch, then the same state through a
+    // snapshot — the two recovery paths a reopen can take.
+    let dir = scratch_dir("recover");
+    let (mut i, db, rules) = tc_chain_dir(512, false);
+    let mut ddb = DurableDb::open(&dir, &mut i).unwrap();
+    for (p, rel) in db.iter() {
+        for row in rel.rows() {
+            ddb.insert(&i, p, row).unwrap();
+        }
+    }
+    for rule in &rules {
+        ddb.log_rule(&i, rule).unwrap();
+    }
+    ddb.commit().unwrap();
+    let plan = dl::DeltaPlan::planned(ddb.rules(), ddb.database());
+    let mut eval = dl::IncrementalEval::new().with_threads(1);
+    ddb.run(&i, &mut eval, &plan).unwrap();
+    let rows = ddb.database().fact_count() as f64;
+    drop(ddb);
+
+    let replay_ms = {
+        let mut fresh = fundb_term::Interner::new();
+        let t0 = Instant::now();
+        let ddb = DurableDb::open(&dir, &mut fresh).unwrap();
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(ddb.database().fact_count() as f64, rows);
+        ms
+    };
+    let (snapshot_ms, reopen_ms) = {
+        let mut fresh = fundb_term::Interner::new();
+        let mut ddb = DurableDb::open(&dir, &mut fresh).unwrap();
+        let t0 = Instant::now();
+        ddb.snapshot(&fresh).unwrap();
+        let snap = t0.elapsed().as_secs_f64() * 1e3;
+        drop(ddb);
+        let mut again = fundb_term::Interner::new();
+        let t0 = Instant::now();
+        let ddb = DurableDb::open(&dir, &mut again).unwrap();
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(ddb.database().fact_count() as f64, rows);
+        (snap, ms)
+    };
+    let _ = std::fs::remove_dir_all(&dir);
+    println!(
+        "\nrecovery of tc_chain(512) ({rows} rows): full WAL replay \
+         {replay_ms:.2} ms; snapshot write {snapshot_ms:.2} ms; reopen from \
+         snapshot {reopen_ms:.2} ms"
+    );
+    bench.push(
+        "E17",
+        "recovery tc_chain(512)",
+        &[
+            ("rows", rows),
+            ("wal_replay_ms", replay_ms),
+            ("snapshot_ms", snapshot_ms),
+            ("snapshot_reopen_ms", reopen_ms),
+        ],
+    );
+    println!(
+        "expected shape: WAL-on within the ≤5% target on probe-bound \
+         workloads (appends are buffered, one fsync-free flush per run); \
+         counter's marker-per-round worst case stays single-digit; reopen \
+         from a snapshot beats full replay by skipping re-derivation\n"
     );
 }

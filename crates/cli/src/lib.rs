@@ -76,7 +76,21 @@ struct Target {
 }
 
 fn load_target(path: &str, minimize: bool) -> Result<Target, CliError> {
-    let text = std::fs::read_to_string(path)
+    let bytes =
+        std::fs::read(path).map_err(|e| CliError::Failed(format!("cannot read {path}: {e}")))?;
+    if bytes.starts_with(&spec_io::SPEC_BIN_MAGIC) {
+        let mut interner = Interner::new();
+        let mut bundle = spec_io::read_spec_binary(&bytes, &mut interner)?;
+        if minimize {
+            bundle.spec = bundle.spec.minimized();
+        }
+        return Ok(Target {
+            interner,
+            bundle,
+            workspace: None,
+        });
+    }
+    let text = String::from_utf8(bytes)
         .map_err(|e| CliError::Failed(format!("cannot read {path}: {e}")))?;
     if text.trim_start().starts_with("fundbspec") {
         let mut interner = Interner::new();
@@ -129,7 +143,7 @@ fn compile(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         }
     };
     let target = load_target(input, minimize)?;
-    let text = write_spec(&target.bundle, &target.interner);
+    let text = write_spec(&target.bundle, &target.interner)?;
     match output {
         Some(path) => {
             std::fs::write(path, &text)

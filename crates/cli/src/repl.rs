@@ -18,10 +18,11 @@
 //! invalidates the cached spec; queries and checks rebuild it on demand.
 
 use fundb_core::{
-    analysis, write_spec_file, Budget, CancelToken, EvalError, Governor, GraphSpec, ServeQuery,
-    ServeStats,
+    analysis, write_spec_file, write_spec_file_binary, Budget, CancelToken, EvalError, Governor,
+    GraphSpec, ServeQuery, ServeStats,
 };
 use fundb_parser::Workspace;
+use fundb_storage::{DurableDb, OpenDurable};
 use std::io::Write;
 
 /// The REPL state machine; drives one line at a time (testable without a
@@ -47,6 +48,10 @@ pub struct Repl {
     /// demand-set sizes) from `?-` answers and `:plan`, surfaced by
     /// `:stats` through [`fundb_core::EngineStats`].
     demand: fundb_datalog::EvalStats,
+    /// Durable session journal (`:open <dir>`): every accepted program
+    /// line is appended to the directory's WAL and committed, so a crashed
+    /// session replays to exactly the lines that were acknowledged.
+    session: Option<DurableDb>,
 }
 
 impl Default for Repl {
@@ -68,6 +73,7 @@ impl Repl {
             eval_failed: false,
             serve: ServeStats::default(),
             demand: fundb_datalog::EvalStats::default(),
+            session: None,
         }
     }
 
@@ -128,6 +134,12 @@ impl Repl {
                     "error: evaluation task {task} panicked ({payload}); \
                      database rolled back to the last completed round"
                 ),
+                EvalError::WalFailed { detail } => writeln!(
+                    out,
+                    "error: durable log write failed ({detail}); the in-memory \
+                     database keeps every completed round, but the session is \
+                     no longer being journaled — reopen with :open"
+                ),
             };
         }
         writeln!(out, "error: {e}")
@@ -159,13 +171,31 @@ impl Repl {
         match self.ws.parse(input) {
             Ok(()) => {
                 self.spec = None; // invalidate
-                                  // Execute any queries embedded in the fragment.
+                self.journal_line(input, out)?;
+                // Execute any queries embedded in the fragment.
                 let queries = std::mem::take(&mut self.ws.queries);
                 for q in queries {
                     self.run_query(&q, out)?;
                 }
             }
             Err(e) => writeln!(out, "error: {e}")?,
+        }
+        Ok(())
+    }
+
+    /// Journals one accepted program fragment into the durable session, if
+    /// one is attached (`:open`): a `Note` record followed by a committed
+    /// round marker, so recovery replays exactly the acknowledged lines.
+    fn journal_line(&mut self, text: &str, out: &mut dyn Write) -> std::io::Result<()> {
+        let Some(session) = self.session.as_mut() else {
+            return Ok(());
+        };
+        if let Err(e) = session.append_note(text).and_then(|()| session.commit()) {
+            self.session = None;
+            let err = fundb_core::Error::Eval(EvalError::WalFailed {
+                detail: e.to_string(),
+            });
+            return self.report_error(&err, out);
         }
         Ok(())
     }
@@ -187,7 +217,11 @@ impl Repl {
                      :stats          LFP engine counters for the session program\n\
                      :plan <query>   adorned magic-set rewrite and join order for a goal\n\
                      :bench-serve [n] frozen-spec serving throughput on n queries (default 2048)\n\
-                     :save <path>    write the spec to a .fspec file\n\
+                     :save <path> [--binary]  write the spec to a .fspec file \
+                     (text v1, or binary v2 with --binary)\n\
+                     :open <dir>     attach a durable session journal: accepted \
+                     lines are WAL-logged and replayed on reopen after a crash\n\
+                     :wal-stats      durable session counters and recovery report\n\
                      :limit <n>      set the query enumeration limit\n\
                      :budget <rows|rounds|ms|bytes> <n>  cap evaluations (0 = unlimited)\n\
                      :cancel         request cancellation of governed evaluations\n\
@@ -314,6 +348,14 @@ impl Repl {
                         }
                         engine.record_serve_stats(self.serve.hits, self.serve.misses);
                         engine.record_demand_stats(self.demand);
+                        if let Some(session) = &self.session {
+                            let w = session.wal_stats();
+                            engine.record_wal_stats(
+                                w.records,
+                                w.round_commits,
+                                session.recovery().replayed_rounds as u64,
+                            );
+                        }
                         let s = engine.stats();
                         writeln!(
                             out,
@@ -358,6 +400,13 @@ impl Repl {
                         )?;
                         writeln!(
                             out,
+                            "durable log: wal records: {}, round commits: {}, \
+                             recovered rounds: {} (0 unless a session is \
+                             attached with :open)",
+                            s.wal_records, s.wal_round_commits, s.recovered_rounds
+                        )?;
+                        writeln!(
+                            out,
                             "eval threads: {} (override with FUNDB_THREADS; \
                              results are thread-count independent)",
                             engine.threads()
@@ -386,20 +435,98 @@ impl Repl {
                     }
                 }
             }
-            Some("save") => match parts.next() {
-                Some(path) => {
-                    let path = path.to_string();
-                    self.arm_governor();
-                    match self
-                        .ws
-                        .spec_bundle()
-                        .and_then(|bundle| write_spec_file(&path, &bundle, &self.ws.interner))
-                    {
-                        Ok(()) => writeln!(out, "wrote {path}")?,
-                        Err(e) => self.report_error(&e, out)?,
+            Some("save") => {
+                let args: Vec<&str> = parts.collect();
+                let binary = args.iter().any(|a| matches!(*a, "--binary" | "-b"));
+                let path = args
+                    .iter()
+                    .find(|a| !matches!(**a, "--binary" | "-b"))
+                    .map(|s| s.to_string());
+                match path {
+                    Some(path) => {
+                        self.arm_governor();
+                        match self.ws.spec_bundle().and_then(|bundle| {
+                            if binary {
+                                write_spec_file_binary(&path, &bundle, &self.ws.interner)
+                            } else {
+                                write_spec_file(&path, &bundle, &self.ws.interner)
+                            }
+                        }) {
+                            Ok(()) => writeln!(
+                                out,
+                                "wrote {path} ({})",
+                                if binary { "binary v2" } else { "text v1" }
+                            )?,
+                            Err(e) => self.report_error(&e, out)?,
+                        }
+                    }
+                    None => writeln!(out, "usage: :save <path> [--binary]")?,
+                }
+            }
+            Some("open") => match parts.next() {
+                Some(dir) => {
+                    match fundb_datalog::Database::open_durable(
+                        std::path::Path::new(dir),
+                        &mut self.ws.interner,
+                    ) {
+                        Ok(session) => {
+                            let lines: Vec<String> = session.notes().to_vec();
+                            let report = session.recovery().clone();
+                            self.session = Some(session);
+                            let mut replayed = 0usize;
+                            for text in &lines {
+                                if self.ws.parse(text).is_ok() {
+                                    replayed += 1;
+                                }
+                                self.ws.queries.clear();
+                            }
+                            if replayed > 0 {
+                                self.spec = None;
+                            }
+                            write!(out, "opened {dir}: replayed {replayed} line(s)")?;
+                            if report.dropped_records > 0 || report.truncated_bytes > 0 {
+                                write!(
+                                    out,
+                                    "; recovery truncated {} uncommitted record(s) \
+                                     ({} byte(s)) back to the last completed round",
+                                    report.dropped_records, report.truncated_bytes
+                                )?;
+                            }
+                            writeln!(out)?;
+                        }
+                        Err(e) => writeln!(out, "error: cannot open {dir}: {e}")?,
                     }
                 }
-                None => writeln!(out, "usage: :save <path>")?,
+                None => writeln!(out, "usage: :open <dir>")?,
+            },
+            Some("wal-stats") => match &self.session {
+                Some(session) => {
+                    let w = session.wal_stats();
+                    let r = session.recovery();
+                    writeln!(
+                        out,
+                        "durable session at {} (snapshot seq {})",
+                        session.dir().display(),
+                        session.seq()
+                    )?;
+                    writeln!(
+                        out,
+                        "wal: {} record(s), {} byte(s), {} round marker(s), \
+                         {} flush(es), {} fsync(s)",
+                        w.records, w.bytes, w.round_commits, w.flushes, w.syncs
+                    )?;
+                    writeln!(
+                        out,
+                        "recovery: replayed {} record(s) ({} fact(s), {} round(s)), \
+                         dropped {} uncommitted record(s), truncated {} byte(s)",
+                        r.replayed_records,
+                        r.replayed_facts,
+                        r.replayed_rounds,
+                        r.dropped_records,
+                        r.truncated_bytes
+                    )?;
+                }
+                None => writeln!(out, "no durable session; attach one with :open <dir>")?,
             },
             Some("limit") => match parts.next().and_then(|v| v.parse().ok()) {
                 Some(n) => self.limit = n,
@@ -440,6 +567,8 @@ impl Repl {
                     Ok(text) => match self.ws.parse(&text) {
                         Ok(()) => {
                             self.spec = None;
+                            let path = path.to_string();
+                            self.journal_line(&text, out)?;
                             writeln!(out, "loaded {path}")?;
                         }
                         Err(e) => writeln!(out, "error: {e}")?,
@@ -1016,6 +1145,86 @@ mod tests {
         let mut repl = Repl::new();
         feed(&mut repl, &[":quit"]);
         assert!(repl.is_done());
+    }
+
+    #[test]
+    fn save_binary_writes_magic_and_reloads() {
+        let dir = std::env::temp_dir().join(format!("fundb-repl-save-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let bin = dir.join("spec.bin");
+        let txt = dir.join("spec.txt");
+        let mut repl = Repl::new();
+        let out = feed(
+            &mut repl,
+            &[
+                "Even(t) -> Even(t+2).",
+                "Even(0).",
+                &format!(":save {} --binary", bin.display()),
+                &format!(":save {}", txt.display()),
+            ],
+        );
+        assert!(out.contains("binary v2"), "{out}");
+        assert!(out.contains("text v1"), "{out}");
+        let bytes = std::fs::read(&bin).unwrap();
+        assert!(bytes.starts_with(b"FDBSPECB"), "missing binary magic");
+        // Both formats reload through the auto-detecting reader and answer
+        // identically. (Renders can differ: each `:save` rebuilds the spec,
+        // and auxiliary predicates get fresh disambiguated names.)
+        let mut i1 = fundb_term::Interner::new();
+        let from_bin = fundb_core::read_spec_file(bin.to_str().unwrap(), &mut i1).unwrap();
+        let mut i2 = fundb_term::Interner::new();
+        let from_txt = fundb_core::read_spec_file(txt.to_str().unwrap(), &mut i2).unwrap();
+        assert_eq!(from_bin.spec.cluster_count(), from_txt.spec.cluster_count());
+        let even1 = fundb_term::Pred(i1.get("Even").unwrap());
+        let succ1 = fundb_term::Func(i1.get("+1").unwrap());
+        let even2 = fundb_term::Pred(i2.get("Even").unwrap());
+        let succ2 = fundb_term::Func(i2.get("+1").unwrap());
+        for n in 0..12usize {
+            assert_eq!(
+                from_bin.spec.holds(even1, &vec![succ1; n], &[]),
+                from_txt.spec.holds(even2, &vec![succ2; n], &[]),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn open_journals_session_and_replays_after_restart() {
+        let dir = std::env::temp_dir().join(format!("fundb-repl-open-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_s = dir.to_string_lossy().into_owned();
+        {
+            let mut repl = Repl::new();
+            let out = feed(
+                &mut repl,
+                &[
+                    &format!(":open {dir_s}"),
+                    "Meets(t, x), Next(x, y) -> Meets(t+1, y).",
+                    "Meets(0, Tony). Next(Tony, Jan). Next(Jan, Tony).",
+                    ":wal-stats",
+                ],
+            );
+            assert!(out.contains("opened"), "{out}");
+            assert!(out.contains("replayed 0 line(s)"), "{out}");
+            assert!(out.contains("round marker(s)"), "{out}");
+            // The session is dropped here without any explicit shutdown —
+            // the journal must already be flushed per accepted line.
+        }
+        let mut repl = Repl::new();
+        let out = feed(
+            &mut repl,
+            &[&format!(":open {dir_s}"), ":check Meets(6, Tony)"],
+        );
+        assert!(out.contains("replayed 2 line(s)"), "{out}");
+        assert!(out.contains("true"), "{out}");
+    }
+
+    #[test]
+    fn wal_stats_without_session_points_at_open() {
+        let mut repl = Repl::new();
+        let out = feed(&mut repl, &[":wal-stats"]);
+        assert!(out.contains(":open"), "{out}");
     }
 
     #[test]

@@ -164,6 +164,16 @@ pub struct EngineStats {
     /// Shared compiled-prefix evaluations reused across rules (see
     /// [`dl::EvalStats::shared_prefix_hits`]).
     pub shared_prefix_hits: usize,
+    /// WAL records appended by a durable session this engine reported into
+    /// (see `fundb_storage::WalStats`); stays 0 unless a durable store
+    /// reports in.
+    pub wal_records: u64,
+    /// Round-commit markers among those records — the durability points a
+    /// crash recovers to.
+    pub wal_round_commits: u64,
+    /// Completed rounds replayed from a WAL during the recovery that
+    /// produced this session's database (0 for a fresh session).
+    pub recovered_rounds: u64,
 }
 
 impl EngineStats {
@@ -378,6 +388,16 @@ impl Engine {
         self.stats.replans += es.replans;
         self.stats.bloom_skips += es.bloom_skips;
         self.stats.shared_prefix_hits += es.shared_prefix_hits;
+    }
+
+    /// Absorbs durable-storage counters (cumulative WAL totals and the
+    /// recovery that seeded the session) into the engine's stats, so
+    /// journaling cost and crash-recovery work show up next to evaluation
+    /// counters in `:stats` and the bench harness.
+    pub fn record_wal_stats(&mut self, records: u64, round_commits: u64, recovered_rounds: u64) {
+        self.stats.wal_records = records;
+        self.stats.wal_round_commits = round_commits;
+        self.stats.recovered_rounds = recovered_rounds;
     }
 
     // --- incremental updates -------------------------------------------------

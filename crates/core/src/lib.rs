@@ -64,7 +64,10 @@ pub use pure::{to_pure, PureProgram};
 pub use query::{relational_facts, relational_rules, IncrementalAnswer, Query};
 pub use quotient::QuotientModel;
 pub use serve::{FrozenEqSpec, FrozenGraphSpec, ServeQuery, ServeStats};
-pub use spec_io::{read_spec, read_spec_file, write_spec, write_spec_file, SpecBundle};
+pub use spec_io::{
+    read_spec, read_spec_binary, read_spec_file, write_spec, write_spec_binary, write_spec_file,
+    write_spec_file_binary, SpecBundle,
+};
 pub use state::State;
 
 // Execution-governor types, re-exported from the Datalog substrate so

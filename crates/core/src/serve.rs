@@ -219,6 +219,36 @@ impl FrozenGraphSpec {
         self.spec
     }
 
+    /// Persists the sealed specification to `path` in the versioned binary
+    /// spec format ([`crate::spec_io::SPEC_BIN_MAGIC`]), so a served spec
+    /// can be durably snapshotted without thawing the live snapshot. The
+    /// memo and answer cache are *not* written — they are derived data a
+    /// reload rebuilds on demand.
+    pub fn save_binary(
+        &self,
+        path: &str,
+        interner: &fundb_term::Interner,
+    ) -> crate::error::Result<()> {
+        let bundle = crate::spec_io::SpecBundle {
+            spec: self.spec.clone(),
+            sym_map: FxHashMap::default(),
+        };
+        crate::spec_io::write_spec_file_binary(path, &bundle, interner)
+    }
+
+    /// Loads a specification file (binary or text, auto-detected) and seals
+    /// it for serving. Inverse of [`FrozenGraphSpec::save_binary`]; any
+    /// mixed→pure symbol map stored alongside the spec is dropped (use
+    /// [`crate::spec_io::read_spec_file_frozen`] to keep it).
+    pub fn load_binary(
+        path: &str,
+        interner: &mut fundb_term::Interner,
+    ) -> crate::error::Result<Self> {
+        Ok(crate::spec_io::read_spec_file(path, interner)?
+            .spec
+            .freeze())
+    }
+
     /// Cumulative answer-cache counters.
     pub fn serve_stats(&self) -> ServeStats {
         ServeStats {
@@ -603,6 +633,33 @@ mod tests {
         }
         let stats = frozen.serve_stats();
         assert!(stats.hits >= 64, "warm sweep should hit: {stats:?}");
+    }
+
+    #[test]
+    fn frozen_graph_spec_binary_save_load_round_trip() {
+        let (mut i, spec, even, plus) = even_spec();
+        let frozen = spec.freeze();
+        let dir = std::env::temp_dir().join(format!("fundb-serve-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("even.spec.bin");
+        let path = path.to_str().unwrap();
+        frozen.save_binary(path, &i).unwrap();
+        // The file carries the binary magic, not the text format.
+        let bytes = std::fs::read(path).unwrap();
+        assert!(bytes.starts_with(&crate::spec_io::SPEC_BIN_MAGIC));
+        let reloaded = FrozenGraphSpec::load_binary(path, &mut i).unwrap();
+        assert_eq!(
+            reloaded.spec().cluster_count(),
+            frozen.spec().cluster_count()
+        );
+        for n in 0..64usize {
+            assert_eq!(
+                reloaded.holds(even, &vec![plus; n], &[]),
+                frozen.holds(even, &vec![plus; n], &[]),
+                "Even({n})"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -20,16 +20,31 @@
 //! end
 //! ```
 //!
-//! Symbol names are emitted verbatim, so they must not contain whitespace
-//! or `.` — true for everything the parser and the transformations produce
-//! (including `ext[A]`-style instantiated symbols and `+1`).
+//! In the text format symbol names are emitted verbatim, so they must not
+//! contain whitespace or `.` — true for everything the parser and the
+//! transformations produce (including `ext[A]`-style instantiated symbols
+//! and `+1`). [`write_spec`] *validates* this and returns an error rather
+//! than emitting a file that would silently re-tokenize differently.
+//!
+//! Version 2 of the format is binary ([`write_spec_binary`] /
+//! [`read_spec_binary`]): a magic-numbered, CRC-guarded container with a
+//! length-prefixed string table, so symbol names are unrestricted. Files
+//! from a *newer* format version are rejected explicitly instead of being
+//! misparsed. [`read_spec_file`] auto-detects which format it is handed.
 
 use crate::error::{Error, Result};
 use crate::gendb::AtomInterner;
 use crate::graphspec::{GraphSpec, SpecNodeId};
 use crate::state::State;
 use fundb_datalog as dl;
-use fundb_term::{Cst, Func, FuncOrder, FxHashMap, Interner, MixedSym, Pred, TermTree};
+use fundb_storage::codec::{crc32c, put_str, put_u32, put_u64, CodecError, Reader};
+use fundb_term::{Cst, Func, FuncOrder, FxHashMap, Interner, MixedSym, Pred, Sym, TermTree};
+
+/// Magic prefix of binary (version ≥ 2) specification files.
+pub const SPEC_BIN_MAGIC: [u8; 8] = *b"FDBSPECB";
+/// Newest binary specification format version this build writes and reads.
+/// (Version 1 is the line-oriented text format, which has no magic.)
+pub const SPEC_BIN_VERSION: u32 = 2;
 
 /// A serializable bundle: the specification plus the mixed→pure symbol map
 /// needed to interpret user-facing terms against it.
@@ -93,24 +108,37 @@ pub fn pure_path_with_map(
 }
 
 /// Serializes a specification (and symbol map) to the text format.
-pub fn write_spec(bundle: &SpecBundle, interner: &Interner) -> String {
+///
+/// Every symbol name is validated before it is emitted: a name that is
+/// empty or contains whitespace or `.` would re-tokenize differently on
+/// read (silent corruption), so it is rejected with [`Error::Parse`]
+/// instead. Such bundles can still be saved with [`write_spec_binary`],
+/// which has no character restrictions.
+pub fn write_spec(bundle: &SpecBundle, interner: &Interner) -> Result<String> {
     let spec = &bundle.spec;
-    let name = |s: fundb_term::Sym| -> &str {
+    let name = |s: Sym| -> Result<&str> {
         let n = interner.resolve(s);
-        assert!(
-            !n.contains(char::is_whitespace) && !n.contains('.') && !n.is_empty(),
-            "symbol `{n}` is not serializable"
-        );
-        n
+        if n.is_empty() || n.contains(char::is_whitespace) || n.contains('.') {
+            return Err(Error::Parse {
+                offset: 0,
+                detail: format!(
+                    "symbol `{n}` cannot be written in the text spec format \
+                     (empty, or contains whitespace or `.`); \
+                     use the binary format instead"
+                ),
+            });
+        }
+        Ok(n)
     };
-    let path_str = |path: &[Func]| -> String {
+    let path_str = |path: &[Func]| -> Result<String> {
         if path.is_empty() {
-            "-".to_string()
+            Ok("-".to_string())
         } else {
-            path.iter()
+            Ok(path
+                .iter()
                 .map(|f| name(f.sym()))
-                .collect::<Vec<_>>()
-                .join(".")
+                .collect::<Result<Vec<_>>>()?
+                .join("."))
         }
     };
 
@@ -119,32 +147,32 @@ pub fn write_spec(bundle: &SpecBundle, interner: &Interner) -> String {
     out.push_str("funcs");
     for f in spec.funcs.symbols() {
         out.push(' ');
-        out.push_str(name(f.sym()));
+        out.push_str(name(f.sym())?);
     }
     out.push('\n');
     for ((g, args), f) in &bundle.sym_map {
-        out.push_str(&format!("mixed {} {}", name(g.name), g.extra_args));
+        out.push_str(&format!("mixed {} {}", name(g.name)?, g.extra_args));
         for a in args.iter() {
             out.push(' ');
-            out.push_str(name(a.sym()));
+            out.push_str(name(a.sym())?);
         }
         out.push(' ');
-        out.push_str(name(f.sym()));
+        out.push_str(name(f.sym())?);
         out.push('\n');
     }
     for (i, node) in spec.nodes.iter().enumerate() {
         out.push_str(&format!(
             "node {i} {}\n",
-            path_str(&spec.tree.path(node.term))
+            path_str(&spec.tree.path(node.term))?
         ));
     }
     for (i, node) in spec.nodes.iter().enumerate() {
         for id in node.state.iter() {
             let (p, args) = spec.atoms.resolve(id);
-            out.push_str(&format!("atom {i} {}", name(p.sym())));
+            out.push_str(&format!("atom {i} {}", name(p.sym())?));
             for a in args {
                 out.push(' ');
-                out.push_str(name(a.sym()));
+                out.push_str(name(a.sym())?);
             }
             out.push('\n');
         }
@@ -152,25 +180,361 @@ pub fn write_spec(bundle: &SpecBundle, interner: &Interner) -> String {
     for (i, _) in spec.nodes.iter().enumerate() {
         for f in spec.funcs.symbols() {
             if let Some(to) = spec.successor.get(&(node_id(i), *f)) {
-                out.push_str(&format!("succ {i} {} {}\n", name(f.sym()), to.index()));
+                out.push_str(&format!("succ {i} {} {}\n", name(f.sym())?, to.index()));
             }
         }
     }
     for (p, rel) in spec.nf.iter() {
         for row in rel.rows() {
-            out.push_str(&format!("nf {}", name(p.sym())));
+            out.push_str(&format!("nf {}", name(p.sym())?));
             for a in row.iter() {
                 out.push(' ');
-                out.push_str(name(a.sym()));
+                out.push_str(name(a.sym())?);
             }
             out.push('\n');
         }
     }
     for (path, rep) in &spec.merges {
-        out.push_str(&format!("merge {} {}\n", path_str(path), rep.index()));
+        out.push_str(&format!("merge {} {}\n", path_str(path)?, rep.index()));
     }
     out.push_str("end\n");
+    Ok(out)
+}
+
+/// Builds the canonical string table of a binary spec: names registered in
+/// first-use order, referenced by dense `u32` id.
+struct SymTable<'a> {
+    interner: &'a Interner,
+    ids: FxHashMap<Sym, u32>,
+    names: Vec<&'a str>,
+}
+
+impl<'a> SymTable<'a> {
+    fn new(interner: &'a Interner) -> SymTable<'a> {
+        SymTable {
+            interner,
+            ids: FxHashMap::default(),
+            names: Vec::new(),
+        }
+    }
+
+    fn id(&mut self, s: Sym) -> u32 {
+        if let Some(&id) = self.ids.get(&s) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        self.names.push(self.interner.resolve(s));
+        self.ids.insert(s, id);
+        id
+    }
+}
+
+fn bin_err(detail: impl Into<String>) -> Error {
+    Error::Parse {
+        offset: 0,
+        detail: format!("binary spec: {}", detail.into()),
+    }
+}
+
+impl From<CodecError> for Error {
+    fn from(e: CodecError) -> Error {
+        bin_err(e.to_string())
+    }
+}
+
+/// Serializes a specification (and symbol map) to the binary (version 2)
+/// format: `FDBSPECB` magic, version, CRC-guarded body with a
+/// length-prefixed string table. Unlike the text format there are no
+/// restrictions on symbol names, and the output is canonical — the same
+/// bundle always encodes to the same bytes.
+pub fn write_spec_binary(bundle: &SpecBundle, interner: &Interner) -> Vec<u8> {
+    let spec = &bundle.spec;
+    let mut table = SymTable::new(interner);
+    let mut body = Vec::new();
+
+    put_u64(&mut body, spec.c as u64);
+
+    put_u32(&mut body, spec.funcs.symbols().len() as u32);
+    for f in spec.funcs.symbols() {
+        put_u32(&mut body, table.id(f.sym()));
+    }
+
+    // Canonical order for the hash-map-backed sections: sort by resolved
+    // names so identical bundles produce identical bytes regardless of
+    // insertion history.
+    #[allow(clippy::type_complexity)]
+    let mut mixed: Vec<(&(MixedSym, Box<[Cst]>), &Func)> = bundle.sym_map.iter().collect();
+    mixed.sort_by_key(|((g, args), _)| {
+        (
+            interner.resolve(g.name),
+            args.iter()
+                .map(|a| interner.resolve(a.sym()))
+                .collect::<Vec<_>>(),
+        )
+    });
+    put_u32(&mut body, mixed.len() as u32);
+    for ((g, args), f) in mixed {
+        put_u32(&mut body, table.id(g.name));
+        body.push(g.extra_args);
+        for a in args.iter() {
+            put_u32(&mut body, table.id(a.sym()));
+        }
+        put_u32(&mut body, table.id(f.sym()));
+    }
+
+    put_u32(&mut body, spec.nodes.len() as u32);
+    for node in &spec.nodes {
+        let path = spec.tree.path(node.term);
+        put_u32(&mut body, path.len() as u32);
+        for f in &path {
+            put_u32(&mut body, table.id(f.sym()));
+        }
+    }
+
+    let mut atom_section = Vec::new();
+    let mut atom_count = 0u32;
+    for (i, node) in spec.nodes.iter().enumerate() {
+        for id in node.state.iter() {
+            let (p, args) = spec.atoms.resolve(id);
+            put_u32(&mut atom_section, i as u32);
+            put_u32(&mut atom_section, table.id(p.sym()));
+            put_u32(&mut atom_section, args.len() as u32);
+            for a in args {
+                put_u32(&mut atom_section, table.id(a.sym()));
+            }
+            atom_count += 1;
+        }
+    }
+    put_u32(&mut body, atom_count);
+    body.extend_from_slice(&atom_section);
+
+    let mut succ_section = Vec::new();
+    let mut succ_count = 0u32;
+    for (i, _) in spec.nodes.iter().enumerate() {
+        for f in spec.funcs.symbols() {
+            if let Some(to) = spec.successor.get(&(node_id(i), *f)) {
+                put_u32(&mut succ_section, i as u32);
+                put_u32(&mut succ_section, table.id(f.sym()));
+                put_u32(&mut succ_section, to.index() as u32);
+                succ_count += 1;
+            }
+        }
+    }
+    put_u32(&mut body, succ_count);
+    body.extend_from_slice(&succ_section);
+
+    let mut rels: Vec<(Pred, &dl::Relation)> = spec.nf.iter().collect();
+    rels.sort_by_key(|(p, _)| interner.resolve(p.sym()));
+    put_u32(&mut body, rels.len() as u32);
+    for (p, rel) in rels {
+        put_u32(&mut body, table.id(p.sym()));
+        put_u32(&mut body, rel.arity() as u32);
+        put_u64(&mut body, rel.len() as u64);
+        for row in rel.rows() {
+            for a in row {
+                put_u32(&mut body, table.id(a.sym()));
+            }
+        }
+    }
+
+    put_u32(&mut body, spec.merges.len() as u32);
+    for (path, rep) in &spec.merges {
+        put_u32(&mut body, path.len() as u32);
+        for f in path {
+            put_u32(&mut body, table.id(f.sym()));
+        }
+        put_u32(&mut body, rep.index() as u32);
+    }
+
+    // Assemble: the string table precedes the sections that reference it.
+    let mut full_body = Vec::new();
+    put_u32(&mut full_body, table.names.len() as u32);
+    for name in &table.names {
+        put_str(&mut full_body, name);
+    }
+    full_body.extend_from_slice(&body);
+
+    let mut out = Vec::with_capacity(full_body.len() + 24);
+    out.extend_from_slice(&SPEC_BIN_MAGIC);
+    put_u32(&mut out, SPEC_BIN_VERSION);
+    put_u64(&mut out, full_body.len() as u64);
+    put_u32(&mut out, crc32c(&full_body));
+    out.extend_from_slice(&full_body);
     out
+}
+
+/// Parses the binary (version 2) format back into a [`SpecBundle`].
+/// Corruption (bad magic, truncation, CRC mismatch, malformed body)
+/// becomes [`Error::Parse`]; a file written by a *newer* format version is
+/// rejected explicitly rather than misread.
+pub fn read_spec_binary(bytes: &[u8], interner: &mut Interner) -> Result<SpecBundle> {
+    let mut r = Reader::new(bytes);
+    if r.bytes(8)
+        .map_err(|_| bin_err("file too short for header"))?
+        != SPEC_BIN_MAGIC
+    {
+        return Err(bin_err("bad magic (not a binary spec file)"));
+    }
+    let version = r.u32()?;
+    if version > SPEC_BIN_VERSION {
+        return Err(bin_err(format!(
+            "format version {version} is from a newer build \
+             (this build reads ≤ {SPEC_BIN_VERSION})"
+        )));
+    }
+    if version < SPEC_BIN_VERSION {
+        return Err(bin_err(format!(
+            "format version {version} is not binary (text files have no magic)"
+        )));
+    }
+    let body_len = r.u64()? as usize;
+    let crc = r.u32()?;
+    let body = r.bytes(body_len).map_err(|_| bin_err("truncated body"))?;
+    if !r.is_empty() {
+        return Err(bin_err("trailing bytes after body"));
+    }
+    if crc32c(body) != crc {
+        return Err(bin_err("body checksum mismatch (corrupt file)"));
+    }
+
+    let mut r = Reader::new(body);
+    let nstrings = r.u32()? as usize;
+    let mut syms: Vec<Sym> = Vec::with_capacity(nstrings);
+    for _ in 0..nstrings {
+        syms.push(interner.intern(r.str()?));
+    }
+    let sym = |id: u32| -> Result<Sym> {
+        syms.get(id as usize)
+            .copied()
+            .ok_or_else(|| bin_err(format!("string table id {id} out of range")))
+    };
+
+    let c = r.u64()? as usize;
+
+    let nfuncs = r.u32()? as usize;
+    let mut funcs = Vec::with_capacity(nfuncs);
+    for _ in 0..nfuncs {
+        funcs.push(Func(sym(r.u32()?)?));
+    }
+
+    let nmixed = r.u32()? as usize;
+    let mut sym_map: FxHashMap<(MixedSym, Box<[Cst]>), Func> = FxHashMap::default();
+    for _ in 0..nmixed {
+        let gname = sym(r.u32()?)?;
+        let extra = r.u8()?;
+        let args: Box<[Cst]> = (0..extra)
+            .map(|_| Ok(Cst(sym(r.u32()?)?)))
+            .collect::<Result<_>>()?;
+        let f = Func(sym(r.u32()?)?);
+        sym_map.insert(
+            (
+                MixedSym {
+                    name: gname,
+                    extra_args: extra,
+                },
+                args,
+            ),
+            f,
+        );
+    }
+
+    let nnodes = r.u32()? as usize;
+    let mut tree = TermTree::new();
+    let mut node_terms = Vec::with_capacity(nnodes);
+    let mut states = Vec::with_capacity(nnodes);
+    let mut path_buf: Vec<Func> = Vec::new();
+    for _ in 0..nnodes {
+        let plen = r.u32()? as usize;
+        path_buf.clear();
+        for _ in 0..plen {
+            path_buf.push(Func(sym(r.u32()?)?));
+        }
+        node_terms.push(tree.intern_path(&path_buf));
+        states.push(State::new());
+    }
+
+    let natoms = r.u32()? as usize;
+    let mut atoms = AtomInterner::new();
+    for _ in 0..natoms {
+        let idx = r.u32()? as usize;
+        let pred = Pred(sym(r.u32()?)?);
+        let argc = r.u32()? as usize;
+        let args: Vec<Cst> = (0..argc)
+            .map(|_| Ok(Cst(sym(r.u32()?)?)))
+            .collect::<Result<_>>()?;
+        let id = atoms.intern(pred, &args);
+        states
+            .get_mut(idx)
+            .ok_or_else(|| bin_err("atom refers to an unknown node"))?
+            .insert(id);
+    }
+
+    let nsucc = r.u32()? as usize;
+    let mut successor: FxHashMap<(SpecNodeId, Func), SpecNodeId> = FxHashMap::default();
+    for _ in 0..nsucc {
+        let from = r.u32()? as usize;
+        let f = Func(sym(r.u32()?)?);
+        let to = r.u32()? as usize;
+        if from >= nnodes || to >= nnodes {
+            return Err(bin_err("successor refers to an unknown node"));
+        }
+        successor.insert((node_id(from), f), node_id(to));
+    }
+
+    let nrels = r.u32()? as usize;
+    let mut nf = dl::Database::new();
+    let mut row_buf: Vec<Cst> = Vec::new();
+    for _ in 0..nrels {
+        let pred = Pred(sym(r.u32()?)?);
+        let arity = r.u32()? as usize;
+        let nrows = r.u64()? as usize;
+        for _ in 0..nrows {
+            row_buf.clear();
+            for _ in 0..arity {
+                row_buf.push(Cst(sym(r.u32()?)?));
+            }
+            nf.insert(pred, &row_buf);
+        }
+    }
+
+    let nmerges = r.u32()? as usize;
+    let mut merges = Vec::with_capacity(nmerges);
+    for _ in 0..nmerges {
+        let plen = r.u32()? as usize;
+        let path: Vec<Func> = (0..plen)
+            .map(|_| Ok(Func(sym(r.u32()?)?)))
+            .collect::<Result<_>>()?;
+        let rep = r.u32()? as usize;
+        if rep >= nnodes {
+            return Err(bin_err("merge refers to an unknown node"));
+        }
+        merges.push((path, node_id(rep)));
+    }
+
+    if !r.is_empty() {
+        return Err(bin_err("trailing bytes inside body"));
+    }
+
+    let nodes: Vec<crate::graphspec::SpecNode> = node_terms
+        .iter()
+        .zip(states)
+        .map(|(&term, state)| crate::graphspec::SpecNode { term, state })
+        .collect();
+    let active_count = nodes.iter().filter(|n| tree.depth(n.term) > c).count();
+    Ok(SpecBundle {
+        spec: GraphSpec {
+            c,
+            funcs: FuncOrder::new(funcs),
+            tree,
+            nodes,
+            successor,
+            atoms,
+            nf,
+            merges,
+            active_count,
+        },
+        sym_map,
+    })
 }
 
 fn node_id(i: usize) -> SpecNodeId {
@@ -363,19 +727,37 @@ pub fn read_spec(text: &str, interner: &mut Interner) -> Result<SpecBundle> {
     })
 }
 
-/// Reads a specification file from disk. I/O failures become
-/// [`Error::Io`] and malformed content becomes [`Error::Parse`], so a bad
-/// file never aborts the caller (the REPL keeps its session alive).
+/// Reads a specification file from disk, auto-detecting the format: files
+/// that open with the [`SPEC_BIN_MAGIC`] bytes are parsed as binary
+/// (version ≥ 2), anything else as the version-1 text format. I/O failures
+/// become [`Error::Io`] and malformed content becomes [`Error::Parse`], so
+/// a bad file never aborts the caller (the REPL keeps its session alive).
 pub fn read_spec_file(path: &str, interner: &mut Interner) -> Result<SpecBundle> {
-    let text = std::fs::read_to_string(path).map_err(|e| Error::io(path, &e))?;
+    let bytes = std::fs::read(path).map_err(|e| Error::io(path, &e))?;
+    if bytes.starts_with(&SPEC_BIN_MAGIC) {
+        return read_spec_binary(&bytes, interner);
+    }
+    let text = String::from_utf8(bytes).map_err(|_| Error::Parse {
+        offset: 0,
+        detail: format!("{path}: neither a binary spec (no magic) nor UTF-8 text"),
+    })?;
     read_spec(&text, interner)
 }
 
-/// Writes a specification file to disk, mapping I/O failures to
-/// [`Error::Io`].
+/// Writes a specification file to disk in the text format, mapping I/O
+/// failures to [`Error::Io`]. Fails without touching the file if the
+/// bundle contains symbols the text format cannot carry — use
+/// [`write_spec_file_binary`] for those.
 pub fn write_spec_file(path: &str, bundle: &SpecBundle, interner: &Interner) -> Result<()> {
-    let text = write_spec(bundle, interner);
+    let text = write_spec(bundle, interner)?;
     std::fs::write(path, text).map_err(|e| Error::io(path, &e))
+}
+
+/// Writes a specification file to disk in the binary (version 2) format,
+/// mapping I/O failures to [`Error::Io`].
+pub fn write_spec_file_binary(path: &str, bundle: &SpecBundle, interner: &Interner) -> Result<()> {
+    let bytes = write_spec_binary(bundle, interner);
+    std::fs::write(path, bytes).map_err(|e| Error::io(path, &e))
 }
 
 #[cfg(test)]
@@ -439,7 +821,8 @@ mod tests {
                 sym_map: FxHashMap::default(),
             },
             &i,
-        );
+        )
+        .unwrap();
         let mut i2 = Interner::new();
         let bundle = read_spec(&text, &mut i2).unwrap();
         // Resolve symbols in the new interner.
@@ -462,7 +845,7 @@ mod tests {
         // Rendering (a superset of the structure) is identical.
         assert_eq!(spec.render(&i), bundle.spec.render(&i2));
         // Second round trip is byte-identical (canonical form).
-        let text2 = write_spec(&bundle, &i2);
+        let text2 = write_spec(&bundle, &i2).unwrap();
         assert_eq!(text, text2);
     }
 
@@ -500,7 +883,7 @@ mod tests {
         let fa3 = Func(i3.intern("ext[A]"));
         let mut sym_map = FxHashMap::default();
         sym_map.insert((g3, vec![a3].into_boxed_slice()), fa3);
-        let text = write_spec(&SpecBundle { spec, sym_map }, &i3);
+        let text = write_spec(&SpecBundle { spec, sym_map }, &i3).unwrap();
         let mut i4 = Interner::new();
         let bundle = read_spec(&text, &mut i4).unwrap();
         assert_eq!(bundle.sym_map.len(), 1);
@@ -512,5 +895,116 @@ mod tests {
         let fa4 = Func(i4.get("ext[A]").unwrap());
         assert_eq!(bundle.sym_map[&(g4, vec![a4].into_boxed_slice())], fa4);
         let _ = (g, a, fa);
+    }
+
+    #[test]
+    fn text_write_rejects_unserializable_symbols_binary_carries_them() {
+        let (mut i, mut spec, meets, succ, tony, _) = meets_spec();
+        // A predicate name with a space would re-tokenize differently in
+        // the text format; writing it used to be an assert (process
+        // abort), now it is a reported error.
+        let weird = Pred(i.intern("has space"));
+        let dotted = Cst(i.intern("a.b"));
+        spec.nf.insert(weird, &[dotted]);
+        let bundle = SpecBundle {
+            spec,
+            sym_map: FxHashMap::default(),
+        };
+        let err = write_spec(&bundle, &i).unwrap_err();
+        assert!(
+            matches!(&err, Error::Parse { detail, .. } if detail.contains("binary")),
+            "unexpected error: {err}"
+        );
+        // The binary format has no such restriction: full round trip.
+        let bytes = write_spec_binary(&bundle, &i);
+        let mut i2 = Interner::new();
+        let back = read_spec_binary(&bytes, &mut i2).unwrap();
+        let weird2 = Pred(i2.get("has space").unwrap());
+        let dotted2 = Cst(i2.get("a.b").unwrap());
+        assert!(back.spec.nf.contains(weird2, &[dotted2]));
+        let meets2 = Pred(i2.get("Meets").unwrap());
+        let succ2 = Func(i2.get("+1").unwrap());
+        let tony2 = Cst(i2.get("Tony").unwrap());
+        for n in 0..20usize {
+            assert_eq!(
+                bundle.spec.holds(meets, &vec![succ; n], &[tony]),
+                back.spec.holds(meets2, &vec![succ2; n], &[tony2]),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn binary_round_trip_is_canonical_and_auto_detected() {
+        let (i, spec, meets, succ, tony, jan) = meets_spec();
+        let bundle = SpecBundle {
+            spec,
+            sym_map: FxHashMap::default(),
+        };
+        let bytes = write_spec_binary(&bundle, &i);
+        let mut i2 = Interner::new();
+        let back = read_spec_binary(&bytes, &mut i2).unwrap();
+        let meets2 = Pred(i2.get("Meets").unwrap());
+        let succ2 = Func(i2.get("+1").unwrap());
+        let tony2 = Cst(i2.get("Tony").unwrap());
+        let jan2 = Cst(i2.get("Jan").unwrap());
+        for n in 0..30usize {
+            assert_eq!(
+                bundle.spec.holds(meets, &vec![succ; n], &[tony]),
+                back.spec.holds(meets2, &vec![succ2; n], &[tony2]),
+                "n={n}"
+            );
+            assert_eq!(
+                bundle.spec.holds(meets, &vec![succ; n], &[jan]),
+                back.spec.holds(meets2, &vec![succ2; n], &[jan2]),
+                "n={n}"
+            );
+        }
+        assert_eq!(bundle.spec.render(&i), back.spec.render(&i2));
+        // Canonical: re-encoding from the fresh interner is byte-identical.
+        assert_eq!(bytes, write_spec_binary(&back, &i2));
+
+        // read_spec_file auto-detects both formats on disk.
+        let dir = std::env::temp_dir().join(format!("fundb-specio-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let bin_path = dir.join("spec.bin");
+        let txt_path = dir.join("spec.txt");
+        write_spec_file_binary(bin_path.to_str().unwrap(), &bundle, &i).unwrap();
+        write_spec_file(txt_path.to_str().unwrap(), &bundle, &i).unwrap();
+        let mut i3 = Interner::new();
+        let from_bin = read_spec_file(bin_path.to_str().unwrap(), &mut i3).unwrap();
+        let mut i4 = Interner::new();
+        let from_txt = read_spec_file(txt_path.to_str().unwrap(), &mut i4).unwrap();
+        assert_eq!(from_bin.spec.render(&i3), from_txt.spec.render(&i4));
+    }
+
+    #[test]
+    fn binary_rejects_corruption_and_future_versions() {
+        let (i, spec, ..) = meets_spec();
+        let bundle = SpecBundle {
+            spec,
+            sym_map: FxHashMap::default(),
+        };
+        let bytes = write_spec_binary(&bundle, &i);
+
+        let mut i2 = Interner::new();
+        assert!(read_spec_binary(b"garbage", &mut i2).is_err());
+        assert!(read_spec_binary(&bytes[..bytes.len() - 1], &mut i2).is_err());
+
+        let mut flipped = bytes.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0xFF;
+        let Err(err) = read_spec_binary(&flipped, &mut i2) else {
+            panic!("flipped byte accepted");
+        };
+        assert!(err.to_string().contains("checksum"), "got: {err}");
+
+        let mut future = bytes.clone();
+        future[8..12].copy_from_slice(&99u32.to_le_bytes());
+        let Err(err) = read_spec_binary(&future, &mut i2) else {
+            panic!("future version accepted");
+        };
+        assert!(err.to_string().contains("newer build"), "got: {err}");
     }
 }

@@ -102,6 +102,65 @@ impl EvalStats {
     }
 }
 
+/// Observer of the deterministic commit sequence of a governed fixpoint
+/// run, attached via [`IncrementalEval::run_with_sink`]. The durable
+/// storage layer implements this to tee every committed row and every
+/// completed-round boundary into a write-ahead log.
+///
+/// All callbacks run on the coordinating thread at round boundaries,
+/// after the sequential, task-ordered merge, so the observed sequence is
+/// byte-identical at any thread count — the same determinism contract the
+/// row store itself keeps. Erroring out of
+/// [`round_committed`](RoundSink::round_committed)
+/// aborts the run with [`EvalError::WalFailed`]; the in-memory database
+/// still holds every completed round.
+pub trait RoundSink {
+    /// One row was inserted into `pred` by the round's merge. Infallible
+    /// by design: implementations buffer IO errors and surface them from
+    /// the next [`round_committed`](RoundSink::round_committed).
+    fn row_committed(&mut self, pred: Pred, row: &[Cst]);
+
+    /// This round's freshly inserted rows for `pred`: `count` rows of
+    /// `arity` cells each, as one contiguous arena slice in insertion
+    /// order (`cells` is empty when `arity` is 0). The engine feeds each
+    /// round's touched relations in predicate order once the round's
+    /// merge completes, so a bulk implementation can copy whole slices;
+    /// the default forwards to [`row_committed`](RoundSink::row_committed)
+    /// row by row. Per-relation row order — the order that assigns
+    /// [`RowId`](crate::RowId)s — is identical at every thread count.
+    fn rows_committed(&mut self, pred: Pred, arity: usize, count: usize, cells: &[Cst]) {
+        if arity == 0 {
+            for _ in 0..count {
+                self.row_committed(pred, &[]);
+            }
+        } else {
+            for row in cells.chunks_exact(arity) {
+                self.row_committed(pred, row);
+            }
+        }
+    }
+
+    /// A fixpoint round completed and its rows are all in the database
+    /// (also called for rounds that derived nothing, including the final
+    /// no-change round). `stats` is the run's cumulative counter snapshot
+    /// at this boundary — exactly what [`IncrementalEval::run`] would
+    /// report if the run stopped here. `Err` aborts the run with
+    /// [`EvalError::WalFailed`] carrying the message.
+    fn round_committed(&mut self, stats: &EvalStats) -> Result<(), String>;
+}
+
+/// The sink type behind sink-less [`IncrementalEval::run`] — never
+/// instantiated, it just gives `run_inner`'s generic parameter a concrete
+/// type whose (empty, inlined) callbacks compile out of the merge loop.
+enum NoopSink {}
+
+impl RoundSink for NoopSink {
+    fn row_committed(&mut self, _pred: Pred, _row: &[Cst]) {}
+    fn round_committed(&mut self, _stats: &EvalStats) -> Result<(), String> {
+        Ok(())
+    }
+}
+
 /// One mid-run re-plan applied by the adaptive evaluator: before `round`
 /// started, `rule`'s compiled programs were replaced by a recompile against
 /// live statistics, changing at least one atom order.
@@ -275,6 +334,10 @@ pub struct IncrementalEval {
     drifted: Vec<u32>,
     /// Every re-plan applied so far, in application order.
     replan_log: Vec<ReplanEvent>,
+    /// Scratch for the per-round sink hand-off (relations the round
+    /// touched, in predicate order) — reused so sink-attached runs don't
+    /// allocate per round.
+    sink_touched: Vec<Pred>,
 }
 
 impl Default for IncrementalEval {
@@ -291,6 +354,7 @@ impl Default for IncrementalEval {
             est_cache: FxHashMap::default(),
             drifted: Vec::new(),
             replan_log: Vec::new(),
+            sink_touched: Vec::new(),
         }
     }
 }
@@ -381,6 +445,44 @@ impl IncrementalEval {
         db: &mut Database,
         rules: &[Rule],
         plan: &DeltaPlan,
+    ) -> Result<EvalStats, EvalError> {
+        self.run_inner::<NoopSink>(db, rules, plan, None)
+    }
+
+    /// [`IncrementalEval::run`] with a [`RoundSink`] observing the commit
+    /// sequence: every inserted row (in deterministic merge order) and
+    /// every completed-round boundary. The durable storage layer uses this
+    /// to write its WAL at exactly the governor's checkpoint boundaries,
+    /// so recovery always replays onto a completed-round prefix.
+    ///
+    /// Error returns never report a round the sink was not told about: a
+    /// budget trip, fault, or panic surfaces *before* the tripping round's
+    /// marker, and a sink failure surfaces as [`EvalError::WalFailed`]. The
+    /// one asymmetry is [`Resource::Rows`](crate::Resource::Rows), whose
+    /// deterministic partial merge stays in the in-memory database but is
+    /// never handed to the sink (rows reach the sink only when their round
+    /// completes) — a recovered store drops exactly that partial tail.
+    /// The sink parameter is generic (not `&mut dyn`) so a concrete sink's
+    /// per-row callback inlines into the merge loop — the WAL encoder runs
+    /// on every derived row, and virtual dispatch there is measurable
+    /// against the E17 ≤5% overhead budget. `dyn RoundSink` still works
+    /// (`S: ?Sized`).
+    pub fn run_with_sink<S: RoundSink + ?Sized>(
+        &mut self,
+        db: &mut Database,
+        rules: &[Rule],
+        plan: &DeltaPlan,
+        sink: &mut S,
+    ) -> Result<EvalStats, EvalError> {
+        self.run_inner(db, rules, plan, Some(sink))
+    }
+
+    fn run_inner<S: RoundSink + ?Sized>(
+        &mut self,
+        db: &mut Database,
+        rules: &[Rule],
+        plan: &DeltaPlan,
+        mut sink: Option<&mut S>,
     ) -> Result<EvalStats, EvalError> {
         let threads = self.effective_threads();
         let gov = self.governor.clone();
@@ -524,6 +626,13 @@ impl IncrementalEval {
                     }
                 }
                 if work.is_empty() {
+                    // Nothing to do is itself a completed round: mark it so
+                    // a recovered run reports the same `rounds` counter.
+                    if let Some(s) = sink.as_mut() {
+                        if let Err(detail) = s.round_committed(&stats) {
+                            return Err(EvalError::WalFailed { detail });
+                        }
+                    }
                     return Ok(stats);
                 }
                 work.sort_unstable();
@@ -637,8 +746,7 @@ impl IncrementalEval {
                 for (&ri, &est) in &round_est {
                     let obs = observed.get(&ri).copied().unwrap_or(0);
                     if obs >= DRIFT_MIN_PROBES
-                        && ((obs as f64) > est * DRIFT_FACTOR
-                            || (obs as f64) * DRIFT_FACTOR < est)
+                        && ((obs as f64) > est * DRIFT_FACTOR || (obs as f64) * DRIFT_FACTOR < est)
                     {
                         self.drifted.push(ri);
                     }
@@ -666,6 +774,35 @@ impl IncrementalEval {
                             partial: stats,
                         });
                     }
+                }
+            }
+            // Round boundary: the merge is complete and `stats` describes
+            // exactly the committed state, so this is the durable-log
+            // checkpoint. The round's inserted rows are handed over as
+            // contiguous arena slices, relation by relation in predicate
+            // order — rows land in their relations before the sink sees
+            // them, and per-relation order is the merge's (sequential,
+            // deterministic) insertion order, so the observed sequence is
+            // byte-identical at any thread count. A sink failure aborts
+            // the run *after* the in-memory commit — the database keeps
+            // the round, the log ends at the previous marker.
+            if let Some(s) = sink.as_mut() {
+                let marks = &self.marks;
+                let touched = &mut self.sink_touched;
+                touched.clear();
+                touched.extend(
+                    db.iter()
+                        .filter(|&(p, rel)| rel.len() > marks.get(&p).copied().unwrap_or(0))
+                        .map(|(p, _)| p),
+                );
+                touched.sort_unstable();
+                for &p in touched.iter() {
+                    let rel = db.relation(p).expect("touched relation exists");
+                    let from = marks.get(&p).copied().unwrap_or(0);
+                    s.rows_committed(p, rel.arity(), rel.len() - from, rel.cells_from(from));
+                }
+                if let Err(detail) = s.round_committed(&stats) {
+                    return Err(EvalError::WalFailed { detail });
                 }
             }
             first = false;
@@ -981,7 +1118,9 @@ fn run_group(
     let mut prefix_stats = EvalStats::default();
     // Which member's continuation is running, for panic attribution.
     let active = Cell::new(0usize);
-    let range = tasks[group.members[0] as usize].delta.map(|d| (d.start, d.end));
+    let range = tasks[group.members[0] as usize]
+        .delta
+        .map(|d| (d.start, d.end));
     let limit = group.shared_len;
     debug_assert!(progs.iter().all(|p| p.op_len() >= limit));
     let outcome = {
@@ -993,21 +1132,36 @@ fn run_group(
             for &ti in &group.members {
                 inject_task_fault(fault, base + ti as usize);
             }
-            progs[0].execute_prefix(db, limit, range, &mut regs, guard, &mut prefix_stats, &mut |regs| {
-                // One prefix evaluation serves every member: the other
-                // `members - 1` evaluations are the cache hits.
-                stats[0].shared_prefix_hits += progs.len() - 1;
-                for (m, prog) in progs.iter().enumerate() {
-                    active.set(m);
-                    let pred = prog.head_pred();
-                    let buf = &mut bufs[m];
-                    prog.execute_from(db, limit, regs, guard, &mut stats[m], &mut |head, r| {
-                        buf.push_slots(pred, head, r);
-                    })?;
-                }
-                active.set(0);
-                Ok(())
-            })
+            progs[0].execute_prefix(
+                db,
+                limit,
+                range,
+                &mut regs,
+                guard,
+                &mut prefix_stats,
+                &mut |regs| {
+                    // One prefix evaluation serves every member: the other
+                    // `members - 1` evaluations are the cache hits.
+                    stats[0].shared_prefix_hits += progs.len() - 1;
+                    for (m, prog) in progs.iter().enumerate() {
+                        active.set(m);
+                        let pred = prog.head_pred();
+                        let buf = &mut bufs[m];
+                        prog.execute_from(
+                            db,
+                            limit,
+                            regs,
+                            guard,
+                            &mut stats[m],
+                            &mut |head, r| {
+                                buf.push_slots(pred, head, r);
+                            },
+                        )?;
+                    }
+                    active.set(0);
+                    Ok(())
+                },
+            )
         }))
     };
     match outcome {
@@ -1234,11 +1388,11 @@ pub fn evaluate_naive_governed(
             overrides: &[],
         };
         let groups = build_groups(&view, &tasks, false);
-        let results =
-            match run_tasks_sequential(db, &view, &tasks, &groups, base, governor, &fault) {
-                Ok(results) => results,
-                Err(abort) => return Err(abort.into_eval_error(committed)),
-            };
+        let results = match run_tasks_sequential(db, &view, &tasks, &groups, base, governor, &fault)
+        {
+            Ok(results) => results,
+            Err(abort) => return Err(abort.into_eval_error(committed)),
+        };
         let mut buffer = DerivedBuffer::default();
         for (_, buf, st) in results {
             buffer.absorb(buf);
@@ -2788,7 +2942,10 @@ mod tests {
             (db.dump(&i), stats, eval.replan_history().to_vec())
         };
         let (rows1, stats1, log1) = run(1);
-        assert_eq!(stats1.replans, 1, "drift should install exactly one re-plan");
+        assert_eq!(
+            stats1.replans, 1,
+            "drift should install exactly one re-plan"
+        );
         assert_eq!(
             log1,
             vec![ReplanEvent {

@@ -100,6 +100,16 @@ pub enum EvalError {
         /// The panic payload, rendered as text.
         payload: String,
     },
+    /// The durable-log sink attached to the run
+    /// ([`IncrementalEval::run_with_sink`](crate::IncrementalEval::run_with_sink))
+    /// failed to persist a committed round. The in-memory database still
+    /// holds every completed round, but the write-ahead log ends at the
+    /// last round whose commit marker reached the sink, so recovery will
+    /// land on that earlier completed-round prefix.
+    WalFailed {
+        /// The sink's error, rendered as text (typically an `io::Error`).
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for EvalError {
@@ -112,6 +122,9 @@ impl std::fmt::Display for EvalError {
             ),
             EvalError::WorkerPanicked { task, payload } => {
                 write!(f, "evaluation task {task} panicked: {payload}")
+            }
+            EvalError::WalFailed { detail } => {
+                write!(f, "durable log write failed: {detail}")
             }
         }
     }
@@ -210,6 +223,20 @@ impl CancelToken {
 ///   exercising mid-fixpoint budget exhaustion;
 /// * `slow_probe:N` — every probe-level governor check sleeps `N`
 ///   microseconds, driving deadline hits without timing races.
+///
+/// IO faults, consumed by the durable-storage layer (`fundb-storage`) to
+/// drive crash-recovery tests; the in-memory evaluator ignores them:
+///
+/// * `torn_write:N` — the `N`-th record appended through a WAL handle
+///   (1-based) reaches the file only as a prefix, as if the process died
+///   mid-`write`, and the handle goes dead;
+/// * `short_read:N` — the recovery scan treats the `N`-th log record as
+///   cut off by end-of-file, exercising truncation of an incomplete tail;
+/// * `fsync_fail:N` — the `N`-th explicit durability sync on a WAL handle
+///   reports an IO error;
+/// * `crash_after_record:N` — after `N` records were appended through a
+///   WAL handle, every further append fails, simulating a process that
+///   loses its log mid-run but keeps executing in memory.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct FaultPlan {
     /// Global index of the task that panics.
@@ -218,23 +245,53 @@ pub struct FaultPlan {
     pub fail_round: Option<usize>,
     /// Microseconds slept at each probe-level check.
     pub slow_probe: Option<u64>,
+    /// 1-based WAL record whose append is cut short (IO fault).
+    pub torn_write: Option<usize>,
+    /// 1-based WAL record the recovery scan sees as truncated (IO fault).
+    pub short_read: Option<usize>,
+    /// 1-based durability sync that reports an IO error (IO fault).
+    pub fsync_fail: Option<usize>,
+    /// Appended records after which the WAL handle rejects writes (IO
+    /// fault).
+    pub crash_after_record: Option<usize>,
 }
 
 impl FaultPlan {
     /// Parses a `FUNDB_FAULT`-style spec (`"panic_task:3,slow_probe:500"`).
-    /// Unknown or malformed knobs are ignored: fault injection must never
-    /// turn a production run into a parse error.
+    /// Unknown or malformed knobs are skipped with a one-line warning on
+    /// stderr: fault injection must never turn a production run into a
+    /// parse error, but a typo in a test matrix must not silently disarm
+    /// the fault either.
     pub fn parse(spec: &str) -> FaultPlan {
         let mut plan = FaultPlan::default();
         for knob in spec.split(',') {
+            if knob.trim().is_empty() {
+                continue;
+            }
             let Some((kind, n)) = knob.split_once(':') else {
+                eprintln!(
+                    "warning: FUNDB_FAULT knob `{}` has no `:value`; skipped",
+                    knob.trim()
+                );
                 continue;
             };
             match (kind.trim(), n.trim().parse::<u64>()) {
                 ("panic_task", Ok(n)) => plan.panic_task = Some(n as usize),
                 ("fail_round", Ok(n)) => plan.fail_round = Some(n as usize),
                 ("slow_probe", Ok(n)) => plan.slow_probe = Some(n),
-                _ => {}
+                ("torn_write", Ok(n)) => plan.torn_write = Some(n as usize),
+                ("short_read", Ok(n)) => plan.short_read = Some(n as usize),
+                ("fsync_fail", Ok(n)) => plan.fsync_fail = Some(n as usize),
+                ("crash_after_record", Ok(n)) => plan.crash_after_record = Some(n as usize),
+                (kind, Err(_)) => {
+                    eprintln!(
+                        "warning: FUNDB_FAULT knob `{kind}` has a malformed count `{}`; skipped",
+                        n.trim()
+                    );
+                }
+                (kind, Ok(_)) => {
+                    eprintln!("warning: FUNDB_FAULT knob `{kind}` is unknown; skipped");
+                }
             }
         }
         plan
@@ -519,6 +576,38 @@ mod tests {
         assert!(FaultPlan::parse("nonsense").is_inert());
         assert!(FaultPlan::parse("panic_task:notanumber").is_inert());
         assert!(FaultPlan::parse("unknown_knob:7").is_inert());
+    }
+
+    #[test]
+    fn fault_plan_parses_io_knobs() {
+        let plan =
+            FaultPlan::parse("torn_write:4,short_read:2, fsync_fail:1 ,crash_after_record:9");
+        assert_eq!(plan.torn_write, Some(4));
+        assert_eq!(plan.short_read, Some(2));
+        assert_eq!(plan.fsync_fail, Some(1));
+        assert_eq!(plan.crash_after_record, Some(9));
+        assert!(plan.panic_task.is_none());
+    }
+
+    #[test]
+    fn fault_plan_parse_edge_cases_skip_without_disarming_the_rest() {
+        // A malformed knob in the middle must not swallow its neighbours.
+        let plan = FaultPlan::parse("torn_write:abc,fail_round:2,:,7,fsync_fail:-1,short_read:3");
+        assert_eq!(plan.fail_round, Some(2));
+        assert_eq!(plan.short_read, Some(3));
+        assert!(plan.torn_write.is_none(), "non-numeric count is skipped");
+        assert!(plan.fsync_fail.is_none(), "negative count is skipped");
+        // Empty fragments (trailing commas) are not worth a warning.
+        assert_eq!(
+            FaultPlan::parse("slow_probe:5,,").slow_probe,
+            Some(5),
+            "empty fragments are ignored"
+        );
+        // Whitespace-heavy but well-formed input still parses.
+        assert_eq!(
+            FaultPlan::parse("  crash_after_record : 12  ").crash_after_record,
+            Some(12)
+        );
     }
 
     #[test]

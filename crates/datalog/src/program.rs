@@ -304,6 +304,7 @@ impl JoinProgram {
     /// via [`JoinProgram::execute_from`]; it may write deeper registers but
     /// must leave the prefix's own registers alone (which `execute_from`
     /// guarantees: later ops only `Load` fresh registers).
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn execute_prefix<F: FnMut(&mut [Cst]) -> Result<(), Resource>>(
         &self,
         db: &Database,
@@ -1110,7 +1111,7 @@ mod tests {
         // (distinct ≈ rows, so ≈1 candidate): ≈2 probes per delta row.
         let prog = JoinProgram::compile_with_stats(&rule, Some(0), &stats);
         let est = prog.estimate_probes_per_delta_row(&stats);
-        assert!(est >= 1.0 && est <= 4.0, "est = {est}");
+        assert!((1.0..=4.0).contains(&est), "est = {est}");
         // Cold stats make the inner atom pessimistic: the estimate grows.
         let cold = prog.estimate_probes_per_delta_row(&PlanStats::empty());
         assert!(cold > est);

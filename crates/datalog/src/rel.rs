@@ -71,6 +71,13 @@ impl RowPool {
         &self.data[i * a..i * a + a]
     }
 
+    /// The contiguous cell slice of every row at or after index `from`
+    /// (empty for arity-0 pools, whose rows occupy no arena space).
+    #[inline]
+    pub fn cells_from(&self, from: usize) -> &[Cst] {
+        &self.data[(from * self.arity).min(self.data.len())..]
+    }
+
     /// Appends a row, returning its handle. The caller is responsible for
     /// deduplication.
     fn push(&mut self, t: &[Cst], next_id: usize) -> RowId {
@@ -369,6 +376,17 @@ impl Relation {
     /// Tuples inserted at or after index `from` (the semi-naive delta).
     pub fn rows_from(&self, from: usize) -> Rows<'_> {
         self.rows_range(from, self.len)
+    }
+
+    /// The flat cell slice of every tuple at or after index `from` — rows
+    /// are contiguous in the arena, `arity` cells each, in insertion
+    /// order. The durable-storage sink bulk-copies a round's new rows from
+    /// here instead of re-walking them tuple by tuple. Empty for arity-0
+    /// relations (their rows occupy no arena space; use
+    /// [`Relation::len`]).
+    #[inline]
+    pub fn cells_from(&self, from: usize) -> &[Cst] {
+        self.pool.cells_from(from)
     }
 
     /// Tuples with dense indexes in `from..to` (a delta chunk).
@@ -971,7 +989,7 @@ mod tests {
         r.insert(&[a, b]);
         r.ensure_composite(0b11);
         r.insert(&[c, d]); // bloom maintained on insert
-        // Present keys are found through the bloom.
+                           // Present keys are found through the bloom.
         assert_eq!(probe_rows(&r, 0b11, &[a, b]).len(), 1);
         assert_eq!(probe_rows(&r, 0b11, &[c, d]).len(), 1);
         // Absent keys yield zero candidates whether the bloom rejects them

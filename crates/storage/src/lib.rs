@@ -1,0 +1,41 @@
+//! Durable storage for the datalog engine: an append-only, checksummed
+//! write-ahead log of mutations and round-commit markers, periodic
+//! versioned binary snapshots, and crash recovery that always lands on a
+//! **completed-round prefix** of the uninterrupted history.
+//!
+//! Layers, bottom up:
+//!
+//! - [`codec`] — little-endian primitives, length-prefixed strings, and
+//!   CRC-32C (hardware-accelerated on x86-64), shared by every on-disk format in the workspace.
+//! - [`wal`] — the log itself: `FDBWAL01` header, `[len][crc][payload]`
+//!   records, buffered appends with explicit flush/fsync points, and
+//!   [`wal::recover`], which truncates torn or corrupt tails back to the
+//!   last intact [`WalRecord::RoundCommit`] marker.
+//! - [`snapshot`] — whole-state checkpoints (`FDBSNAP1`, versioned, CRC
+//!   guarded, written atomically via tmp-file + rename) that let the log
+//!   be compacted.
+//! - [`store`] — [`DurableDb`]: ties a [`fundb_datalog::Database`] to a
+//!   WAL + snapshot directory, tees the engine's deterministic merge into
+//!   the log via [`fundb_datalog::RoundSink`], and rebuilds byte-identical
+//!   state (rows, RowIds, `EvalStats`) on [`DurableDb::open`].
+//!
+//! Crash injection reuses the engine's [`fundb_datalog::FaultPlan`]
+//! (`FUNDB_FAULT` knobs `torn_write:N`, `short_read:N`, `fsync_fail:N`,
+//! `crash_after_record:N`), so the kill-at-every-crash-point harness can
+//! drive both layers from one plan.
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod snapshot;
+pub mod store;
+pub mod wal;
+
+pub use snapshot::{
+    read_snapshot, write_snapshot, SnapshotData, WireRelation, WireRule, SNAP_VERSION,
+};
+pub use store::{DurableDb, OpenDurable, RecoveryReport};
+pub use wal::{
+    recover, stats_from_wire, stats_to_wire, Wal, WalRecord, WalScan, WalStats, WireAtom, WireTerm,
+    STAT_FIELDS, WAL_VERSION,
+};

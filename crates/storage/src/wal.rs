@@ -1,0 +1,1000 @@
+//! The append-only write-ahead log.
+//!
+//! A WAL file is a fixed header followed by checksummed, length-prefixed
+//! records:
+//!
+//! ```text
+//! header:  "FDBWAL01" (8)  version u32 (=1)  base_seq u64
+//! record:  len u32  crc u32  payload (len bytes, crc = CRC-32C of payload)
+//! payload: kind u8  kind-specific fields (little-endian)
+//! ```
+//!
+//! `base_seq` names the snapshot the log extends: replaying the log onto
+//! snapshot `base_seq` reconstructs the database. Record kinds:
+//!
+//! * `DefSym` — defines file-local symbol id `n` (dense, in order) as a
+//!   string, so facts and rules can be stored as fixed-width ids and the
+//!   recovered interner assigns identical ids when it starts empty;
+//! * `Fact` — one inserted row (file-local pred and constant ids);
+//! * `Rows` — a batch of derived rows, emitted when a wide round
+//!   overflows the sink's in-memory batch (the common case fuses the
+//!   batch into the round's marker instead; see `RoundCommit`). The
+//!   payload is a sequence of groups — a varint `pred, arity, count`
+//!   header, then `count * arity` raw little-endian cells — so a round's
+//!   contiguous per-relation row slices are copied in, not re-encoded
+//!   per value. Cells are `u32`, or `u16` in the narrow variant the
+//!   writer picks when every file-local symbol id fits (which halves
+//!   the log's row payload — the E17 overhead budget);
+//! * `RoundCommit` — a completed-round marker carrying the cumulative
+//!   [`EvalStats`] at that boundary, and, fused into the same record,
+//!   the row groups the round derived (one frame, one checksum, and one
+//!   fault point per round instead of two). **Recovery replays only up
+//!   to the last intact marker**: everything after it (intact or torn)
+//!   is truncated, which is what makes recovery land on a
+//!   completed-round prefix of the uninterrupted run;
+//! * `Rule` — a logged rule definition;
+//! * `Note` — an opaque UTF-8 payload for upper layers (the REPL logs
+//!   accepted input lines this way).
+//!
+//! The IO faults of [`FaultPlan`] (`torn_write`, `short_read`,
+//! `fsync_fail`, `crash_after_record`) are injected here, at the record
+//! granularity the crash-recovery harness enumerates.
+
+use crate::codec::{crc32c, put_str, put_u32, put_u64, put_uv, CodecError, Reader};
+use fundb_datalog::{EvalStats, FaultPlan};
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Magic bytes opening every WAL file.
+pub const WAL_MAGIC: [u8; 8] = *b"FDBWAL01";
+/// Current WAL format version.
+pub const WAL_VERSION: u32 = 1;
+/// Header length: magic + version + base sequence number.
+pub const WAL_HEADER_LEN: u64 = 8 + 4 + 8;
+
+/// Number of `u64` counters a `RoundCommit` marker carries — the fields of
+/// [`EvalStats`], in declaration order.
+pub const STAT_FIELDS: usize = 10;
+
+/// Appended bytes buffered in memory before an automatic write-through.
+const FLUSH_THRESHOLD: usize = 256 * 1024;
+
+/// [`EvalStats`] as the fixed-width wire tuple a `RoundCommit` carries.
+pub fn stats_to_wire(s: &EvalStats) -> [u64; STAT_FIELDS] {
+    [
+        s.rounds as u64,
+        s.derived as u64,
+        s.join_probes as u64,
+        s.index_hits as u64,
+        s.index_misses as u64,
+        s.magic_rules as u64,
+        s.demanded_tuples as u64,
+        s.replans as u64,
+        s.bloom_skips as u64,
+        s.shared_prefix_hits as u64,
+    ]
+}
+
+/// Inverse of [`stats_to_wire`].
+pub fn stats_from_wire(w: &[u64; STAT_FIELDS]) -> EvalStats {
+    EvalStats {
+        rounds: w[0] as usize,
+        derived: w[1] as usize,
+        join_probes: w[2] as usize,
+        index_hits: w[3] as usize,
+        index_misses: w[4] as usize,
+        magic_rules: w[5] as usize,
+        demanded_tuples: w[6] as usize,
+        replans: w[7] as usize,
+        bloom_skips: w[8] as usize,
+        shared_prefix_hits: w[9] as usize,
+    }
+}
+
+/// One term of a logged rule, in file-local symbol ids.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireTerm {
+    /// A variable.
+    Var(u32),
+    /// A constant.
+    Const(u32),
+}
+
+/// One atom of a logged rule, in file-local symbol ids.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireAtom {
+    /// File-local id of the predicate symbol.
+    pub pred: u32,
+    /// The argument terms.
+    pub args: Vec<WireTerm>,
+}
+
+/// A decoded WAL record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WalRecord {
+    /// Defines file-local symbol id `id` (dense, in file order) as `name`.
+    DefSym {
+        /// The file-local id being defined (must equal the count of
+        /// previously defined symbols).
+        id: u32,
+        /// The symbol's string.
+        name: String,
+    },
+    /// One inserted row.
+    Fact {
+        /// File-local id of the predicate symbol.
+        pred: u32,
+        /// File-local ids of the row's constants.
+        row: Vec<u32>,
+    },
+    /// A completed-round marker: the cumulative statistics at a
+    /// governor checkpoint boundary, with the round's derived rows fused
+    /// into the same record. Recovery replays up to the last one.
+    RoundCommit {
+        /// [`EvalStats`] as a wire tuple (see [`stats_to_wire`]).
+        stats: [u64; STAT_FIELDS],
+        /// The rows this round derived (empty for bare markers such as
+        /// base-fact commits), in the same group encoding and order as
+        /// [`WalRecord::Rows`].
+        rows: Vec<(u32, Vec<u32>)>,
+    },
+    /// A logged rule definition.
+    Rule {
+        /// The head atom.
+        head: WireAtom,
+        /// The body atoms.
+        body: Vec<WireAtom>,
+    },
+    /// An opaque UTF-8 payload for upper layers.
+    Note {
+        /// The payload.
+        text: String,
+    },
+    /// A batch of derived rows spilled mid-round (rounds that fit the
+    /// sink's batch fuse their rows into the `RoundCommit` instead). The
+    /// payload is a sequence of groups — varint `pred, arity, count`
+    /// header, then `count * arity` raw little-endian cells (`u32`, or
+    /// `u16` in the narrow on-disk variant) — so the writer can memcpy a
+    /// round's contiguous per-relation row slices straight into the log
+    /// (the E17 ns-per-row budget).
+    Rows {
+        /// `(pred, row)` pairs in deterministic commit order (relations in
+        /// predicate order, rows in insertion order), file-local ids.
+        rows: Vec<(u32, Vec<u32>)>,
+    },
+}
+
+const KIND_DEFSYM: u8 = 1;
+const KIND_FACT: u8 = 2;
+const KIND_ROUND_COMMIT: u8 = 3;
+const KIND_RULE: u8 = 4;
+const KIND_NOTE: u8 = 5;
+const KIND_ROWS: u8 = 6;
+/// `Rows` with 2-byte cells (every file-local id fits a `u16`).
+const KIND_ROWS16: u8 = 7;
+/// `RoundCommit` with the round's row groups fused in (4-byte cells).
+const KIND_ROUND_COMMIT_ROWS: u8 = 8;
+/// `RoundCommit` with fused row groups, 2-byte cells.
+const KIND_ROUND_COMMIT_ROWS16: u8 = 9;
+
+fn put_atom(buf: &mut Vec<u8>, atom: &WireAtom) {
+    put_u32(buf, atom.pred);
+    put_u32(buf, atom.args.len() as u32);
+    for a in &atom.args {
+        match a {
+            WireTerm::Var(v) => {
+                buf.push(0);
+                put_u32(buf, *v);
+            }
+            WireTerm::Const(c) => {
+                buf.push(1);
+                put_u32(buf, *c);
+            }
+        }
+    }
+}
+
+fn read_atom(r: &mut Reader<'_>) -> Result<WireAtom, CodecError> {
+    let pred = r.u32()?;
+    let n = r.u32()? as usize;
+    let mut args = Vec::with_capacity(n);
+    for _ in 0..n {
+        let tag = r.u8()?;
+        let id = r.u32()?;
+        args.push(match tag {
+            0 => WireTerm::Var(id),
+            1 => WireTerm::Const(id),
+            _ => return Err(CodecError::BadValue),
+        });
+    }
+    Ok(WireAtom { pred, args })
+}
+
+/// Encodes row groups (varint `pred, arity, count` headers followed by
+/// raw little-endian `u32` cells), merging consecutive same-shape rows
+/// under one header — the same layout the storage layer's bulk writer
+/// emits.
+fn put_groups(buf: &mut Vec<u8>, rows: &[(u32, Vec<u32>)]) {
+    let mut i = 0;
+    while i < rows.len() {
+        let (pred, ref first) = rows[i];
+        let arity = first.len();
+        let mut j = i + 1;
+        // Arity-0 rows carry no cells, so their count is the only record
+        // of multiplicity — keep it 1 per group.
+        while arity > 0 && j < rows.len() && rows[j].0 == pred && rows[j].1.len() == arity {
+            j += 1;
+        }
+        put_uv(buf, u64::from(pred));
+        put_uv(buf, arity as u64);
+        put_uv(buf, (j - i) as u64);
+        for (_, row) in &rows[i..j] {
+            for &c in row {
+                buf.extend_from_slice(&c.to_le_bytes());
+            }
+        }
+        i = j;
+    }
+}
+
+/// Decodes row groups until the reader is exhausted. `cell_bytes` is 4
+/// for the `u32` variants, 2 for the narrow `u16` variants; both widen to
+/// `u32` rows, so replay never sees the on-disk width.
+fn read_groups(r: &mut Reader<'_>, cell_bytes: usize) -> Result<Vec<(u32, Vec<u32>)>, CodecError> {
+    let mut rows = Vec::new();
+    while !r.is_empty() {
+        let pred = u32::try_from(r.uv()?).map_err(|_| CodecError::BadValue)?;
+        let arity = r.uv()? as usize;
+        let count = r.uv()? as usize;
+        if count == 0 {
+            return Err(CodecError::BadValue);
+        }
+        if arity == 0 {
+            // Cell-less rows carry no payload to bound `count` by; the
+            // writer emits exactly one per group.
+            if count != 1 {
+                return Err(CodecError::BadValue);
+            }
+            rows.push((pred, Vec::new()));
+            continue;
+        }
+        let nbytes = count
+            .checked_mul(arity)
+            .and_then(|n| n.checked_mul(cell_bytes))
+            .ok_or(CodecError::BadValue)?;
+        let cells = r.bytes(nbytes)?;
+        for row_cells in cells.chunks_exact(arity * cell_bytes) {
+            let row: Vec<u32> = if cell_bytes == 4 {
+                row_cells
+                    .chunks_exact(4)
+                    .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+                    .collect()
+            } else {
+                row_cells
+                    .chunks_exact(2)
+                    .map(|b| u32::from(u16::from_le_bytes([b[0], b[1]])))
+                    .collect()
+            };
+            rows.push((pred, row));
+        }
+    }
+    Ok(rows)
+}
+
+impl WalRecord {
+    /// Serializes the record payload (kind byte plus fields).
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            WalRecord::DefSym { id, name } => {
+                buf.push(KIND_DEFSYM);
+                put_u32(buf, *id);
+                put_str(buf, name);
+            }
+            WalRecord::Fact { pred, row } => {
+                buf.push(KIND_FACT);
+                put_u32(buf, *pred);
+                put_u32(buf, row.len() as u32);
+                for &c in row {
+                    put_u32(buf, c);
+                }
+            }
+            WalRecord::RoundCommit { stats, rows } => {
+                buf.push(if rows.is_empty() {
+                    KIND_ROUND_COMMIT
+                } else {
+                    KIND_ROUND_COMMIT_ROWS
+                });
+                for &v in stats {
+                    put_u64(buf, v);
+                }
+                put_groups(buf, rows);
+            }
+            WalRecord::Rule { head, body } => {
+                buf.push(KIND_RULE);
+                put_atom(buf, head);
+                put_u32(buf, body.len() as u32);
+                for a in body {
+                    put_atom(buf, a);
+                }
+            }
+            WalRecord::Note { text } => {
+                buf.push(KIND_NOTE);
+                put_str(buf, text);
+            }
+            WalRecord::Rows { rows } => {
+                buf.push(KIND_ROWS);
+                put_groups(buf, rows);
+            }
+        }
+    }
+
+    /// Parses a record payload. Any violation (unknown kind, short field,
+    /// bad UTF-8) is a [`CodecError`] — during recovery that stops the
+    /// scan, exactly like a CRC mismatch.
+    pub fn decode(payload: &[u8]) -> Result<WalRecord, CodecError> {
+        let mut r = Reader::new(payload);
+        let rec = match r.u8()? {
+            KIND_DEFSYM => WalRecord::DefSym {
+                id: r.u32()?,
+                name: r.str()?.to_string(),
+            },
+            KIND_FACT => {
+                let pred = r.u32()?;
+                let n = r.u32()? as usize;
+                let mut row = Vec::with_capacity(n.min(payload.len() / 4 + 1));
+                for _ in 0..n {
+                    row.push(r.u32()?);
+                }
+                WalRecord::Fact { pred, row }
+            }
+            kind @ (KIND_ROUND_COMMIT | KIND_ROUND_COMMIT_ROWS | KIND_ROUND_COMMIT_ROWS16) => {
+                let mut stats = [0u64; STAT_FIELDS];
+                for v in stats.iter_mut() {
+                    *v = r.u64()?;
+                }
+                // A bare marker's trailing bytes are caught by the
+                // whole-payload emptiness check below.
+                let rows = match kind {
+                    KIND_ROUND_COMMIT => Vec::new(),
+                    KIND_ROUND_COMMIT_ROWS => read_groups(&mut r, 4)?,
+                    _ => read_groups(&mut r, 2)?,
+                };
+                WalRecord::RoundCommit { stats, rows }
+            }
+            KIND_RULE => {
+                let head = read_atom(&mut r)?;
+                let n = r.u32()? as usize;
+                let mut body = Vec::with_capacity(n.min(payload.len() / 9 + 1));
+                for _ in 0..n {
+                    body.push(read_atom(&mut r)?);
+                }
+                WalRecord::Rule { head, body }
+            }
+            KIND_NOTE => WalRecord::Note {
+                text: r.str()?.to_string(),
+            },
+            KIND_ROWS => WalRecord::Rows {
+                rows: read_groups(&mut r, 4)?,
+            },
+            KIND_ROWS16 => WalRecord::Rows {
+                rows: read_groups(&mut r, 2)?,
+            },
+            _ => return Err(CodecError::BadValue),
+        };
+        if !r.is_empty() {
+            return Err(CodecError::BadValue);
+        }
+        Ok(rec)
+    }
+}
+
+/// Lifetime counters of one [`Wal`] handle (since open/create), surfaced
+/// by the REPL's `:wal-stats`.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// Records appended through this handle.
+    pub records: u64,
+    /// Frame bytes appended (headers included).
+    pub bytes: u64,
+    /// `RoundCommit` markers among the appended records.
+    pub round_commits: u64,
+    /// Buffered bytes handed to the OS (`flush` calls that wrote).
+    pub flushes: u64,
+    /// Durability syncs (`fsync`) completed.
+    pub syncs: u64,
+}
+
+/// An open, append-only WAL handle.
+///
+/// Appends buffer in memory and reach the OS on [`flush`](Wal::flush)
+/// (automatic past a threshold), so the durability window is "everything
+/// flushed"; [`sync`](Wal::sync) additionally fsyncs. The
+/// [`FaultPlan`] IO faults are evaluated per handle, counting appended
+/// records from 1.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    buf: Vec<u8>,
+    fault: FaultPlan,
+    /// Records appended through this handle (fault counters key off this).
+    appended: u64,
+    /// Durability syncs attempted through this handle.
+    sync_attempts: u64,
+    /// Set once an injected fault killed the handle; every later
+    /// operation fails with this message.
+    dead: Option<String>,
+    stats: WalStats,
+}
+
+fn dead_err(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::BrokenPipe, msg.to_string())
+}
+
+impl Wal {
+    /// Creates (truncating) a WAL file whose records extend snapshot
+    /// `base_seq`, under the given fault plan.
+    pub fn create(path: &Path, base_seq: u64, fault: FaultPlan) -> io::Result<Wal> {
+        let mut file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(path)?;
+        let mut header = Vec::with_capacity(WAL_HEADER_LEN as usize);
+        header.extend_from_slice(&WAL_MAGIC);
+        put_u32(&mut header, WAL_VERSION);
+        put_u64(&mut header, base_seq);
+        file.write_all(&header)?;
+        file.flush()?;
+        Ok(Wal {
+            file,
+            path: path.to_path_buf(),
+            buf: Vec::new(),
+            fault,
+            appended: 0,
+            sync_attempts: 0,
+            dead: None,
+            stats: WalStats::default(),
+        })
+    }
+
+    /// Opens an existing WAL file for appending, validating its header,
+    /// and returns the handle plus the header's base sequence number.
+    /// Call after [`recover`] has truncated the torn tail.
+    pub fn open_append(path: &Path, fault: FaultPlan) -> io::Result<(Wal, u64)> {
+        let mut file = OpenOptions::new().read(true).append(true).open(path)?;
+        let mut header = [0u8; WAL_HEADER_LEN as usize];
+        file.read_exact(&mut header)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "WAL header truncated"))?;
+        let base_seq = check_header(&header)?;
+        file.seek(SeekFrom::End(0))?;
+        Ok((
+            Wal {
+                file,
+                path: path.to_path_buf(),
+                buf: Vec::new(),
+                fault,
+                appended: 0,
+                sync_attempts: 0,
+                dead: None,
+                stats: WalStats::default(),
+            },
+            base_seq,
+        ))
+    }
+
+    /// The file this handle appends to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// This handle's lifetime counters.
+    pub fn stats(&self) -> WalStats {
+        self.stats
+    }
+
+    /// Bytes buffered but not yet handed to the OS.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Appends one record (buffered).
+    pub fn append(&mut self, rec: &WalRecord) -> io::Result<()> {
+        let commit = matches!(rec, WalRecord::RoundCommit { .. });
+        self.append_with(commit, |buf| rec.encode(buf))
+    }
+
+    /// Appends a `Fact` record without an intermediate allocation — the
+    /// hot path of the engine's row sink.
+    pub fn append_fact(&mut self, pred: u32, row: &[u32]) -> io::Result<()> {
+        self.append_with(false, |buf| {
+            buf.push(KIND_FACT);
+            put_u32(buf, pred);
+            put_u32(buf, row.len() as u32);
+            for &c in row {
+                put_u32(buf, c);
+            }
+        })
+    }
+
+    /// Appends a `Rows` batch from a pre-encoded group buffer (a sequence
+    /// of `pred, arity, count` varint headers each followed by
+    /// `count * arity` raw little-endian cells — the layout
+    /// [`WalRecord::Rows`] decodes; `narrow` selects 2-byte cells) — the
+    /// engine sink's spill record for rounds too wide to fuse into their
+    /// marker, framed and checksummed once for the whole batch.
+    pub fn append_rows_raw(&mut self, entries: &[u8], narrow: bool) -> io::Result<()> {
+        self.append_with(false, |buf| {
+            buf.push(if narrow { KIND_ROWS16 } else { KIND_ROWS });
+            buf.extend_from_slice(entries);
+        })
+    }
+
+    /// Appends a `RoundCommit` marker carrying `stats`.
+    pub fn append_round_commit(&mut self, stats: &EvalStats) -> io::Result<()> {
+        self.append(&WalRecord::RoundCommit {
+            stats: stats_to_wire(stats),
+            rows: Vec::new(),
+        })
+    }
+
+    /// Appends a `RoundCommit` marker with the round's pre-encoded row
+    /// groups (same buffer layout as [`append_rows_raw`](Self::append_rows_raw))
+    /// fused into the record — the engine sink's steady-state path: one
+    /// frame, one checksum, and one fault point per round.
+    pub fn append_round_commit_rows(
+        &mut self,
+        stats: &EvalStats,
+        entries: &[u8],
+        narrow: bool,
+    ) -> io::Result<()> {
+        let wire = stats_to_wire(stats);
+        self.append_with(true, |buf| {
+            buf.push(match (entries.is_empty(), narrow) {
+                (true, _) => KIND_ROUND_COMMIT,
+                (false, false) => KIND_ROUND_COMMIT_ROWS,
+                (false, true) => KIND_ROUND_COMMIT_ROWS16,
+            });
+            for &v in &wire {
+                put_u64(buf, v);
+            }
+            buf.extend_from_slice(entries);
+        })
+    }
+
+    /// Core append: frames the payload written by `build`, applying the
+    /// `crash_after_record` and `torn_write` faults at record granularity.
+    fn append_with(&mut self, commit: bool, build: impl FnOnce(&mut Vec<u8>)) -> io::Result<()> {
+        if let Some(msg) = &self.dead {
+            return Err(dead_err(msg));
+        }
+        if let Some(limit) = self.fault.crash_after_record {
+            if self.appended >= limit as u64 {
+                // A real crash would leave whatever was already handed to
+                // the OS; flush so the harness observes exactly that.
+                let _ = self.write_through();
+                self.dead = Some("injected crash_after_record fault: WAL handle is dead".into());
+                return Err(dead_err(self.dead.as_deref().unwrap_or_default()));
+            }
+        }
+        let start = self.buf.len();
+        self.buf.extend_from_slice(&[0u8; 8]);
+        build(&mut self.buf);
+        let payload_len = self.buf.len() - start - 8;
+        let crc = crc32c(&self.buf[start + 8..]);
+        self.buf[start..start + 4].copy_from_slice(&(payload_len as u32).to_le_bytes());
+        self.buf[start + 4..start + 8].copy_from_slice(&crc.to_le_bytes());
+
+        let this_record = self.appended + 1;
+        if self.fault.torn_write == Some(this_record as usize) {
+            // The record reaches the file only as a prefix, as if the
+            // process died mid-write; prior records land intact first.
+            let frame = self.buf.split_off(start);
+            self.write_through()?;
+            let cut = (frame.len() / 2).max(1).min(frame.len() - 1);
+            self.file.write_all(&frame[..cut])?;
+            let _ = self.file.flush();
+            self.dead = Some("injected torn_write fault: WAL handle is dead".into());
+            return Err(dead_err(self.dead.as_deref().unwrap_or_default()));
+        }
+
+        self.appended = this_record;
+        self.stats.records += 1;
+        self.stats.bytes += (self.buf.len() - start) as u64;
+        if commit {
+            self.stats.round_commits += 1;
+        }
+        if self.buf.len() >= FLUSH_THRESHOLD {
+            self.write_through()?;
+        }
+        Ok(())
+    }
+
+    fn write_through(&mut self) -> io::Result<()> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        self.file.write_all(&self.buf)?;
+        self.buf.clear();
+        self.stats.flushes += 1;
+        Ok(())
+    }
+
+    /// Hands every buffered byte to the OS (no fsync). After a successful
+    /// flush the appended records survive a process kill, though not
+    /// necessarily a power loss.
+    pub fn flush(&mut self) -> io::Result<()> {
+        if let Some(msg) = &self.dead {
+            return Err(dead_err(msg));
+        }
+        self.write_through()
+    }
+
+    /// Flushes and fsyncs: the full durability barrier. Subject to the
+    /// `fsync_fail` fault (which fails the call but leaves the handle
+    /// usable — callers decide whether to retry or surface it).
+    pub fn sync(&mut self) -> io::Result<()> {
+        if let Some(msg) = &self.dead {
+            return Err(dead_err(msg));
+        }
+        self.sync_attempts += 1;
+        if self.fault.fsync_fail == Some(self.sync_attempts as usize) {
+            return Err(io::Error::other("injected fsync_fail fault"));
+        }
+        self.write_through()?;
+        self.file.sync_data()?;
+        self.stats.syncs += 1;
+        Ok(())
+    }
+}
+
+fn check_header(header: &[u8]) -> io::Result<u64> {
+    if header.len() < WAL_HEADER_LEN as usize || header[..8] != WAL_MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a fundb WAL file (bad magic)",
+        ));
+    }
+    let mut r = Reader::new(&header[8..]);
+    let version = r
+        .u32()
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    if version != WAL_VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "WAL format version {version} is not supported (this build reads {WAL_VERSION})"
+            ),
+        ));
+    }
+    r.u64()
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// What [`recover`] found and did: the replayable record prefix plus an
+/// account of everything it had to cut.
+#[derive(Debug)]
+pub struct WalScan {
+    /// The snapshot sequence number this log extends.
+    pub base_seq: u64,
+    /// The records up to and including the last intact `RoundCommit`
+    /// marker — the completed-round prefix to replay.
+    pub records: Vec<WalRecord>,
+    /// Intact records *after* the last marker, dropped because their round
+    /// never committed.
+    pub dropped_records: usize,
+    /// Bytes truncated from the file: the dropped records plus any torn
+    /// or corrupt tail.
+    pub truncated_bytes: u64,
+}
+
+/// Scans a WAL file, truncates it to its last intact `RoundCommit` marker
+/// (cutting torn/corrupt records and uncommitted tails), and returns the
+/// replayable prefix. The `short_read` fault makes the scan treat the
+/// `N`-th record as cut off by end-of-file.
+pub fn recover(path: &Path, fault: FaultPlan) -> io::Result<WalScan> {
+    let data = std::fs::read(path)?;
+    if data.len() < WAL_HEADER_LEN as usize {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "WAL header truncated",
+        ));
+    }
+    let base_seq = check_header(&data[..WAL_HEADER_LEN as usize])?;
+
+    let mut pos = WAL_HEADER_LEN as usize;
+    let mut records = Vec::new();
+    let mut index = 0u64;
+    // Offset just past the last intact RoundCommit, and its record count.
+    let mut marker: (usize, usize) = (pos, 0);
+    while pos < data.len() {
+        index += 1;
+        if fault.short_read == Some(index as usize) {
+            break;
+        }
+        if pos + 8 > data.len() {
+            break; // torn frame header
+        }
+        let len = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().unwrap());
+        if pos + 8 + len > data.len() {
+            break; // torn payload
+        }
+        let payload = &data[pos + 8..pos + 8 + len];
+        if crc32c(payload) != crc {
+            break; // corrupt record
+        }
+        let Ok(rec) = WalRecord::decode(payload) else {
+            break; // CRC-clean but malformed: stop, like corruption
+        };
+        pos += 8 + len;
+        let is_marker = matches!(rec, WalRecord::RoundCommit { .. });
+        records.push(rec);
+        if is_marker {
+            marker = (pos, records.len());
+        }
+    }
+    let (cut_at, keep) = marker;
+    let dropped_records = records.len() - keep;
+    records.truncate(keep);
+    let truncated_bytes = data.len() as u64 - cut_at as u64;
+    if truncated_bytes > 0 {
+        let file = OpenOptions::new().write(true).open(path)?;
+        file.set_len(cut_at as u64)?;
+        file.sync_data()?;
+    }
+    Ok(WalScan {
+        base_seq,
+        records,
+        dropped_records,
+        truncated_bytes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("fundb-wal-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_records() -> Vec<WalRecord> {
+        vec![
+            WalRecord::DefSym {
+                id: 0,
+                name: "edge".into(),
+            },
+            WalRecord::Fact {
+                pred: 0,
+                row: vec![1, 2],
+            },
+            WalRecord::Rule {
+                head: WireAtom {
+                    pred: 0,
+                    args: vec![WireTerm::Var(3), WireTerm::Const(1)],
+                },
+                body: vec![WireAtom {
+                    pred: 0,
+                    args: vec![WireTerm::Var(3), WireTerm::Var(4)],
+                }],
+            },
+            WalRecord::RoundCommit {
+                stats: [1, 2, 3, 4, 5, 6, 7, 8, 9, 10],
+                rows: vec![(0, vec![1, 2]), (0, vec![2, 5]), (3, vec![])],
+            },
+            WalRecord::Note {
+                text: "p(X) :- q(X).".into(),
+            },
+            WalRecord::RoundCommit {
+                stats: [0; 10],
+                rows: Vec::new(),
+            },
+        ]
+    }
+
+    #[test]
+    fn records_round_trip_through_files() {
+        let dir = tmpdir("roundtrip");
+        let path = dir.join("wal.000001");
+        let mut wal = Wal::create(&path, 1, FaultPlan::default()).unwrap();
+        for rec in sample_records() {
+            wal.append(&rec).unwrap();
+        }
+        wal.sync().unwrap();
+        assert_eq!(wal.stats().records, 6);
+        assert_eq!(wal.stats().round_commits, 2);
+        drop(wal);
+        let scan = recover(&path, FaultPlan::default()).unwrap();
+        assert_eq!(scan.base_seq, 1);
+        assert_eq!(scan.records, sample_records());
+        assert_eq!(scan.dropped_records, 0);
+        assert_eq!(scan.truncated_bytes, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn narrow_and_fused_row_records_round_trip() {
+        let dir = tmpdir("narrow");
+        let path = dir.join("wal.000000");
+        let mut wal = Wal::create(&path, 0, FaultPlan::default()).unwrap();
+        let rows = vec![(0u32, vec![1u32, 2]), (0, vec![2, 65535]), (3, vec![])];
+        // Hand-encode the group buffer the storage sink produces: one
+        // 2-cell group of two rows, then one cell-less group.
+        let mut narrow_buf = Vec::new();
+        for (cells, n) in [(vec![1u16, 2, 2, 65535], 2u64), (Vec::new(), 1)] {
+            put_uv(&mut narrow_buf, if cells.is_empty() { 3 } else { 0 });
+            put_uv(&mut narrow_buf, (cells.len() as u64) / n);
+            put_uv(&mut narrow_buf, n);
+            for c in cells {
+                narrow_buf.extend_from_slice(&c.to_le_bytes());
+            }
+        }
+        let mut wide_buf = Vec::new();
+        put_groups(&mut wide_buf, &rows);
+        let stats = EvalStats {
+            rounds: 7,
+            ..EvalStats::default()
+        };
+        wal.append_rows_raw(&narrow_buf, true).unwrap();
+        wal.append_rows_raw(&wide_buf, false).unwrap();
+        wal.append_round_commit_rows(&stats, &narrow_buf, true)
+            .unwrap();
+        wal.append_round_commit_rows(&stats, &wide_buf, false)
+            .unwrap();
+        // An empty batch degrades to a bare marker regardless of width.
+        wal.append_round_commit_rows(&stats, &[], true).unwrap();
+        wal.flush().unwrap();
+        assert_eq!(wal.stats().round_commits, 3);
+        drop(wal);
+        let scan = recover(&path, FaultPlan::default()).unwrap();
+        let wire = stats_to_wire(&stats);
+        assert_eq!(
+            scan.records,
+            vec![
+                WalRecord::Rows { rows: rows.clone() },
+                WalRecord::Rows { rows: rows.clone() },
+                WalRecord::RoundCommit {
+                    stats: wire,
+                    rows: rows.clone(),
+                },
+                WalRecord::RoundCommit { stats: wire, rows },
+                WalRecord::RoundCommit {
+                    stats: wire,
+                    rows: Vec::new(),
+                },
+            ]
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recovery_truncates_to_last_marker() {
+        let dir = tmpdir("truncate");
+        let path = dir.join("wal.000000");
+        let mut wal = Wal::create(&path, 0, FaultPlan::default()).unwrap();
+        for rec in sample_records() {
+            wal.append(&rec).unwrap();
+        }
+        // Uncommitted tail: facts after the final marker must be dropped.
+        wal.append(&WalRecord::Fact {
+            pred: 0,
+            row: vec![9, 9],
+        })
+        .unwrap();
+        wal.flush().unwrap();
+        drop(wal);
+        let len_before = std::fs::metadata(&path).unwrap().len();
+        let scan = recover(&path, FaultPlan::default()).unwrap();
+        assert_eq!(scan.records, sample_records());
+        assert_eq!(scan.dropped_records, 1);
+        assert!(scan.truncated_bytes > 0);
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            len_before - scan.truncated_bytes
+        );
+        // Idempotent: a second recovery finds a clean log.
+        let again = recover(&path, FaultPlan::default()).unwrap();
+        assert_eq!(again.records, sample_records());
+        assert_eq!(again.truncated_bytes, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_byte_cuts_scan_at_previous_marker() {
+        let dir = tmpdir("corrupt");
+        let path = dir.join("wal.000000");
+        let mut wal = Wal::create(&path, 0, FaultPlan::default()).unwrap();
+        for rec in sample_records() {
+            wal.append(&rec).unwrap();
+        }
+        wal.flush().unwrap();
+        drop(wal);
+        // Flip a byte inside the final marker's payload.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 3] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let scan = recover(&path, FaultPlan::default()).unwrap();
+        assert_eq!(scan.records, sample_records()[..4].to_vec());
+        assert_eq!(scan.dropped_records, 1, "the intact Note is dropped too");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_write_fault_leaves_prefix_and_kills_handle() {
+        let dir = tmpdir("torn");
+        let path = dir.join("wal.000000");
+        let fault = FaultPlan::parse("torn_write:4");
+        let mut wal = Wal::create(&path, 0, fault).unwrap();
+        let recs = sample_records();
+        for rec in &recs[..3] {
+            wal.append(rec).unwrap();
+        }
+        let err = wal.append(&recs[3]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+        // Handle is dead from here on.
+        assert!(wal.append(&recs[4]).is_err());
+        assert!(wal.flush().is_err());
+        drop(wal);
+        // No marker ever landed: recovery keeps nothing.
+        let scan = recover(&path, FaultPlan::default()).unwrap();
+        assert!(scan.records.is_empty());
+        assert!(scan.truncated_bytes > 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_after_record_and_fsync_faults_fire_once_armed() {
+        let dir = tmpdir("crash");
+        let path = dir.join("wal.000000");
+        let fault = FaultPlan::parse("crash_after_record:2,fsync_fail:1");
+        let mut wal = Wal::create(&path, 0, fault).unwrap();
+        let recs = sample_records();
+        wal.append(&recs[0]).unwrap();
+        let err = wal.sync().unwrap_err();
+        assert_eq!(err.to_string(), "injected fsync_fail fault");
+        wal.sync().unwrap(); // only the 1st sync fails
+        wal.append(&recs[1]).unwrap();
+        assert_eq!(
+            wal.append(&recs[2]).unwrap_err().kind(),
+            io::ErrorKind::BrokenPipe
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn short_read_fault_truncates_scan() {
+        let dir = tmpdir("shortread");
+        let path = dir.join("wal.000000");
+        let mut wal = Wal::create(&path, 0, FaultPlan::default()).unwrap();
+        for rec in sample_records() {
+            wal.append(&rec).unwrap();
+        }
+        wal.flush().unwrap();
+        drop(wal);
+        // Pretend record 5 is cut off: scan keeps records 1..=4 (marker).
+        let scan = recover(&path, FaultPlan::parse("short_read:5")).unwrap();
+        assert_eq!(scan.records, sample_records()[..4].to_vec());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn future_version_is_rejected() {
+        let dir = tmpdir("version");
+        let path = dir.join("wal.000000");
+        let mut header = Vec::new();
+        header.extend_from_slice(&WAL_MAGIC);
+        put_u32(&mut header, WAL_VERSION + 1);
+        put_u64(&mut header, 0);
+        std::fs::write(&path, &header).unwrap();
+        let err = recover(&path, FaultPlan::default()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("not supported"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -21,7 +21,7 @@ fn main() {
     )
     .expect("well-formed schedule");
     let bundle = ws.spec_bundle().expect("domain-independent program");
-    let text = write_spec(&bundle, &ws.interner);
+    let text = write_spec(&bundle, &ws.interner).expect("serializable symbols");
     let path = std::env::temp_dir().join("fundb-persist-example.fspec");
     std::fs::write(&path, &text).expect("writable temp dir");
     println!(

@@ -503,7 +503,7 @@ mod temporal_and_io {
             let text = write_spec(
                 &SpecBundle { spec: spec.clone(), sym_map: FxHashMap::default() },
                 &gen.interner,
-            );
+            ).unwrap();
             let mut fresh = fundb_term::Interner::new();
             let bundle = read_spec(&text, &mut fresh).unwrap();
             // Translate symbols through names.
@@ -666,7 +666,7 @@ mod syntax_roundtrip {
             let text = fundb_core::write_spec(
                 &fundb_core::SpecBundle { spec, sym_map: Default::default() },
                 &gen.interner,
-            );
+            ).unwrap();
             let lines: Vec<&str> = text.lines().collect();
             for k in 0..lines.len() {
                 let dropped: String = lines
