@@ -72,7 +72,22 @@ pub const RELATIONAL_FAMILIES: &[(&str, ScenarioFn)] = &[
     ("bounded", bounded_depth),
     ("tc_chain", tc_chain),
     ("tc_right", tc_right),
+    ("churn", churn),
 ];
+
+/// One step of a churn script: retract a currently-present base fact, or
+/// re-insert a previously retracted one. Rows are by name so any harness
+/// (engine-level, rebuild oracle, durable store) can resolve them against
+/// its own interner.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChurnOp {
+    /// Predicate name.
+    pub pred: String,
+    /// Argument constant names.
+    pub row: Vec<String>,
+    /// `true` = retract the fact, `false` = (re-)insert it.
+    pub retract: bool,
+}
 
 /// Incrementally builds the two representations in lock-step so they
 /// cannot drift apart.
@@ -536,6 +551,96 @@ pub fn bounded_depth_n(seed: u64, depth: usize) -> Scenario {
     b.finish("bounded", seed, &mut rng, 12)
 }
 
+/// Churn: a transitive-closure graph over a chain *plus* random shortcut
+/// edges, so many `Path` rows have alternative derivations — retracting
+/// one edge forces the over-delete/re-derive split (DRed) to actually
+/// restore rows rather than just cascade. Pair with [`churn_script`] for
+/// the retract/re-insert workload; as a plain scenario it also rides the
+/// existing evaluator/serving lattices.
+pub fn churn(seed: u64) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6368_726e);
+    let mut b = Build::new();
+    let n = rng.gen_range(8..=14usize);
+    let node = |i: usize| format!("N{i}");
+    for i in 0..n {
+        b.fact("Edge", &[&node(i), &node(i + 1)]);
+    }
+    // Shortcuts create alternative derivations for mid-chain paths.
+    for _ in 0..rng.gen_range(3..=6usize) {
+        let i = rng.gen_range(0..n);
+        let j = rng.gen_range(0..=n);
+        b.fact("Edge", &[&node(i), &node(j)]);
+    }
+    let (x, y, z) = (T::V("x"), T::V("y"), T::V("z"));
+    b.rule(
+        ("Path", &[x.clone(), y.clone()]),
+        &[("Edge", &[x.clone(), y.clone()])],
+    );
+    b.rule(
+        ("Path", &[x.clone(), z.clone()]),
+        &[
+            ("Path", &[x.clone(), y.clone()]),
+            ("Edge", &[y.clone(), z.clone()]),
+        ],
+    );
+    b.finish("churn", seed, &mut rng, 12)
+}
+
+/// Derives a seeded churn script over any relational scenario's base
+/// facts: roughly `2 × percent%` of the facts' worth of steps, mixing
+/// retractions of currently-present facts with re-insertions of
+/// previously retracted ones. The fact universe is enumerated in sorted
+/// name order (never hash-map order), so the script is a pure function of
+/// `(scenario, seed, percent)` — the contract every churn harness
+/// (agreement lattice, E18, crash matrix) leans on.
+pub fn churn_script(scenario: &Scenario, seed: u64, percent: usize) -> Vec<ChurnOp> {
+    let mut facts: Vec<(String, Vec<String>)> = scenario
+        .db
+        .iter()
+        .flat_map(|(p, rel)| {
+            let name = scenario.interner.resolve(p.sym()).to_string();
+            rel.rows().map(move |row| {
+                (
+                    name.clone(),
+                    row.iter()
+                        .map(|c| scenario.interner.resolve(c.sym()).to_string())
+                        .collect(),
+                )
+            })
+        })
+        .collect();
+    facts.sort();
+    if facts.is_empty() {
+        return Vec::new();
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6368_7363);
+    let steps = (facts.len() * percent).div_ceil(100).max(1) * 2;
+    let mut present: Vec<usize> = (0..facts.len()).collect();
+    let mut absent: Vec<usize> = Vec::new();
+    let mut ops = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        let reinsert = !absent.is_empty() && (present.is_empty() || rng.gen_range(0..2) == 1);
+        let (pool, retract): (&mut Vec<usize>, bool) = if reinsert {
+            (&mut absent, false)
+        } else {
+            (&mut present, true)
+        };
+        if pool.is_empty() {
+            break;
+        }
+        let at = rng.gen_range(0..pool.len());
+        let idx = pool.swap_remove(at);
+        let (pred, row) = facts[idx].clone();
+        ops.push(ChurnOp { pred, row, retract });
+        if retract {
+            absent.push(idx);
+        } else {
+            present.push(idx);
+        }
+    }
+    ops
+}
+
 /// Temporal lasso scenarios: a small forward temporal program (bodies at
 /// `t`, heads at `t` or `t+1`, numeral facts near 0) whose specification
 /// is an eventually-periodic lasso; queries probe single points and whole
@@ -621,6 +726,44 @@ mod tests {
         let t2 = temporal(7);
         assert_eq!(t1.text, t2.text);
         assert_eq!(t1.queries, t2.queries);
+    }
+
+    #[test]
+    fn churn_scripts_are_deterministic_and_well_formed() {
+        let s = churn(17);
+        let a = churn_script(&s, 5, 50);
+        let b = churn_script(&s, 5, 50);
+        assert_eq!(a, b, "script not deterministic");
+        assert!(!a.is_empty());
+        // Every step is legal against the running present-set: retracts
+        // hit present facts, inserts re-add absent ones.
+        let interner = &s.interner;
+        let mut present: Vec<(String, Vec<String>)> =
+            s.db.iter()
+                .flat_map(|(p, rel)| {
+                    let name = interner.resolve(p.sym()).to_string();
+                    rel.rows().map(move |row| {
+                        (
+                            name.clone(),
+                            row.iter()
+                                .map(|c| interner.resolve(c.sym()).to_string())
+                                .collect::<Vec<String>>(),
+                        )
+                    })
+                })
+                .collect();
+        for op in &a {
+            let key = (op.pred.clone(), op.row.clone());
+            if op.retract {
+                let at = present.iter().position(|k| *k == key).expect("present");
+                present.swap_remove(at);
+            } else {
+                assert!(!present.contains(&key), "insert of a present fact");
+                present.push(key);
+            }
+        }
+        // A 1% mix still produces at least one retraction.
+        assert!(churn_script(&s, 5, 1).iter().any(|o| o.retract));
     }
 
     #[test]

@@ -52,6 +52,13 @@ pub struct Repl {
     /// line is appended to the directory's WAL and committed, so a crashed
     /// session replays to exactly the lines that were acknowledged.
     session: Option<DurableDb>,
+    /// Cumulative incremental-retraction counters (`:retract`), surfaced
+    /// by `:stats` through [`fundb_core::EngineStats`]: rows tombstoned
+    /// and rows the re-derive pass restored.
+    retract: fundb_datalog::EvalStats,
+    /// Cached-specification rows patched in place by `:retract` instead
+    /// of rebuilding the spec (surfaced by `:stats`).
+    cache_patches: u64,
 }
 
 impl Default for Repl {
@@ -74,6 +81,8 @@ impl Repl {
             serve: ServeStats::default(),
             demand: fundb_datalog::EvalStats::default(),
             session: None,
+            retract: fundb_datalog::EvalStats::default(),
+            cache_patches: 0,
         }
     }
 
@@ -219,6 +228,8 @@ impl Repl {
                      :bench-serve [n] frozen-spec serving throughput on n queries (default 2048)\n\
                      :save <path> [--binary]  write the spec to a .fspec file \
                      (text v1, or binary v2 with --binary)\n\
+                     :retract <fact> remove an asserted base fact; derived \
+                     consequences are repaired incrementally (over-delete + re-derive)\n\
                      :open <dir>     attach a durable session journal: accepted \
                      lines are WAL-logged and replayed on reopen after a crash\n\
                      :wal-stats      durable session counters and recovery report\n\
@@ -333,6 +344,14 @@ impl Repl {
                     )
                 })?;
             }
+            Some("retract") => {
+                let fact: String = parts.collect::<Vec<_>>().join(" ");
+                if fact.is_empty() {
+                    writeln!(out, "usage: :retract <fact>")?;
+                } else {
+                    self.retract(fact.trim_end_matches('.'), out)?;
+                }
+            }
             Some("stats") => {
                 // Solve the session program with the LFP engine and report
                 // its instrumentation counters (semi-naive delta sizes,
@@ -348,6 +367,11 @@ impl Repl {
                         }
                         engine.record_serve_stats(self.serve.hits, self.serve.misses);
                         engine.record_demand_stats(self.demand);
+                        engine.record_retract_stats(
+                            self.retract.retractions,
+                            self.retract.rederived,
+                            self.cache_patches,
+                        );
                         if let Some(session) = &self.session {
                             let w = session.wal_stats();
                             engine.record_wal_stats(
@@ -397,6 +421,13 @@ impl Repl {
                             "adaptive exec: replans: {}, bloom skips: {}, \
                              shared prefix hits: {}",
                             s.replans, s.bloom_skips, s.shared_prefix_hits
+                        )?;
+                        writeln!(
+                            out,
+                            "incremental retraction: retractions: {}, \
+                             rederived: {}, cache patches: {} (session \
+                             totals from :retract)",
+                            s.retractions, s.rederived, s.cache_patches
                         )?;
                         writeln!(
                             out,
@@ -475,7 +506,14 @@ impl Repl {
                             self.session = Some(session);
                             let mut replayed = 0usize;
                             for text in &lines {
-                                if self.ws.parse(text).is_ok() {
+                                // Journaled `:retract` lines replay as base-
+                                // fact removals; everything else is program
+                                // text.
+                                let ok = match text.trim().strip_prefix(":retract") {
+                                    Some(f) => self.retract_replay(f.trim().trim_end_matches('.')),
+                                    None => self.ws.parse(text).is_ok(),
+                                };
+                                if ok {
                                     replayed += 1;
                                 }
                                 self.ws.queries.clear();
@@ -583,6 +621,113 @@ impl Repl {
             }
         }
         Ok(())
+    }
+
+    /// Index of the asserted base fact `pred(args)` in the workspace's
+    /// fact list, if present (relational facts only).
+    fn base_fact_pos(&self, pred: fundb_term::Pred, args: &[fundb_term::Cst]) -> Option<usize> {
+        self.ws.db.facts.iter().position(|a| {
+            a.fterm().is_none()
+                && a.pred() == pred
+                && a.args().len() == args.len()
+                && a.args()
+                    .iter()
+                    .zip(args)
+                    .all(|(t, c)| t.as_const() == Some(*c))
+        })
+    }
+
+    /// `:retract <fact>` — removes an asserted relational base fact and
+    /// repairs its derived consequences incrementally: the relational
+    /// image is retracted with over-delete + re-derive (DRed), the cached
+    /// specification is patched in place instead of rebuilt, and the
+    /// removal is journaled to the durable session. The `retractions`,
+    /// `rederived` and `cache patches` counters accumulate into `:stats`.
+    fn retract(&mut self, fact: &str, out: &mut dyn Write) -> std::io::Result<()> {
+        use fundb_datalog as dl;
+        let (pred, fterm, args) = match self.ws.parse_fact(fact) {
+            Ok(v) => v,
+            Err(e) => return writeln!(out, "error: {e}"),
+        };
+        if fterm.is_some() {
+            return writeln!(
+                out,
+                "error: only relational base facts can be retracted \
+                 incrementally; functional consequences are monotone \
+                 engine state — re-enter the program without the fact"
+            );
+        }
+        let Some(pos) = self.base_fact_pos(pred, &args) else {
+            return writeln!(out, "no such asserted base fact: {fact}");
+        };
+        // Incremental maintenance applies to purely relational sessions:
+        // bring the relational image to its fixpoint, retract under the
+        // session governor, and let the outcome's net cone patch the
+        // cached specification. Mixed programs fall back to invalidation.
+        let relational = (
+            fundb_core::relational_rules(&self.ws.program),
+            fundb_core::relational_facts(&self.ws.db),
+        );
+        let outcome = if let (Some(rules), Some(mut db)) = relational {
+            self.arm_governor();
+            let gov = self.ws.governor().clone();
+            let plan = dl::DeltaPlan::planned(&rules, &db);
+            let mut eval = dl::IncrementalEval::new();
+            eval.set_governor(gov.clone());
+            if let Err(e) = eval.run(&mut db, &rules, &plan) {
+                return self.report_error(&fundb_core::Error::Eval(e), out);
+            }
+            match db.retract_fact_governed(pred, &args, &rules, &plan, &gov) {
+                Ok(o) => Some(o),
+                Err(e) => return self.report_error(&fundb_core::Error::Eval(e), out),
+            }
+        } else {
+            None
+        };
+        self.ws.db.facts.remove(pos);
+        match outcome {
+            Some(o) => {
+                self.retract.retractions += o.stats.retractions;
+                self.retract.rederived += o.stats.rederived;
+                let patched = match self.spec.as_mut() {
+                    Some(spec) => spec.patch_retraction(&o),
+                    None => 0,
+                };
+                self.cache_patches += patched as u64;
+                writeln!(
+                    out,
+                    "retracted {fact}: {} row(s) tombstoned, {} re-derived, \
+                     {} cached row(s) patched",
+                    o.stats.retractions, o.stats.rederived, patched
+                )?;
+            }
+            None => {
+                self.spec = None;
+                writeln!(
+                    out,
+                    "retracted {fact}: the specification will be rebuilt on demand"
+                )?;
+            }
+        }
+        self.journal_line(&format!(":retract {fact}"), out)
+    }
+
+    /// Replays a journaled `:retract` line during `:open`: removes the
+    /// base fact without maintenance (no spec is cached at replay time).
+    fn retract_replay(&mut self, fact: &str) -> bool {
+        let Ok((pred, fterm, args)) = self.ws.parse_fact(fact) else {
+            return false;
+        };
+        if fterm.is_some() {
+            return false;
+        }
+        match self.base_fact_pos(pred, &args) {
+            Some(pos) => {
+                self.ws.db.facts.remove(pos);
+                true
+            }
+            None => false,
+        }
     }
 
     /// `:bench-serve n` — freezes the current specification and measures
@@ -1235,6 +1380,77 @@ mod tests {
             &["Run(t) -> Run(t+1).", "Run(0).", ":limit 3", "?- Run(t)."],
         );
         assert_eq!(out.matches("\n").count(), 3, "three answer lines:\n{out}");
+    }
+
+    #[test]
+    fn retract_repairs_consequences_and_patches_the_cached_spec() {
+        let mut repl = Repl::new();
+        let out = feed(
+            &mut repl,
+            &[
+                "Edge(x, y) -> Path(x, y).",
+                "Edge(x, y), Path(y, z) -> Path(x, z).",
+                "Edge(A, B). Edge(B, C).",
+                ":check Path(A, C)", // builds and caches the spec
+                ":retract Edge(B, C)",
+                ":check Path(A, C)", // answered from the patched spec
+                ":check Path(A, B)",
+                ":retract Edge(Z, Z)",
+                ":stats",
+            ],
+        );
+        // Before: Path(A,C) holds; after the retraction the whole cone
+        // (Edge(B,C), Path(B,C), Path(A,C)) is gone, Path(A,B) survives.
+        assert!(
+            out.contains("true\nretracted Edge(B, C): 3 row(s) tombstoned"),
+            "{out}"
+        );
+        assert!(
+            out.contains("0 re-derived, 3 cached row(s) patched"),
+            "{out}"
+        );
+        assert!(out.contains("false"), "{out}");
+        assert!(
+            out.contains("no such asserted base fact: Edge(Z, Z)"),
+            "{out}"
+        );
+        assert!(
+            out.contains("retractions: 3, rederived: 0, cache patches: 3"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn retract_is_journaled_and_replays_after_restart() {
+        let dir = std::env::temp_dir().join(format!("fundb-repl-retract-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_s = dir.to_string_lossy().into_owned();
+        {
+            let mut repl = Repl::new();
+            let out = feed(
+                &mut repl,
+                &[
+                    &format!(":open {dir_s}"),
+                    "Edge(x, y) -> Path(x, y). Edge(x, y), Path(y, z) -> Path(x, z).",
+                    "Edge(A, B). Edge(B, C).",
+                    ":retract Edge(B, C)",
+                ],
+            );
+            assert!(out.contains("retracted Edge(B, C)"), "{out}");
+        }
+        let mut repl = Repl::new();
+        let out = feed(
+            &mut repl,
+            &[
+                &format!(":open {dir_s}"),
+                ":check Path(A, C)",
+                ":check Path(A, B)",
+            ],
+        );
+        assert!(out.contains("replayed 3 line(s)"), "{out}");
+        assert!(out.contains("false"), "{out}");
+        assert!(out.contains("true"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
 

@@ -174,6 +174,16 @@ pub struct EngineStats {
     /// Completed rounds replayed from a WAL during the recovery that
     /// produced this session's database (0 for a fresh session).
     pub recovered_rounds: u64,
+    /// Rows tombstoned by incremental retractions reported into this
+    /// engine (see [`dl::EvalStats::retractions`]); stays 0 unless a
+    /// retraction reports in.
+    pub retractions: usize,
+    /// Rows the re-derive pass restored (an alternative derivation
+    /// survived the over-delete; see [`dl::EvalStats::rederived`]).
+    pub rederived: usize,
+    /// Cached-specification rows patched in place by retractions instead
+    /// of rebuilding the spec.
+    pub cache_patches: u64,
 }
 
 impl EngineStats {
@@ -388,6 +398,16 @@ impl Engine {
         self.stats.replans += es.replans;
         self.stats.bloom_skips += es.bloom_skips;
         self.stats.shared_prefix_hits += es.shared_prefix_hits;
+    }
+
+    /// Absorbs incremental-retraction counters (cumulative session totals)
+    /// into the engine's stats, so delete/update maintenance work shows up
+    /// next to forward-derivation counters in `:stats` and the bench
+    /// harness.
+    pub fn record_retract_stats(&mut self, retractions: usize, rederived: usize, patches: u64) {
+        self.stats.retractions = retractions;
+        self.stats.rederived = rederived;
+        self.stats.cache_patches = patches;
     }
 
     /// Absorbs durable-storage counters (cumulative WAL totals and the

@@ -294,6 +294,27 @@ impl GraphSpec {
         self.successor.len()
     }
 
+    /// Mutable-spec counterpart of [`crate::serve::FrozenGraphSpec::
+    /// patch_retraction`]: applies a completed retraction's net row
+    /// deletions to the relational store, so a cached specification for a
+    /// purely relational program stays valid under `:retract` without a
+    /// rebuild. The functional side (nodes, successors, slices) depends on
+    /// the program alone and is untouched. Returns the number of rows
+    /// retracted.
+    pub fn patch_retraction(&mut self, outcome: &dl::RetractOutcome) -> usize {
+        let mut dropped = 0usize;
+        for (p, row) in outcome.net_deleted() {
+            if let Some(rel) = self.nf.relation(p) {
+                let arity = rel.arity();
+                if arity == row.len() && self.nf.relation_mut(p, arity).retract_tuple(row).is_some()
+                {
+                    dropped += 1;
+                }
+            }
+        }
+        dropped
+    }
+
     /// The bisimulation quotient of the specification: merges every pair of
     /// nodes with equal slices whose successors are (recursively) equal too.
     ///

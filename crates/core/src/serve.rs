@@ -95,6 +95,9 @@ pub struct ServeStats {
     pub hits: u64,
     /// Queries computed and inserted (first sight of their key).
     pub misses: u64,
+    /// Cache entries dropped by [`FrozenGraphSpec::patch_retraction`]
+    /// (entries outside the recomputed cone are never touched).
+    pub patches: u64,
 }
 
 /// One cached answer: the owned key confirms hash-bucket candidates. The
@@ -126,6 +129,13 @@ pub struct FrozenGraphSpec {
     shards: Vec<Mutex<FxHashMap<u64, Vec<CacheEntry>>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Monotone patch epoch: bumped by every
+    /// [`patch_retraction`](Self::patch_retraction), so serving layers can
+    /// tag answers (or downstream caches) with the spec version they were
+    /// computed against and detect staleness without locking a shard.
+    epoch: AtomicU64,
+    /// Cache entries dropped across all patches.
+    patched: AtomicU64,
 }
 
 impl std::fmt::Debug for FrozenGraphSpec {
@@ -204,6 +214,8 @@ impl FrozenGraphSpec {
                 .collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            epoch: AtomicU64::new(0),
+            patched: AtomicU64::new(0),
         })
     }
 
@@ -254,7 +266,60 @@ impl FrozenGraphSpec {
         ServeStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            patches: self.patched.load(Ordering::Relaxed),
         }
+    }
+
+    /// The current patch epoch (0 at freeze; +1 per
+    /// [`patch_retraction`](Self::patch_retraction)).
+    pub fn patch_epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Patches the sealed snapshot after a completed incremental
+    /// retraction in the backing relational database, instead of
+    /// re-freezing: applies the retraction's *net* row deletions (the
+    /// over-delete set minus re-derived survivors) to the sealed
+    /// relational store and invalidates only the answer-cache entries
+    /// whose predicate lies in the recomputed cone. The functional side
+    /// (successor table, node states, path memo) depends on the program
+    /// alone, so cached entries outside the cone — including every
+    /// `Member` answer under an untouched predicate — stay warm and
+    /// remain byte-identical to recomputation. Bumps the patch epoch;
+    /// returns the number of cache entries dropped.
+    ///
+    /// Takes `&mut self` deliberately: patching is a maintenance-window
+    /// operation (`Arc::get_mut`, or before sharing), so readers never
+    /// observe a half-applied cone.
+    pub fn patch_retraction(&mut self, outcome: &dl::RetractOutcome) -> usize {
+        let net = outcome.net_deleted();
+        let mut cone: Vec<Pred> = Vec::new();
+        for (p, row) in &net {
+            if let Some(rel) = self.spec.nf.relation(*p) {
+                let arity = rel.arity();
+                if arity == row.len() {
+                    self.spec.nf.relation_mut(*p, arity).retract_tuple(row);
+                }
+            }
+            if !cone.contains(p) {
+                cone.push(*p);
+            }
+        }
+        let mut dropped = 0usize;
+        if !cone.is_empty() {
+            for shard in &self.shards {
+                let mut guard = shard.lock().unwrap_or_else(PoisonError::into_inner);
+                for entries in guard.values_mut() {
+                    let before = entries.len();
+                    entries.retain(|((p, _, _, _), _)| !cone.contains(p));
+                    dropped += before - entries.len();
+                }
+                guard.retain(|_, entries| !entries.is_empty());
+            }
+        }
+        self.patched.fetch_add(dropped as u64, Ordering::Relaxed);
+        self.epoch.fetch_add(1, Ordering::Relaxed);
+        dropped
     }
 
     /// Number of memoized path prefixes (including the empty one).
@@ -566,6 +631,26 @@ impl FrozenEqSpec {
     pub fn class_count(&self) -> usize {
         self.closure.class_count()
     }
+
+    /// Equational-spec counterpart of
+    /// [`FrozenGraphSpec::patch_retraction`]: applies a completed
+    /// retraction's net row deletions to the sealed relational store.
+    /// The congruence side (closure, shallow/deep slices) depends on the
+    /// program alone and is untouched; there is no answer cache here, so
+    /// only the rows move. Returns the number of rows retracted.
+    pub fn patch_retraction(&mut self, outcome: &dl::RetractOutcome) -> usize {
+        let mut dropped = 0usize;
+        for (p, row) in outcome.net_deleted() {
+            if let Some(rel) = self.nf.relation(p) {
+                let arity = rel.arity();
+                if arity == row.len() && self.nf.relation_mut(p, arity).retract_tuple(row).is_some()
+                {
+                    dropped += 1;
+                }
+            }
+        }
+        dropped
+    }
 }
 
 /// Maps a governor checkpoint trip to the serving layer's error shape.
@@ -761,6 +846,70 @@ mod tests {
         assert!(frozen.holds_relational(next, &[tony, jan]));
         let stats = frozen.serve_stats();
         assert_eq!((stats.hits, stats.misses), (1, 2));
+    }
+
+    #[test]
+    fn patch_retraction_invalidates_only_the_cone() {
+        let mut i = Interner::new();
+        let meets = Pred(i.intern("Meets"));
+        let next = Pred(i.intern("Next"));
+        let succ = Func(i.intern("succ"));
+        let (t, x, y) = (Var(i.intern("t")), Var(i.intern("x")), Var(i.intern("y")));
+        let (tony, jan) = (Cst(i.intern("tony")), Cst(i.intern("jan")));
+        let mut prog = Program::new();
+        prog.push(Rule::new(
+            fat(
+                meets,
+                FTerm::Pure(succ, Box::new(FTerm::Var(t))),
+                vec![NTerm::Var(y)],
+            ),
+            vec![
+                fat(meets, FTerm::Var(t), vec![NTerm::Var(x)]),
+                Atom::Relational {
+                    pred: next,
+                    args: vec![NTerm::Var(x), NTerm::Var(y)],
+                },
+            ],
+        ));
+        let mut db = Database::new();
+        db.facts
+            .push(fat(meets, FTerm::Zero, vec![NTerm::Const(tony)]));
+        db.facts.push(Atom::Relational {
+            pred: next,
+            args: vec![NTerm::Const(tony), NTerm::Const(jan)],
+        });
+        db.facts.push(Atom::Relational {
+            pred: next,
+            args: vec![NTerm::Const(jan), NTerm::Const(tony)],
+        });
+        let mut engine = Engine::build(&prog, &db, &mut i).unwrap();
+        let mut frozen = GraphSpec::from_engine(&mut engine).unwrap().freeze();
+        assert_eq!(frozen.patch_epoch(), 0);
+        // Warm both a relational entry (in the future cone) and a
+        // functional entry (outside it).
+        assert!(frozen.holds_relational(next, &[tony, jan]));
+        assert!(frozen.holds(meets, &[succ], &[jan]));
+        let cold = frozen.serve_stats();
+        assert_eq!(cold.misses, 2);
+
+        let outcome = dl::RetractOutcome {
+            found: true,
+            deleted: vec![(next, vec![tony, jan].into_boxed_slice())],
+            restored: Vec::new(),
+            stats: dl::EvalStats::default(),
+        };
+        let dropped = frozen.patch_retraction(&outcome);
+        assert_eq!(dropped, 1, "only the Next entry is in the cone");
+        assert_eq!(frozen.patch_epoch(), 1);
+        assert_eq!(frozen.serve_stats().patches, 1);
+
+        // The patched store answers the retracted row with `false` (a
+        // fresh miss, not a stale hit) …
+        assert!(!frozen.holds_relational(next, &[tony, jan]));
+        // … while the functional entry outside the cone is still warm.
+        let before = frozen.serve_stats().hits;
+        assert!(frozen.holds(meets, &[succ], &[jan]));
+        assert_eq!(frozen.serve_stats().hits, before + 1);
     }
 
     #[test]

@@ -84,6 +84,15 @@ pub struct EvalStats {
     /// rule programs, `k - 1` re-evaluations are skipped and counted here.
     /// Additive over delta rows, so identical at every thread count.
     pub shared_prefix_hits: usize,
+    /// Number of rows tombstoned by retraction maintenance (the target
+    /// fact plus every over-deleted consequence), across
+    /// [`Database::retract_fact`](crate::retract) calls reporting into
+    /// this counter. Retraction runs sequentially on the coordinator, so
+    /// the count is identical at every thread count.
+    pub retractions: usize,
+    /// Number of over-deleted rows restored by the re-derivation pass
+    /// because an alternative derivation survived the retraction.
+    pub rederived: usize,
 }
 
 impl EvalStats {
@@ -99,6 +108,8 @@ impl EvalStats {
         self.replans += other.replans;
         self.bloom_skips += other.bloom_skips;
         self.shared_prefix_hits += other.shared_prefix_hits;
+        self.retractions += other.retractions;
+        self.rederived += other.rederived;
     }
 }
 
@@ -265,7 +276,7 @@ impl DeltaPlan {
     /// The compiled program a task runs: the rule's full program, or its
     /// per-delta program when the task restricts a body atom to a delta
     /// range.
-    fn program(&self, rule: u32, delta_atom: Option<u32>) -> &JoinProgram {
+    pub(crate) fn program(&self, rule: u32, delta_atom: Option<u32>) -> &JoinProgram {
         let cr = &self.programs[rule as usize];
         match delta_atom {
             None => &cr.full,
@@ -276,7 +287,7 @@ impl DeltaPlan {
     /// Builds every composite index the compiled programs will probe (for
     /// relations that exist in `db`; re-invoked each round as derived
     /// relations appear).
-    fn ensure_indexes(&self, db: &mut Database) {
+    pub(crate) fn ensure_indexes(&self, db: &mut Database) {
         for &(p, sig) in &self.demands {
             db.ensure_composite(p, sig);
         }
@@ -310,6 +321,21 @@ pub fn default_threads() -> usize {
 #[derive(Clone, Debug)]
 pub struct IncrementalEval {
     marks: FxHashMap<Pred, usize>,
+    /// Slot-reuse epoch each mark was taken under (see
+    /// [`Relation::reuse_epoch`](crate::rel::Relation::reuse_epoch)): a
+    /// relation whose epoch moved had rows revived below the mark. The
+    /// relation's reclaim log (consumed through `reclaim_cursors`) says
+    /// exactly which slots, and those rows are re-fed as single-row
+    /// delta ranges; only a compaction (which renumbers ids and clears
+    /// the log, tracked via `compaction_marks`) still resets the mark
+    /// and re-scans the whole relation.
+    epochs: FxHashMap<Pred, u64>,
+    /// Cursor into each relation's reclaimed-slot log: entries past the
+    /// cursor are rows revived below the mark since the last run.
+    reclaim_cursors: FxHashMap<Pred, usize>,
+    /// Compaction counter each cursor was taken under; a moved value
+    /// invalidates the recorded ids and cursor.
+    compaction_marks: FxHashMap<Pred, u64>,
     started: bool,
     /// Worker threads per round; `None` defers to [`default_threads`].
     threads: Option<usize>,
@@ -344,6 +370,9 @@ impl Default for IncrementalEval {
     fn default() -> Self {
         IncrementalEval {
             marks: FxHashMap::default(),
+            epochs: FxHashMap::default(),
+            reclaim_cursors: FxHashMap::default(),
+            compaction_marks: FxHashMap::default(),
             started: false,
             threads: None,
             min_parallel_rows: DEFAULT_MIN_PARALLEL_ROWS,
@@ -427,6 +456,22 @@ impl IncrementalEval {
         &self.replan_log
     }
 
+    /// Marks every current row of `db` as already processed: the next
+    /// [`IncrementalEval::run`] treats only rows inserted (or revived)
+    /// after this call as the delta. [`Database::update_fact`]
+    /// (crate::rel::Database::update_fact) uses this to re-derive from
+    /// just the replacement fact once retraction has restored the
+    /// fixpoint, instead of re-running the initial full round.
+    pub fn prime_marks(&mut self, db: &Database) {
+        self.started = true;
+        for (p, rel) in db.iter() {
+            self.marks.insert(p, rel.len());
+            self.epochs.insert(p, rel.reuse_epoch());
+            self.reclaim_cursors.insert(p, rel.reclaimed_log().len());
+            self.compaction_marks.insert(p, rel.compactions());
+        }
+    }
+
     /// Runs the fixpoint to saturation and returns this run's counters.
     ///
     /// The first call evaluates every rule over the whole database (and
@@ -490,6 +535,49 @@ impl IncrementalEval {
         let mut stats = EvalStats::default();
         let mut first = !self.started;
         self.started = true;
+        // Slot-reuse check: a public insert that reclaimed a tombstoned
+        // slot put a live row *below* the dense high-water mark, where
+        // the contiguous mark..len delta cannot see it. The relation logs
+        // exactly which slots were reclaimed, so those rows are re-fed as
+        // single-row delta ranges in the run's first round (`pending`)
+        // instead of rescanning the whole relation — churn (retract +
+        // re-insert) stays O(cone), not O(database). Compaction renumbers
+        // ids and clears the log, so a moved compaction counter falls
+        // back to the conservative mark-to-zero full rescan. Coordinator-
+        // only and data-driven, so thread counts cannot influence it.
+        let mut pending: FxHashMap<Pred, Vec<u32>> = FxHashMap::default();
+        if !first {
+            for (p, rel) in db.iter() {
+                let epoch = rel.reuse_epoch();
+                let compactions = rel.compactions();
+                let log_len = rel.reclaimed_log().len();
+                let prev_epoch = self.epochs.insert(p, epoch);
+                let prev_comp = self.compaction_marks.insert(p, compactions);
+                let cursor = self
+                    .reclaim_cursors
+                    .insert(p, log_len)
+                    .unwrap_or(log_len)
+                    .min(log_len);
+                if prev_comp.is_some_and(|c| c != compactions) {
+                    self.marks.insert(p, 0);
+                } else if prev_epoch.is_some_and(|e| e != epoch) {
+                    let mark = self.marks.get(&p).copied().unwrap_or(0);
+                    // Ids at or above the mark are already covered by the
+                    // contiguous range; sort + dedup keeps the task list
+                    // deterministic even if a slot churned twice.
+                    let mut ids: Vec<u32> = rel.reclaimed_log()[cursor..]
+                        .iter()
+                        .copied()
+                        .filter(|&id| (id as usize) < mark)
+                        .collect();
+                    ids.sort_unstable();
+                    ids.dedup();
+                    if !ids.is_empty() {
+                        pending.insert(p, ids);
+                    }
+                }
+            }
+        }
         if self.adaptive {
             if self.overrides.len() < rules.len() {
                 self.overrides.resize_with(rules.len(), || None);
@@ -618,10 +706,13 @@ impl IncrementalEval {
                         .map_or(0, |r| r.len());
                 }
             } else {
-                // Only the rule positions whose predicate has fresh rows.
+                // Only the rule positions whose predicate has fresh rows
+                // (past the mark, or reclaimed below it).
                 let mut work: Vec<(u32, u32)> = Vec::new();
                 for (p, rel) in db.iter() {
-                    if rel.len() > self.marks.get(&p).copied().unwrap_or(0) {
+                    if rel.len() > self.marks.get(&p).copied().unwrap_or(0)
+                        || pending.contains_key(&p)
+                    {
                         work.extend_from_slice(plan.positions(p));
                     }
                 }
@@ -641,6 +732,26 @@ impl IncrementalEval {
                     let pred = rules[ri as usize].body[ai as usize].pred;
                     let start = self.marks.get(&pred).copied().unwrap_or(0);
                     let end = db.relation(pred).map_or(start, |r| r.len());
+                    // Reclaimed slots below the mark: one single-row range
+                    // each, ahead of the contiguous tail, so the task list
+                    // (and with it merge order and RowIds) stays
+                    // deterministic.
+                    if let Some(ids) = pending.get(&pred) {
+                        for &id in ids {
+                            round_rows += 1;
+                            tasks.push(Task {
+                                rule: ri,
+                                delta: Some(DeltaRange {
+                                    atom: ai,
+                                    start: id as usize,
+                                    end: id as usize + 1,
+                                }),
+                            });
+                        }
+                    }
+                    if end == start {
+                        continue;
+                    }
                     round_rows += end - start;
                     // The compiled per-delta program always runs the delta
                     // atom outermost, so splitting the range partitions the
@@ -754,14 +865,22 @@ impl IncrementalEval {
                 self.drifted.sort_unstable();
             }
 
-            // Advance marks to the end of the pre-insertion rows.
+            // Advance marks to the end of the pre-insertion rows, and
+            // remember the slot-reuse epoch each mark was taken under.
+            // The reclaimed rows were consumed by this round's tasks;
+            // later rounds see only the contiguous mark..len delta
+            // (derived inserts never reclaim slots).
             for (p, rel) in db.iter() {
                 self.marks.insert(p, rel.len());
+                self.epochs.insert(p, rel.reuse_epoch());
+                self.reclaim_cursors.insert(p, rel.reclaimed_log().len());
+                self.compaction_marks.insert(p, rel.compactions());
             }
+            pending.clear();
 
             let mut changed = false;
             for (p, t) in buffer.iter() {
-                if db.insert(p, t) {
+                if db.insert_derived(p, t) {
                     changed = true;
                     stats.derived += 1;
                     if !gov.note_row() {
@@ -1400,7 +1519,7 @@ pub fn evaluate_naive_governed(
         }
         let mut changed = false;
         for (p, t) in buffer.iter() {
-            if db.insert(p, t) {
+            if db.insert_derived(p, t) {
                 changed = true;
                 stats.derived += 1;
                 if !governor.note_row() {
@@ -1824,7 +1943,7 @@ pub fn evaluate_naive_interpreted(db: &mut Database, rules: &[Rule]) -> EvalStat
         }
         let mut changed = false;
         for (p, t) in buffer.iter() {
-            if db.insert(p, t) {
+            if db.insert_derived(p, t) {
                 changed = true;
                 stats.derived += 1;
             }

@@ -27,6 +27,7 @@ pub mod magic;
 pub mod program;
 pub mod provenance;
 pub mod rel;
+pub mod retract;
 pub mod rule;
 
 #[doc(hidden)]
@@ -46,4 +47,5 @@ pub use provenance::{
     evaluate_traced, evaluate_traced_governed, Derivation, Justification, Provenance,
 };
 pub use rel::{Database, PlanStats, Probe, RelStats, Relation, RowId, RowPool, Tuple};
+pub use retract::RetractOutcome;
 pub use rule::{Atom, Rule, Term};

@@ -298,6 +298,41 @@ impl JoinProgram {
         self.exec(db, 0, delta, regs, guard, stats, emit)
     }
 
+    /// Runs the program with the *first* op (the delta atom of a per-delta
+    /// program) restricted to an explicit list of row ids instead of a
+    /// dense range. This is the negative-delta entry point: retraction
+    /// maintenance feeds the rows about to be deleted — which are not
+    /// contiguous in the arena — through the same delta-outermost program
+    /// the forward evaluator compiled. The listed rows must still be live
+    /// in `db` (the over-delete pass tombstones only after discovery).
+    pub(crate) fn execute_rows<F: FnMut(&[HeadSlot], &[Cst])>(
+        &self,
+        db: &Database,
+        rows: &[u32],
+        regs: &mut [Cst],
+        guard: &ProbeGuard<'_>,
+        stats: &mut EvalStats,
+        emit: &mut F,
+    ) -> Result<(), Resource> {
+        debug_assert!(regs.len() >= self.nregs);
+        debug_assert!(!self.ops.is_empty());
+        let op = &self.ops[0];
+        let Some(rel) = db.relation(op.pred) else {
+            return Ok(());
+        };
+        for &id in rows {
+            let row = rel.row(RowId(id));
+            stats.join_probes += 1;
+            if stats.join_probes & PROBE_CHECK_MASK == 0 {
+                guard.check()?;
+            }
+            if apply_cols(&op.cols, row, regs) {
+                self.exec(db, 1, None, regs, guard, stats, emit)?;
+            }
+        }
+        Ok(())
+    }
+
     /// Runs only the first `limit` ops (a shared prefix), calling `cont`
     /// with the register file for every binding that survives them. The
     /// continuation typically resumes *other* programs sharing this prefix

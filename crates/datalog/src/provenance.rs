@@ -178,7 +178,7 @@ pub fn evaluate_traced_governed(
 
         let mut changed = false;
         for (p, t, just) in buffer {
-            if db.insert(p, &t) {
+            if db.insert_derived(p, &t) {
                 changed = true;
                 stats.derived += 1;
                 prov.why.entry((p, t)).or_insert(just);

@@ -87,6 +87,52 @@ impl RowPool {
     }
 }
 
+/// Reads bit `i` of a packed word bitmap (absent words read as zero).
+#[inline]
+fn bit_get(words: &[u64], i: usize) -> bool {
+    words.get(i / 64).is_some_and(|w| w & (1 << (i % 64)) != 0)
+}
+
+/// Writes bit `i` of a packed word bitmap, growing it as needed.
+#[inline]
+fn bit_set(words: &mut Vec<u64>, i: usize, v: bool) {
+    let w = i / 64;
+    if words.len() <= w {
+        words.resize(w + 1, 0);
+    }
+    if v {
+        words[w] |= 1 << (i % 64);
+    } else {
+        words[w] &= !(1 << (i % 64));
+    }
+}
+
+/// Inserts `id` into an ascending id vector, keeping it sorted. Buckets are
+/// normally appended to with strictly increasing ids; only slot reclamation
+/// re-introduces an old id in the middle.
+#[inline]
+fn insert_sorted(bucket: &mut Vec<u32>, id: u32) {
+    match bucket.last() {
+        Some(&last) if last >= id => {
+            if let Err(pos) = bucket.binary_search(&id) {
+                bucket.insert(pos, id);
+            }
+        }
+        _ => bucket.push(id),
+    }
+}
+
+/// Removes `id` from an ascending id vector; returns `true` when the bucket
+/// is left empty (so the caller can drop the map entry and keep
+/// distinct-value counts exact under deletion).
+#[inline]
+fn remove_sorted(bucket: &mut Vec<u32>, id: u32) -> bool {
+    if let Ok(pos) = bucket.binary_search(&id) {
+        bucket.remove(pos);
+    }
+    bucket.is_empty()
+}
+
 /// Fx hash of a row's constants, used to key the dedup table.
 #[inline]
 pub(crate) fn hash_row(t: &[Cst]) -> u64 {
@@ -217,6 +263,39 @@ pub struct Relation {
     /// 64) distinct-count estimate for the recent delta. Maintained on
     /// insert, taken-and-cleared by the live snapshot — no rescan ever.
     delta_sketch: Vec<u64>,
+    /// Tombstone bitmap over dense row ids: a set bit marks a retracted
+    /// row. Tombstoned rows stay in the arena (RowIds stay stable and
+    /// reads stay borrowed slices) but are invisible to scans, selects,
+    /// probes, membership, and dumps; the slot is reclaimed when an equal
+    /// tuple is re-asserted and physically dropped only by
+    /// [`Relation::compact`].
+    tomb: Vec<u64>,
+    /// Number of tombstoned rows (`live() == len - dead`).
+    dead: usize,
+    /// Dedup buckets of *tombstoned* rows (row hash → ascending row ids):
+    /// the free list. Re-inserting an equal tuple reclaims its original
+    /// slot and RowId instead of appending a duplicate.
+    tomb_dedup: FxHashMap<u64, Vec<u32>>,
+    /// Asserted bitmap: a set bit marks a row inserted as a base (EDB)
+    /// fact rather than derived by a rule. Retraction never cascades over
+    /// asserted rows — they have support independent of any derivation.
+    asserted: Vec<u64>,
+    /// Bumped whenever a row below the dense high-water mark comes back to
+    /// life through a public insert (slot reclamation) or row ids are
+    /// renumbered ([`Relation::compact`]). Incremental evaluators compare
+    /// this against their recorded value and reset the predicate's
+    /// low-water mark when it moved, so resurrected rows are re-processed.
+    reuse_epoch: u64,
+    /// Row ids revived through public-insert slot reclamation, in
+    /// reclamation order; cleared by [`Relation::compact`] (the ids it
+    /// holds are renumbered away). Incremental evaluators keep a cursor
+    /// into this log so an epoch move re-feeds exactly the reclaimed
+    /// rows as delta instead of rescanning the whole relation.
+    reclaimed: Vec<u32>,
+    /// Number of [`Relation::compact`] renumberings so far; a moved
+    /// value invalidates every row id and reclaim cursor an evaluator
+    /// recorded, forcing the conservative full rescan.
+    compactions: u64,
 }
 
 impl Relation {
@@ -231,6 +310,13 @@ impl Relation {
             blooms: FxHashMap::default(),
             max_bucket: vec![0; arity],
             delta_sketch: vec![0; arity],
+            tomb: Vec::new(),
+            dead: 0,
+            tomb_dedup: FxHashMap::default(),
+            asserted: Vec::new(),
+            reuse_epoch: 0,
+            reclaimed: Vec::new(),
+            compactions: 0,
         }
     }
 
@@ -239,14 +325,63 @@ impl Relation {
         self.pool.arity
     }
 
-    /// Number of tuples.
+    /// The dense high-water mark: the number of arena slots, including
+    /// tombstoned ones. Row ids are always `< len()`, and rows appended
+    /// after a caller's saved `len()` form the contiguous semi-naive delta
+    /// — tombstones never change this. Equal to [`Relation::live`] when
+    /// nothing has been retracted.
     pub fn len(&self) -> usize {
         self.len
     }
 
-    /// Whether the relation has no tuples.
+    /// Number of live (non-tombstoned) tuples.
+    #[inline]
+    pub fn live(&self) -> usize {
+        self.len - self.dead
+    }
+
+    /// Number of tombstoned rows still occupying arena slots (reclaimed on
+    /// equal re-insert, dropped by [`Relation::compact`]).
+    #[inline]
+    pub fn dead(&self) -> usize {
+        self.dead
+    }
+
+    /// See the `reuse_epoch` field: moves when row ids below the dense
+    /// high-water mark are revived or renumbered.
+    #[inline]
+    pub fn reuse_epoch(&self) -> u64 {
+        self.reuse_epoch
+    }
+
+    /// See the `reclaimed` field: slot ids revived through public-insert
+    /// reclamation since the last compaction, in reclamation order.
+    #[inline]
+    pub(crate) fn reclaimed_log(&self) -> &[u32] {
+        &self.reclaimed
+    }
+
+    /// See the `compactions` field: renumberings so far.
+    #[inline]
+    pub(crate) fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
+    /// Whether the relation has no live tuples.
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.live() == 0
+    }
+
+    /// Whether row `id` is currently tombstoned.
+    #[inline]
+    pub fn is_tombstoned(&self, id: RowId) -> bool {
+        bit_get(&self.tomb, id.index())
+    }
+
+    /// Whether row `id` was inserted as a base (asserted) fact.
+    #[inline]
+    pub fn is_asserted(&self, id: RowId) -> bool {
+        bit_get(&self.asserted, id.index())
     }
 
     /// Number of distinct values in column `col` (the size of its
@@ -266,9 +401,15 @@ impl Relation {
     /// compile-time cost model. Delta statistics are zeroed: plain
     /// snapshots describe the whole relation, not a recent increment (see
     /// [`Relation::live_stats`] for the adaptive-execution variant).
+    ///
+    /// Under deletion, `rows` is decremented exactly (it counts live rows)
+    /// and `distinct` stays exact (index entries whose bucket empties are
+    /// dropped); `max_bucket` is an upper bound — it records the largest
+    /// bucket ever held, and retraction does not shrink it until
+    /// [`Relation::maybe_resketch`] or [`Relation::compact`] recomputes it.
     pub fn stats(&self) -> RelStats {
         RelStats {
-            rows: self.len,
+            rows: self.live(),
             distinct: (0..self.arity()).map(|c| self.distinct(c)).collect(),
             max_bucket: self.max_bucket.clone(),
             delta_rows: 0,
@@ -293,7 +434,7 @@ impl Relation {
             })
             .collect();
         RelStats {
-            rows: self.len,
+            rows: self.live(),
             distinct: (0..self.arity()).map(|c| self.distinct(c)).collect(),
             max_bucket: self.max_bucket.clone(),
             delta_rows: self.len.saturating_sub(mark),
@@ -311,20 +452,55 @@ impl Relation {
         self.pool.approx_bytes() + self.len * postings * std::mem::size_of::<u32>()
     }
 
-    /// Inserts a tuple; returns its handle if it was new.
+    /// Inserts a tuple as an asserted (base) fact; returns its handle if
+    /// it was new. Re-inserting a tuple whose retracted row still occupies
+    /// an arena slot *reclaims* that slot — the tuple gets its old RowId
+    /// back (free-list reuse) — and bumps the reuse epoch so incremental
+    /// evaluators re-process the resurrected row. Inserting a tuple that
+    /// is already live (re)marks it asserted.
     pub fn insert_row(&mut self, t: &[Cst]) -> Option<RowId> {
+        match self.insert_internal(t, true) {
+            Some(id) => {
+                bit_set(&mut self.asserted, id.index(), true);
+                Some(id)
+            }
+            None => {
+                if let Some(id) = self.find(t) {
+                    bit_set(&mut self.asserted, id.index(), true);
+                }
+                None
+            }
+        }
+    }
+
+    /// Inserts a tuple derived by a rule; returns its handle if it was
+    /// new. Never reclaims a tombstoned slot (derived rows always append,
+    /// so a round's fresh rows stay a contiguous arena suffix) and leaves
+    /// the asserted bit clear: retraction may cascade over derived rows.
+    pub fn insert_derived_row(&mut self, t: &[Cst]) -> Option<RowId> {
+        self.insert_internal(t, false)
+    }
+
+    fn insert_internal(&mut self, t: &[Cst], reclaim: bool) -> Option<RowId> {
         assert_eq!(t.len(), self.arity(), "arity mismatch on insert");
         let h = hash_row(t);
-        let bucket = self.dedup.entry(h).or_default();
-        if bucket.iter().any(|&i| {
-            let a = self.pool.arity;
-            let i = i as usize;
-            &self.pool.data[i * a..i * a + a] == t
-        }) {
-            return None;
+        if let Some(bucket) = self.dedup.get(&h) {
+            if bucket.iter().any(|&i| self.pool.row(i as usize) == t) {
+                return None;
+            }
+        }
+        if reclaim {
+            if let Some(ids) = self.tomb_dedup.get(&h) {
+                if let Some(&id) = ids.iter().find(|&&i| self.pool.row(i as usize) == t) {
+                    self.revive(id);
+                    self.reuse_epoch += 1;
+                    self.reclaimed.push(id);
+                    return Some(RowId(id));
+                }
+            }
         }
         let id = self.pool.push(t, self.len);
-        bucket.push(id.0);
+        self.dedup.entry(h).or_default().push(id.0);
         self.len += 1;
         for (col, &v) in t.iter().enumerate() {
             let bucket = self.index[col].entry(v).or_default();
@@ -346,9 +522,214 @@ impl Relation {
         Some(id)
     }
 
-    /// Inserts a tuple; returns `true` if it was new.
+    /// Inserts a tuple as an asserted fact; returns `true` if it was new.
     pub fn insert(&mut self, t: &[Cst]) -> bool {
         self.insert_row(t).is_some()
+    }
+
+    /// Inserts a derived tuple (see [`Relation::insert_derived_row`]);
+    /// returns `true` if it was new.
+    pub fn insert_derived(&mut self, t: &[Cst]) -> bool {
+        self.insert_derived_row(t).is_some()
+    }
+
+    /// The live row equal to `t`, if present.
+    pub fn find(&self, t: &[Cst]) -> Option<RowId> {
+        if t.len() != self.arity() {
+            return None;
+        }
+        self.dedup
+            .get(&hash_row(t))
+            .and_then(|b| b.iter().copied().find(|&i| self.pool.row(i as usize) == t))
+            .map(RowId)
+    }
+
+    /// Sets or clears the asserted (base-fact) bit of row `id`.
+    pub fn set_asserted(&mut self, id: RowId, v: bool) {
+        bit_set(&mut self.asserted, id.index(), v);
+    }
+
+    /// Tombstones row `id`: removes it from the dedup table and every
+    /// index (per-column and composite buckets, dropping emptied entries
+    /// so distinct counts stay exact under deletion), marks the slot dead,
+    /// and parks it on the free list. Bloom filters are deliberately left
+    /// stale: a deleted key's set bits can only cause false positives (a
+    /// wasted bucket walk), never a false reject, so probe soundness is
+    /// unaffected; [`Relation::compact`] rebuilds them.
+    pub(crate) fn retract_row(&mut self, id: RowId) {
+        let i = id.index();
+        debug_assert!(i < self.len && !bit_get(&self.tomb, i));
+        let t: Vec<Cst> = self.pool.row(i).to_vec();
+        let h = hash_row(&t);
+        let empty = self
+            .dedup
+            .get_mut(&h)
+            .is_some_and(|b| remove_sorted(b, id.0));
+        if empty {
+            self.dedup.remove(&h);
+        }
+        insert_sorted(self.tomb_dedup.entry(h).or_default(), id.0);
+        for (col, &v) in t.iter().enumerate() {
+            let empty = self.index[col]
+                .get_mut(&v)
+                .is_some_and(|b| remove_sorted(b, id.0));
+            if empty {
+                self.index[col].remove(&v);
+            }
+        }
+        for (&sig, map) in self.composite.iter_mut() {
+            let kh = hash_sig_cols(&t, sig);
+            let empty = map.get_mut(&kh).is_some_and(|b| remove_sorted(b, id.0));
+            if empty {
+                map.remove(&kh);
+            }
+        }
+        bit_set(&mut self.tomb, i, true);
+        self.dead += 1;
+    }
+
+    /// Tombstones the live row equal to `t`, if any; returns its id.
+    pub fn retract_tuple(&mut self, t: &[Cst]) -> Option<RowId> {
+        let id = self.find(t)?;
+        self.retract_row(id);
+        Some(id)
+    }
+
+    /// Un-tombstones row `id` in place (same RowId, same arena slot),
+    /// *without* bumping the reuse epoch: used by the retraction passes,
+    /// which restore rows whose consequences are already settled by the
+    /// over-delete/re-derive fixpoint, and by rollback on an aborted
+    /// retraction. The asserted bit is left as-is.
+    pub(crate) fn restore_row(&mut self, id: RowId) {
+        self.revive(id.0);
+    }
+
+    /// Un-tombstones the retracted row equal to `t`, if its slot is still
+    /// on the free list; returns its (stable) id. Used by WAL replay to
+    /// reproduce a retraction's re-derive restores byte-identically.
+    pub fn restore_tuple(&mut self, t: &[Cst]) -> Option<RowId> {
+        if t.len() != self.arity() {
+            return None;
+        }
+        let id = self
+            .tomb_dedup
+            .get(&hash_row(t))
+            .and_then(|b| b.iter().copied().find(|&i| self.pool.row(i as usize) == t))?;
+        self.revive(id);
+        Some(RowId(id))
+    }
+
+    /// Brings tombstoned row `id` back to life: off the free list, back
+    /// into the dedup table and every index (sorted re-insertion keeps
+    /// buckets in ascending id order, so probe enumeration order is
+    /// identical to never having retracted).
+    fn revive(&mut self, id: u32) {
+        debug_assert!(bit_get(&self.tomb, id as usize));
+        let t: Vec<Cst> = self.pool.row(id as usize).to_vec();
+        let h = hash_row(&t);
+        let empty = self
+            .tomb_dedup
+            .get_mut(&h)
+            .is_some_and(|b| remove_sorted(b, id));
+        if empty {
+            self.tomb_dedup.remove(&h);
+        }
+        bit_set(&mut self.tomb, id as usize, false);
+        self.dead -= 1;
+        insert_sorted(self.dedup.entry(h).or_default(), id);
+        for (col, &v) in t.iter().enumerate() {
+            let bucket = self.index[col].entry(v).or_default();
+            insert_sorted(bucket, id);
+            if bucket.len() > self.max_bucket[col] {
+                self.max_bucket[col] = bucket.len();
+            }
+            let mut sh = FxHasher::default();
+            sh.write_usize(v.index());
+            self.delta_sketch[col] |= 1 << (sh.finish() & 63);
+        }
+        for (&sig, map) in self.composite.iter_mut() {
+            let kh = hash_sig_cols(&t, sig);
+            insert_sorted(map.entry(kh).or_default(), id);
+            if let Some(bloom) = self.blooms.get_mut(&sig) {
+                bloom.insert(kh);
+            }
+        }
+    }
+
+    /// Re-derives the skew statistics once tombstones exceed 25% of the
+    /// arena: recomputes `max_bucket` exactly from the live index buckets
+    /// (insertion maintains it as a high-water mark, which deletion turns
+    /// into an upper bound) and clears the delta sketches, erring toward
+    /// "nothing recent" rather than counting deleted values. Returns
+    /// whether a recompute happened.
+    pub fn maybe_resketch(&mut self) -> bool {
+        if self.len == 0 || self.dead * 4 <= self.len {
+            return false;
+        }
+        for col in 0..self.arity() {
+            self.max_bucket[col] = self.index[col].values().map(Vec::len).max().unwrap_or(0);
+            self.delta_sketch[col] = 0;
+        }
+        true
+    }
+
+    /// Physically drops tombstoned rows: live rows are renumbered densely
+    /// in their existing order, every index (dedup, per-column, composite)
+    /// is rebuilt, and the bloom filters are rebuilt over live keys only —
+    /// the rebuild-on-compaction hook that stops `bloom_skips` decaying to
+    /// zero on churny relations. Row ids change, so the reuse epoch is
+    /// bumped. Returns `true` if anything was dropped.
+    pub fn compact(&mut self) -> bool {
+        if self.dead == 0 {
+            return false;
+        }
+        let arity = self.arity();
+        let sigs: Vec<u64> = self.composite.keys().copied().collect();
+        let mut pool = RowPool::new(arity);
+        let mut asserted = Vec::new();
+        let mut n = 0usize;
+        for i in 0..self.len {
+            if bit_get(&self.tomb, i) {
+                continue;
+            }
+            pool.push(self.pool.row(i), n);
+            if bit_get(&self.asserted, i) {
+                bit_set(&mut asserted, n, true);
+            }
+            n += 1;
+        }
+        self.pool = pool;
+        self.len = n;
+        self.dead = 0;
+        self.tomb.clear();
+        self.tomb_dedup.clear();
+        self.asserted = asserted;
+        self.dedup.clear();
+        for col in 0..arity {
+            self.index[col].clear();
+            self.max_bucket[col] = 0;
+            self.delta_sketch[col] = 0;
+        }
+        self.composite.clear();
+        self.blooms.clear();
+        for i in 0..n {
+            let t: Vec<Cst> = self.pool.row(i).to_vec();
+            self.dedup.entry(hash_row(&t)).or_default().push(i as u32);
+            for (col, &v) in t.iter().enumerate() {
+                let bucket = self.index[col].entry(v).or_default();
+                bucket.push(i as u32);
+                if bucket.len() > self.max_bucket[col] {
+                    self.max_bucket[col] = bucket.len();
+                }
+            }
+        }
+        for sig in sigs {
+            self.ensure_composite(sig);
+        }
+        self.reuse_epoch += 1;
+        self.reclaimed.clear();
+        self.compactions += 1;
+        true
     }
 
     /// Membership test.
@@ -389,13 +770,16 @@ impl Relation {
         self.pool.cells_from(from)
     }
 
-    /// Tuples with dense indexes in `from..to` (a delta chunk).
+    /// Tuples with dense indexes in `from..to` (a delta chunk), skipping
+    /// tombstoned rows. Tombstone-free relations pay nothing for the skip
+    /// (the iterator carries an empty bitmap slice).
     pub fn rows_range(&self, from: usize, to: usize) -> Rows<'_> {
         debug_assert!(from <= to && to <= self.len);
         Rows {
             pool: &self.pool,
             next: from,
             end: to,
+            tomb: if self.dead == 0 { &[] } else { &self.tomb },
         }
     }
 
@@ -459,6 +843,9 @@ impl Relation {
         let mut map: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
         let mut bloom = Bloom::new();
         for i in 0..self.len {
+            if self.dead > 0 && bit_get(&self.tomb, i) {
+                continue;
+            }
             let row = self.pool.row(i);
             let kh = hash_sig_cols(row, sig);
             map.entry(kh).or_default().push(i as u32);
@@ -550,12 +937,15 @@ pub enum Probe<'a> {
     Scan,
 }
 
-/// Iterator over a contiguous range of a relation's rows.
+/// Iterator over a contiguous range of a relation's rows, skipping
+/// tombstoned slots. `tomb` is the empty slice for tombstone-free
+/// relations, so the common case stays a branch on an empty-slice check.
 #[derive(Clone, Debug)]
 pub struct Rows<'a> {
     pool: &'a RowPool,
     next: usize,
     end: usize,
+    tomb: &'a [u64],
 }
 
 impl<'a> Iterator for Rows<'a> {
@@ -563,21 +953,26 @@ impl<'a> Iterator for Rows<'a> {
 
     #[inline]
     fn next(&mut self) -> Option<&'a [Cst]> {
-        if self.next == self.end {
-            return None;
+        while self.next != self.end {
+            let i = self.next;
+            self.next += 1;
+            if !self.tomb.is_empty() && bit_get(self.tomb, i) {
+                continue;
+            }
+            return Some(self.pool.row(i));
         }
-        let row = self.pool.row(self.next);
-        self.next += 1;
-        Some(row)
+        None
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
         let n = self.end - self.next;
-        (n, Some(n))
+        if self.tomb.is_empty() {
+            (n, Some(n))
+        } else {
+            (0, Some(n))
+        }
     }
 }
-
-impl ExactSizeIterator for Rows<'_> {}
 
 fn pattern_matches(row: &[Cst], pattern: &[Option<Cst>]) -> bool {
     row.iter()
@@ -716,9 +1111,26 @@ impl Database {
         self.relations.get(&p)
     }
 
-    /// Inserts a fact; returns `true` if new.
+    /// Inserts an asserted (base) fact; returns `true` if new.
     pub fn insert(&mut self, p: Pred, t: &[Cst]) -> bool {
         self.relation_mut(p, t.len()).insert(t)
+    }
+
+    /// Inserts a rule-derived fact (never reclaims a tombstoned slot,
+    /// leaves the asserted bit clear); returns `true` if new.
+    pub fn insert_derived(&mut self, p: Pred, t: &[Cst]) -> bool {
+        self.relation_mut(p, t.len()).insert_derived(t)
+    }
+
+    /// Compacts every relation (physically dropping tombstoned rows and
+    /// rebuilding indexes and bloom filters); returns how many relations
+    /// changed. Row ids are renumbered, so snapshot writers must persist
+    /// in the same pass to keep on-disk and in-memory ids in lock-step.
+    pub fn compact(&mut self) -> usize {
+        self.relations
+            .values_mut()
+            .map(|r| usize::from(r.compact()))
+            .sum()
     }
 
     /// Ensures `p`'s relation (if it exists) has the composite index for
@@ -735,9 +1147,9 @@ impl Database {
         self.relations.get(&p).is_some_and(|r| r.contains(t))
     }
 
-    /// Total number of tuples across relations.
+    /// Total number of live tuples across relations.
     pub fn fact_count(&self) -> usize {
-        self.relations.values().map(Relation::len).sum()
+        self.relations.values().map(Relation::live).sum()
     }
 
     /// Approximate resident bytes across relations (see
@@ -762,7 +1174,7 @@ impl Database {
         let mut total_rows = 0;
         for (&p, rel) in self.relations.iter() {
             if !rel.is_empty() {
-                total_rows += rel.len();
+                total_rows += rel.live();
                 per_pred.insert(p, rel.stats());
             }
         }
@@ -783,7 +1195,7 @@ impl Database {
         let mut total_rows = 0;
         for (&p, rel) in self.relations.iter_mut() {
             if !rel.is_empty() {
-                total_rows += rel.len();
+                total_rows += rel.live();
                 per_pred.insert(p, rel.live_stats(mark_of(p)));
             }
         }
@@ -1096,5 +1508,218 @@ mod tests {
         db.insert(p, &[v[0]]);
         db.insert(q, &[v[1], v[0]]);
         assert_eq!(db.dump(&i), vec!["P(b)".to_string(), "Q(a,b)".to_string()]);
+    }
+
+    #[test]
+    fn retract_tombstones_without_moving_rows() {
+        let mut i = Interner::new();
+        let v = csts(&mut i, &["a", "b", "c"]);
+        let mut r = Relation::new(1);
+        let ids: Vec<RowId> = v.iter().map(|&c| r.insert_row(&[c]).unwrap()).collect();
+        let gone = r.retract_tuple(&[v[1]]).unwrap();
+        assert_eq!(gone, ids[1]);
+        // Dense high-water unchanged; live count and membership down.
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.live(), 2);
+        assert_eq!(r.dead(), 1);
+        assert!(!r.contains(&[v[1]]));
+        assert!(r.is_tombstoned(ids[1]));
+        assert_eq!(r.stats().rows, 2);
+        // Iteration, selects and dumps skip the tombstone.
+        let live: Vec<&[Cst]> = r.rows().collect();
+        assert_eq!(live, vec![&[v[0]][..], &[v[2]][..]]);
+        assert_eq!(r.select(&[None]).count(), 2);
+        assert_eq!(r.select(&[Some(v[1])]).count(), 0);
+        // Retracting again finds nothing.
+        assert!(r.retract_tuple(&[v[1]]).is_none());
+    }
+
+    #[test]
+    fn public_insert_reclaims_tombstoned_slot_and_bumps_epoch() {
+        let mut i = Interner::new();
+        let v = csts(&mut i, &["a", "b", "c"]);
+        let mut r = Relation::new(1);
+        let ids: Vec<RowId> = v.iter().map(|&c| r.insert_row(&[c]).unwrap()).collect();
+        let epoch = r.reuse_epoch();
+        r.retract_row(ids[1]);
+        // Re-asserting the same tuple revives the parked slot: same
+        // RowId, no arena growth, and the epoch moves so incremental
+        // marks know a row appeared below the high-water line.
+        let back = r.insert_row(&[v[1]]).unwrap();
+        assert_eq!(back, ids[1]);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.live(), 3);
+        assert!(r.is_asserted(back));
+        assert_eq!(r.reuse_epoch(), epoch + 1);
+        // Bucket enumeration order is as if the retraction never
+        // happened (sorted re-insertion).
+        let all: Vec<&[Cst]> = r.rows().collect();
+        assert_eq!(all, vec![&[v[0]][..], &[v[1]][..], &[v[2]][..]]);
+    }
+
+    #[test]
+    fn derived_insert_never_reclaims() {
+        let mut i = Interner::new();
+        let v = csts(&mut i, &["a", "b"]);
+        let mut r = Relation::new(1);
+        let id = r.insert_row(&[v[0]]).unwrap();
+        r.insert_row(&[v[1]]);
+        let epoch = r.reuse_epoch();
+        r.retract_row(id);
+        // A derived duplicate of a *tombstoned* tuple must append: round
+        // deltas stay contiguous and the WAL's `cells_from` contract
+        // holds. The parked slot stays parked.
+        let fresh = r.insert_derived_row(&[v[0]]).unwrap();
+        assert_eq!(fresh, RowId(2));
+        assert_eq!(r.reuse_epoch(), epoch);
+        assert!(r.is_tombstoned(id));
+        assert!(!r.is_asserted(fresh));
+        assert_eq!(r.live(), 2);
+    }
+
+    #[test]
+    fn restore_revives_in_place_without_epoch_bump() {
+        let mut i = Interner::new();
+        let v = csts(&mut i, &["a", "b", "c"]);
+        let mut r = Relation::new(2);
+        r.insert(&[v[0], v[1]]);
+        let id = r.insert_row(&[v[1], v[2]]).unwrap();
+        let epoch = r.reuse_epoch();
+        r.retract_row(id);
+        assert_eq!(r.restore_tuple(&[v[1], v[2]]), Some(id));
+        assert_eq!(r.reuse_epoch(), epoch);
+        assert_eq!(r.live(), 2);
+        assert!(r.contains(&[v[1], v[2]]));
+        assert_eq!(r.select(&[Some(v[1]), None]).count(), 1);
+        // Restoring something never retracted finds nothing.
+        assert!(r.restore_tuple(&[v[0], v[1]]).is_none());
+    }
+
+    #[test]
+    fn compact_drops_tombstones_and_rebuilds_indexes() {
+        let mut i = Interner::new();
+        let v = csts(&mut i, &["a", "b", "c", "d"]);
+        let mut r = Relation::new(2);
+        r.insert(&[v[0], v[1]]);
+        r.insert(&[v[1], v[2]]);
+        r.insert(&[v[2], v[3]]);
+        r.ensure_composite(0b11);
+        let epoch = r.reuse_epoch();
+        r.retract_tuple(&[v[1], v[2]]).unwrap();
+        assert!(r.compact());
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.dead(), 0);
+        assert_eq!(r.reuse_epoch(), epoch + 1);
+        // Survivors are renumbered densely in their old order.
+        assert_eq!(r.row(RowId(0)), &[v[0], v[1]]);
+        assert_eq!(r.row(RowId(1)), &[v[2], v[3]]);
+        // Rebuilt composite index + bloom answer exactly.
+        match r.composite_probe(0b11, hash_sig_cols(&[v[2], v[3]], 0b11)) {
+            CompositeProbe::Bucket(b) => assert_eq!(b, &[1]),
+            other => panic!("expected bucket, got {other:?}"),
+        }
+        // Nothing dead: compact is a no-op.
+        assert!(!r.compact());
+    }
+
+    #[test]
+    fn resketch_triggers_past_quarter_tombstones() {
+        let mut i = Interner::new();
+        let names: Vec<String> = (0..8).map(|k| format!("c{k}")).collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let v = csts(&mut i, &refs);
+        let mut r = Relation::new(2);
+        // Column 0 skewed onto one value, so max_bucket is large.
+        for &c in &v {
+            r.insert(&[v[0], c]);
+        }
+        assert_eq!(r.max_bucket(0), 8);
+        r.retract_tuple(&[v[0], v[0]]).unwrap();
+        // 1/8 dead: below threshold, the high-water mark stays stale.
+        assert!(!r.maybe_resketch());
+        assert_eq!(r.max_bucket(0), 8);
+        r.retract_tuple(&[v[0], v[1]]).unwrap();
+        r.retract_tuple(&[v[0], v[2]]).unwrap();
+        // 3/8 dead (> 25%): recompute makes the skew exact again.
+        assert!(r.maybe_resketch());
+        assert_eq!(r.max_bucket(0), 5);
+    }
+
+    #[test]
+    fn database_compact_reports_changed_relations() {
+        let mut i = Interner::new();
+        let p = Pred(i.intern("P"));
+        let q = Pred(i.intern("Q"));
+        let v = csts(&mut i, &["a", "b"]);
+        let mut db = Database::new();
+        db.insert(p, &[v[0]]);
+        db.insert(p, &[v[1]]);
+        db.insert(q, &[v[0], v[1]]);
+        db.relation_mut(p, 1).retract_tuple(&[v[0]]).unwrap();
+        assert_eq!(db.compact(), 1);
+        assert_eq!(db.fact_count(), 2);
+    }
+
+    mod bloom_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Satellite guarantee: a tombstone leaves its bloom bits set,
+            /// so a composite pre-probe may waste a bucket walk (false
+            /// positive) but can never reject a *live* key — and after
+            /// compaction the rebuilt filter still admits every live key.
+            #[test]
+            fn bloom_preprobes_sound_after_retract(
+                rows in proptest::collection::vec((0u8..12, 0u8..12), 1..40),
+                kill in proptest::collection::vec(any::<bool>(), 40..41),
+            ) {
+                let mut i = Interner::new();
+                let names: Vec<String> = (0..12).map(|k| format!("c{k}")).collect();
+                let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+                let v = csts(&mut i, &refs);
+                let mut r = Relation::new(2);
+                for &(a, b) in &rows {
+                    r.insert(&[v[a as usize], v[b as usize]]);
+                }
+                r.ensure_composite(0b11);
+                let mut live: Vec<[Cst; 2]> = Vec::new();
+                let mut seen = std::collections::HashSet::new();
+                for (k, &(a, b)) in rows.iter().enumerate() {
+                    let t = [v[a as usize], v[b as usize]];
+                    if !seen.insert((a, b)) {
+                        continue;
+                    }
+                    if kill[k] {
+                        prop_assert!(r.retract_tuple(&t).is_some());
+                    } else {
+                        live.push(t);
+                    }
+                }
+                let check = |r: &Relation| -> Result<(), TestCaseError> {
+                    for t in &live {
+                        let kh = hash_sig_cols(t, 0b11);
+                        match r.composite_probe(0b11, kh) {
+                            CompositeProbe::Bucket(bucket) => {
+                                prop_assert!(
+                                    bucket.iter().any(|&id| r.row(RowId(id)) == &t[..]),
+                                    "live key missing from bucket"
+                                );
+                            }
+                            CompositeProbe::BloomReject => {
+                                return Err(TestCaseError::fail("false bloom reject on live key"));
+                            }
+                            CompositeProbe::NotBuilt => {
+                                return Err(TestCaseError::fail("composite index vanished"));
+                            }
+                        }
+                    }
+                    Ok(())
+                };
+                check(&r)?;
+                r.compact();
+                check(&r)?;
+            }
+        }
     }
 }

@@ -167,6 +167,16 @@ impl Workspace {
         }
     }
 
+    /// Parses one ground fact written in concrete syntax (no trailing `.`)
+    /// into its predicate, optional functional term, and constant
+    /// arguments — the shape `:retract` needs to address a base fact.
+    pub fn parse_fact(
+        &mut self,
+        fact: &str,
+    ) -> Result<(fundb_term::Pred, Option<FTerm>, Vec<Cst>)> {
+        self.parse_ground_fact(fact)
+    }
+
     fn parse_ground_fact(
         &mut self,
         fact: &str,

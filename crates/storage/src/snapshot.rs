@@ -40,6 +40,12 @@ pub struct WireRelation {
     /// Rows flattened in insertion (RowId) order: row `i` occupies
     /// `rows[i*arity..(i+1)*arity]`.
     pub rows: Vec<u32>,
+    /// Asserted (base-fact) bitmap: row `i`'s bit is
+    /// `asserted[i/64] >> (i%64) & 1`, `ceil(nrows/64)` words. Loading
+    /// replays asserted rows as base facts and the rest as derived, so a
+    /// retraction after recovery sees the same self-support set as one
+    /// before it.
+    pub asserted: Vec<u64>,
 }
 
 /// A logged rule, in file-local symbol ids.
@@ -127,6 +133,10 @@ fn encode_body(data: &SnapshotData) -> Vec<u8> {
         for &c in &rel.rows {
             put_u32(&mut buf, c);
         }
+        debug_assert_eq!(rel.asserted.len(), (rel.nrows as usize).div_ceil(64));
+        for &w in &rel.asserted {
+            put_u64(&mut buf, w);
+        }
     }
     for &v in &data.stats {
         put_u64(&mut buf, v);
@@ -165,11 +175,17 @@ fn decode_body(seq: u64, body: &[u8]) -> Result<SnapshotData, CodecError> {
         for _ in 0..ncells {
             rows.push(r.u32()?);
         }
+        let nwords = (nrows as usize).div_ceil(64);
+        let mut asserted = Vec::with_capacity(nwords.min(body.len() / 8 + 1));
+        for _ in 0..nwords {
+            asserted.push(r.u64()?);
+        }
         relations.push(WireRelation {
             pred,
             arity,
             nrows,
             rows,
+            asserted,
         });
     }
     let mut stats = [0u64; STAT_FIELDS];
@@ -293,15 +309,17 @@ mod tests {
                     arity: 2,
                     nrows: 1,
                     rows: vec![2, 3],
+                    asserted: vec![0b1],
                 },
                 WireRelation {
                     pred: 1,
                     arity: 2,
                     nrows: 2,
                     rows: vec![2, 3, 3, 2],
+                    asserted: vec![0b00],
                 },
             ],
-            stats: [4, 3, 0, 0, 0, 0, 0, 0, 0, 0],
+            stats: [4, 3, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0],
         }
     }
 

@@ -51,6 +51,8 @@ pub struct RecoveryReport {
     pub replayed_facts: usize,
     /// `RoundCommit` markers among them.
     pub replayed_rounds: usize,
+    /// `Retract` markers among them.
+    pub replayed_retractions: usize,
     /// Intact records dropped because their round never committed.
     pub dropped_records: usize,
     /// Bytes truncated from the WAL (dropped records plus torn tail).
@@ -111,7 +113,11 @@ fn rule_to_wire(r: &dl::Rule, to_file: &[u32]) -> Option<WireRule> {
 
 /// Replays one decoded row-group batch (a `Rows` spill or a marker's
 /// fused rows) into the database, widening file-local ids back to
-/// interner symbols. Returns the number of rows inserted.
+/// interner symbols. Returns the number of rows inserted. Rows in these
+/// records came from the engine's merge, so they replay as *derived*
+/// (always appended, never reclaiming a tombstoned slot) — the same
+/// placement the live run used, keeping replayed RowIds byte-identical
+/// even when retractions left free-list slots behind.
 fn replay_rows(
     db: &mut dl::Database,
     from_file: &[Sym],
@@ -124,7 +130,7 @@ fn replay_rows(
         for &c in row {
             row_buf.push(Cst(sym_from_file(from_file, c)?));
         }
-        db.insert(pred, row_buf);
+        db.insert_derived(pred, row_buf);
     }
     Ok(rows.len())
 }
@@ -266,7 +272,18 @@ impl DurableDb {
                     for &c in &rel.rows[i * arity..(i + 1) * arity] {
                         row_buf.push(Cst(sym_from_file(&from_file, c)?));
                     }
-                    db.insert(pred, &row_buf);
+                    // The asserted bitmap decides base fact vs derived
+                    // row — a retraction after recovery must see the
+                    // same self-support set as one before it.
+                    let base = rel
+                        .asserted
+                        .get(i / 64)
+                        .is_some_and(|w| w >> (i % 64) & 1 == 1);
+                    if base {
+                        db.insert(pred, &row_buf);
+                    } else {
+                        db.insert_derived(pred, &row_buf);
+                    }
                 }
             }
             stats = stats_from_wire(&data.stats);
@@ -330,6 +347,69 @@ impl DurableDb {
                             WalRecord::Rows { rows } => {
                                 report.replayed_facts +=
                                     replay_rows(&mut db, &from_file, rows, &mut row_buf)?;
+                            }
+                            WalRecord::Retract {
+                                pred,
+                                row,
+                                stats: w,
+                                deleted,
+                                restored,
+                            } => {
+                                // Reproduce the retraction round exactly as
+                                // the live pass ran it: clear the target's
+                                // asserted bit, tombstone the over-delete
+                                // set in discovery order, then revive the
+                                // re-derived survivors in restoration
+                                // order — same free list, same RowIds.
+                                let p = Pred(sym_from_file(&from_file, *pred)?);
+                                row_buf.clear();
+                                for &c in row {
+                                    row_buf.push(Cst(sym_from_file(&from_file, c)?));
+                                }
+                                let rel = db.relation_mut(p, row_buf.len());
+                                let id = rel.find(&row_buf).ok_or_else(|| {
+                                    invalid("Retract record names a row the log never inserted")
+                                })?;
+                                rel.set_asserted(id, false);
+                                for (dp, drow) in deleted {
+                                    let dp = Pred(sym_from_file(&from_file, *dp)?);
+                                    row_buf.clear();
+                                    for &c in drow {
+                                        row_buf.push(Cst(sym_from_file(&from_file, c)?));
+                                    }
+                                    db.relation_mut(dp, row_buf.len())
+                                        .retract_tuple(&row_buf)
+                                        .ok_or_else(|| {
+                                            invalid(
+                                                "Retract record deletes a row the log never \
+                                                 inserted",
+                                            )
+                                        })?;
+                                }
+                                for (rp, rrow) in restored {
+                                    let rp = Pred(sym_from_file(&from_file, *rp)?);
+                                    row_buf.clear();
+                                    for &c in rrow {
+                                        row_buf.push(Cst(sym_from_file(&from_file, c)?));
+                                    }
+                                    db.relation_mut(rp, row_buf.len())
+                                        .restore_tuple(&row_buf)
+                                        .ok_or_else(|| {
+                                            invalid(
+                                                "Retract record restores a row it did not \
+                                                 delete",
+                                            )
+                                        })?;
+                                }
+                                for (dp, _) in deleted {
+                                    let dp = Pred(sym_from_file(&from_file, *dp)?);
+                                    if let Some(rel) = db.relation(dp) {
+                                        let arity = rel.arity();
+                                        db.relation_mut(dp, arity).maybe_resketch();
+                                    }
+                                }
+                                stats = stats_from_wire(w);
+                                report.replayed_retractions += 1;
                             }
                         }
                     }
@@ -463,6 +543,51 @@ impl DurableDb {
         Ok(self.db.insert(pred, row))
     }
 
+    /// Retracts an asserted base fact with full incremental maintenance
+    /// (over-delete + re-derive; see `fundb_datalog::retract`), then logs
+    /// the completed round as a `Retract` commit marker and flushes.
+    ///
+    /// The marker is written *after* the in-memory maintenance because
+    /// the over-delete set is only known once the pass has run; since
+    /// `Retract` is itself the commit point this preserves the recovery
+    /// invariant — a crash before the marker lands truncates to the
+    /// previous marker and the retraction simply never happened. If the
+    /// append itself fails the in-memory state is ahead of the log;
+    /// the caller should treat the handle as poisoned and reopen.
+    pub fn retract_fact(
+        &mut self,
+        interner: &Interner,
+        pred: Pred,
+        row: &[Cst],
+        plan: &dl::DeltaPlan,
+    ) -> io::Result<dl::RetractOutcome> {
+        self.sync_symbols(interner)?;
+        let outcome = self.db.retract_fact(pred, row, &self.rules, plan);
+        if !outcome.found {
+            return Ok(outcome);
+        }
+        self.stats.absorb(outcome.stats);
+        let p = self.file_id(pred.sym())?;
+        let wire_row = |r: &[Cst]| -> io::Result<Vec<u32>> {
+            r.iter().map(|c| self.file_id(c.sym())).collect()
+        };
+        let wire_list = |list: &[(Pred, Box<[Cst]>)]| -> io::Result<Vec<(u32, Vec<u32>)>> {
+            list.iter()
+                .map(|(lp, lr)| Ok((self.file_id(lp.sym())?, wire_row(lr)?)))
+                .collect()
+        };
+        let rec = WalRecord::Retract {
+            pred: p,
+            row: wire_row(row)?,
+            stats: stats_to_wire(&self.stats),
+            deleted: wire_list(&outcome.deleted)?,
+            restored: wire_list(&outcome.restored)?,
+        };
+        self.wal.append(&rec)?;
+        self.wal.flush()?;
+        Ok(outcome)
+    }
+
     /// Logs a rule definition and adds it to [`rules`](Self::rules).
     pub fn log_rule(&mut self, interner: &Interner, rule: &dl::Rule) -> io::Result<()> {
         self.sync_symbols(interner)?;
@@ -555,6 +680,13 @@ impl DurableDb {
         self.sync_symbols(interner)?;
         let next = self.seq + 1;
 
+        // Compact away retraction tombstones first: the snapshot writes
+        // `len()` rows from `rows()` (which skips tombstones), so the two
+        // must agree — and compaction is also where stale bloom filters
+        // are rebuilt over live keys only. A snapshot starts a fresh
+        // history, so the RowId renumbering is invisible to recovery.
+        self.db.compact();
+
         let mut preds: Vec<Pred> = self.db.iter().map(|(p, _)| p).collect();
         preds.sort_unstable_by_key(|p| p.index());
         let mut relations = Vec::with_capacity(preds.len());
@@ -566,11 +698,18 @@ impl DurableDb {
                     rows.push(self.file_id(c.sym())?);
                 }
             }
+            let mut asserted = vec![0u64; rel.len().div_ceil(64)];
+            for i in 0..rel.len() {
+                if rel.is_asserted(dl::RowId(i as u32)) {
+                    asserted[i / 64] |= 1 << (i % 64);
+                }
+            }
             relations.push(WireRelation {
                 pred: self.file_id(p.sym())?,
                 arity: rel.arity() as u32,
                 nrows: rel.len() as u64,
                 rows,
+                asserted,
             });
         }
         let rules = self
@@ -949,6 +1088,63 @@ mod tests {
         assert_eq!(ddb.recovery().replayed_facts, 1);
         assert_eq!(ddb.database().fact_count(), 2);
         assert_eq!(ddb.rules().len(), 2);
+    }
+
+    #[test]
+    fn retract_fact_survives_reopen_and_snapshot() {
+        let dir = tmpdir("retract");
+        let mut interner = Interner::new();
+        let reference = {
+            let mut ddb = dl::Database::open_durable(&dir, &mut interner).unwrap();
+            let edge = Pred(interner.intern("edge"));
+            let names: Vec<Cst> = (0..8)
+                .map(|i| cst(&mut interner, &format!("n{i}")))
+                .collect();
+            for w in names.windows(2) {
+                ddb.insert(&interner, edge, &[w[0], w[1]]).unwrap();
+            }
+            let rules = tc_rules(&mut interner);
+            for rule in &rules {
+                ddb.log_rule(&interner, rule).unwrap();
+            }
+            let plan = dl::DeltaPlan::planned(ddb.rules(), ddb.database());
+            let mut eval = dl::IncrementalEval::new();
+            ddb.run(&interner, &mut eval, &plan).unwrap();
+            let out = ddb
+                .retract_fact(&interner, edge, &[names[3], names[4]], &plan)
+                .unwrap();
+            assert!(out.found);
+            assert!(out.stats.retractions > 0);
+            // Retracting an absent fact logs nothing.
+            let miss = ddb
+                .retract_fact(&interner, edge, &[names[0], names[7]], &plan)
+                .unwrap();
+            assert!(!miss.found);
+            dump(ddb.database(), &interner)
+        };
+        // WAL replay: the Retract marker re-runs the tombstone/restore
+        // sequence, landing on the same live rows in the same order.
+        let mut fresh = Interner::new();
+        let mut ddb = dl::Database::open_durable(&dir, &mut fresh).unwrap();
+        assert_eq!(dump(ddb.database(), &fresh), reference);
+        assert_eq!(ddb.recovery().replayed_retractions, 1);
+        assert!(ddb.stats().retractions > 0);
+        // Snapshot compacts the tombstones away and records the asserted
+        // bitmap; a second recovery goes through the snapshot path.
+        ddb.snapshot(&fresh).unwrap();
+        drop(ddb);
+        let mut again = Interner::new();
+        let ddb = dl::Database::open_durable(&dir, &mut again).unwrap();
+        assert_eq!(dump(ddb.database(), &again), reference);
+        // Asserted bits survived the snapshot: derived path rows must not
+        // have become base facts, or later retractions would see a wrong
+        // self-support set.
+        let path = Pred(again.intern("path"));
+        let rel = ddb.database().relation(path).expect("path survives");
+        assert!((0..rel.len()).all(|i| !rel.is_asserted(dl::RowId(i as u32))));
+        let edge = Pred(again.intern("edge"));
+        let rel = ddb.database().relation(edge).expect("edge survives");
+        assert!((0..rel.len()).all(|i| rel.is_asserted(dl::RowId(i as u32))));
     }
 
     #[test]

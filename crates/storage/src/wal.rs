@@ -32,6 +32,14 @@
 //!   to the last intact marker**: everything after it (intact or torn)
 //!   is truncated, which is what makes recovery land on a
 //!   completed-round prefix of the uninterrupted run;
+//! * `Retract` — one completed retraction round: the asserted target
+//!   tuple, the full over-delete set and the rows re-derivation
+//!   restored (both as row groups, in execution order, so replay
+//!   reproduces the tombstone/free-list state and thereby the RowIds of
+//!   the uninterrupted run), plus the cumulative [`EvalStats`] after
+//!   the round. Like `RoundCommit` it is a **commit marker**: a crash
+//!   mid-retraction leaves no `Retract` record, recovery truncates to
+//!   the previous marker, and the retraction simply never happened;
 //! * `Rule` — a logged rule definition;
 //! * `Note` — an opaque UTF-8 payload for upper layers (the REPL logs
 //!   accepted input lines this way).
@@ -55,7 +63,7 @@ pub const WAL_HEADER_LEN: u64 = 8 + 4 + 8;
 
 /// Number of `u64` counters a `RoundCommit` marker carries — the fields of
 /// [`EvalStats`], in declaration order.
-pub const STAT_FIELDS: usize = 10;
+pub const STAT_FIELDS: usize = 12;
 
 /// Appended bytes buffered in memory before an automatic write-through.
 const FLUSH_THRESHOLD: usize = 256 * 1024;
@@ -73,6 +81,8 @@ pub fn stats_to_wire(s: &EvalStats) -> [u64; STAT_FIELDS] {
         s.replans as u64,
         s.bloom_skips as u64,
         s.shared_prefix_hits as u64,
+        s.retractions as u64,
+        s.rederived as u64,
     ]
 }
 
@@ -89,6 +99,8 @@ pub fn stats_from_wire(w: &[u64; STAT_FIELDS]) -> EvalStats {
         replans: w[7] as usize,
         bloom_skips: w[8] as usize,
         shared_prefix_hits: w[9] as usize,
+        retractions: w[10] as usize,
+        rederived: w[11] as usize,
     }
 }
 
@@ -151,6 +163,25 @@ pub enum WalRecord {
         /// The payload.
         text: String,
     },
+    /// One completed retraction round, recorded as a commit marker (a
+    /// crash before this record lands leaves the pre-retraction state).
+    /// `deleted` is the over-delete set in discovery order and
+    /// `restored` the re-derived survivors in restoration order; replay
+    /// tombstones then revives in exactly that order, reproducing the
+    /// free-list (and so the RowIds) of the uninterrupted run.
+    Retract {
+        /// File-local id of the retracted fact's predicate.
+        pred: u32,
+        /// The retracted fact's constants, file-local ids.
+        row: Vec<u32>,
+        /// Cumulative [`EvalStats`] after the retraction round.
+        stats: [u64; STAT_FIELDS],
+        /// Every row the over-delete pass tombstoned (the target first),
+        /// in discovery order.
+        deleted: Vec<(u32, Vec<u32>)>,
+        /// Rows re-derivation restored in place, in restoration order.
+        restored: Vec<(u32, Vec<u32>)>,
+    },
     /// A batch of derived rows spilled mid-round (rounds that fit the
     /// sink's batch fuse their rows into the `RoundCommit` instead). The
     /// payload is a sequence of groups — varint `pred, arity, count`
@@ -177,6 +208,8 @@ const KIND_ROWS16: u8 = 7;
 const KIND_ROUND_COMMIT_ROWS: u8 = 8;
 /// `RoundCommit` with fused row groups, 2-byte cells.
 const KIND_ROUND_COMMIT_ROWS16: u8 = 9;
+/// A completed retraction round (commit marker, like `RoundCommit`).
+const KIND_RETRACT: u8 = 10;
 
 fn put_atom(buf: &mut Vec<u8>, atom: &WireAtom) {
     put_u32(buf, atom.pred);
@@ -310,6 +343,31 @@ impl WalRecord {
                 }
                 put_groups(buf, rows);
             }
+            WalRecord::Retract {
+                pred,
+                row,
+                stats,
+                deleted,
+                restored,
+            } => {
+                buf.push(KIND_RETRACT);
+                put_u32(buf, *pred);
+                put_u32(buf, row.len() as u32);
+                for &c in row {
+                    put_u32(buf, c);
+                }
+                for &v in stats {
+                    put_u64(buf, v);
+                }
+                // The deleted groups are length-prefixed so the decoder
+                // knows where the restored groups begin (group decoding
+                // otherwise runs to the end of the payload).
+                let mut del = Vec::new();
+                put_groups(&mut del, deleted);
+                put_uv(buf, del.len() as u64);
+                buf.extend_from_slice(&del);
+                put_groups(buf, restored);
+            }
             WalRecord::Rule { head, body } => {
                 buf.push(KIND_RULE);
                 put_atom(buf, head);
@@ -362,6 +420,29 @@ impl WalRecord {
                 };
                 WalRecord::RoundCommit { stats, rows }
             }
+            KIND_RETRACT => {
+                let pred = r.u32()?;
+                let n = r.u32()? as usize;
+                let mut row = Vec::with_capacity(n.min(payload.len() / 4 + 1));
+                for _ in 0..n {
+                    row.push(r.u32()?);
+                }
+                let mut stats = [0u64; STAT_FIELDS];
+                for v in stats.iter_mut() {
+                    *v = r.u64()?;
+                }
+                let dlen = r.uv()? as usize;
+                let mut del = Reader::new(r.bytes(dlen)?);
+                let deleted = read_groups(&mut del, 4)?;
+                let restored = read_groups(&mut r, 4)?;
+                WalRecord::Retract {
+                    pred,
+                    row,
+                    stats,
+                    deleted,
+                    restored,
+                }
+            }
             KIND_RULE => {
                 let head = read_atom(&mut r)?;
                 let n = r.u32()? as usize;
@@ -397,7 +478,8 @@ pub struct WalStats {
     pub records: u64,
     /// Frame bytes appended (headers included).
     pub bytes: u64,
-    /// `RoundCommit` markers among the appended records.
+    /// Commit markers (`RoundCommit` or `Retract`) among the appended
+    /// records.
     pub round_commits: u64,
     /// Buffered bytes handed to the OS (`flush` calls that wrote).
     pub flushes: u64,
@@ -501,7 +583,10 @@ impl Wal {
 
     /// Appends one record (buffered).
     pub fn append(&mut self, rec: &WalRecord) -> io::Result<()> {
-        let commit = matches!(rec, WalRecord::RoundCommit { .. });
+        let commit = matches!(
+            rec,
+            WalRecord::RoundCommit { .. } | WalRecord::Retract { .. }
+        );
         self.append_with(commit, |buf| rec.encode(buf))
     }
 
@@ -678,8 +763,9 @@ fn check_header(header: &[u8]) -> io::Result<u64> {
 pub struct WalScan {
     /// The snapshot sequence number this log extends.
     pub base_seq: u64,
-    /// The records up to and including the last intact `RoundCommit`
-    /// marker — the completed-round prefix to replay.
+    /// The records up to and including the last intact commit marker
+    /// (`RoundCommit` or `Retract`) — the completed-round prefix to
+    /// replay.
     pub records: Vec<WalRecord>,
     /// Intact records *after* the last marker, dropped because their round
     /// never committed.
@@ -689,7 +775,8 @@ pub struct WalScan {
     pub truncated_bytes: u64,
 }
 
-/// Scans a WAL file, truncates it to its last intact `RoundCommit` marker
+/// Scans a WAL file, truncates it to its last intact commit marker — a
+/// `RoundCommit` or `Retract` record —
 /// (cutting torn/corrupt records and uncommitted tails), and returns the
 /// replayable prefix. The `short_read` fault makes the scan treat the
 /// `N`-th record as cut off by end-of-file.
@@ -706,7 +793,7 @@ pub fn recover(path: &Path, fault: FaultPlan) -> io::Result<WalScan> {
     let mut pos = WAL_HEADER_LEN as usize;
     let mut records = Vec::new();
     let mut index = 0u64;
-    // Offset just past the last intact RoundCommit, and its record count.
+    // Offset just past the last intact commit marker, and its record count.
     let mut marker: (usize, usize) = (pos, 0);
     while pos < data.len() {
         index += 1;
@@ -729,7 +816,10 @@ pub fn recover(path: &Path, fault: FaultPlan) -> io::Result<WalScan> {
             break; // CRC-clean but malformed: stop, like corruption
         };
         pos += 8 + len;
-        let is_marker = matches!(rec, WalRecord::RoundCommit { .. });
+        let is_marker = matches!(
+            rec,
+            WalRecord::RoundCommit { .. } | WalRecord::Retract { .. }
+        );
         records.push(rec);
         if is_marker {
             marker = (pos, records.len());
@@ -784,14 +874,14 @@ mod tests {
                 }],
             },
             WalRecord::RoundCommit {
-                stats: [1, 2, 3, 4, 5, 6, 7, 8, 9, 10],
+                stats: [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12],
                 rows: vec![(0, vec![1, 2]), (0, vec![2, 5]), (3, vec![])],
             },
             WalRecord::Note {
                 text: "p(X) :- q(X).".into(),
             },
             WalRecord::RoundCommit {
-                stats: [0; 10],
+                stats: [0; STAT_FIELDS],
                 rows: Vec::new(),
             },
         ]
@@ -869,6 +959,47 @@ mod tests {
                 },
             ]
         );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn sample_retract() -> WalRecord {
+        WalRecord::Retract {
+            pred: 0,
+            row: vec![1, 2],
+            stats: [9, 8, 7, 6, 5, 4, 3, 2, 1, 0, 2, 1],
+            deleted: vec![(0, vec![1, 2]), (1, vec![1, 2]), (1, vec![1, 5])],
+            restored: vec![(1, vec![1, 5])],
+        }
+    }
+
+    #[test]
+    fn retract_records_round_trip_and_commit() {
+        let dir = tmpdir("retract");
+        let path = dir.join("wal.000000");
+        let mut wal = Wal::create(&path, 0, FaultPlan::default()).unwrap();
+        // Empty deleted/restored lists and an arity-0 target must survive
+        // the length-prefixed group split too.
+        let bare = WalRecord::Retract {
+            pred: 7,
+            row: Vec::new(),
+            stats: [0; STAT_FIELDS],
+            deleted: vec![(7, vec![])],
+            restored: Vec::new(),
+        };
+        wal.append(&sample_retract()).unwrap();
+        wal.append(&bare).unwrap();
+        // An uncommitted fact after the last Retract marker is dropped.
+        wal.append(&WalRecord::Fact {
+            pred: 0,
+            row: vec![4, 4],
+        })
+        .unwrap();
+        wal.flush().unwrap();
+        assert_eq!(wal.stats().round_commits, 2, "Retract is a commit marker");
+        drop(wal);
+        let scan = recover(&path, FaultPlan::default()).unwrap();
+        assert_eq!(scan.records, vec![sample_retract(), bare]);
+        assert_eq!(scan.dropped_records, 1);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

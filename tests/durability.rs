@@ -127,7 +127,9 @@ fn chain_facts(interner: &mut Interner, k: usize) -> Vec<(Pred, Vec<Cst>)> {
     names.windows(2).map(|w| (edge, vec![w[0], w[1]])).collect()
 }
 
-/// Byte offsets just past each intact `RoundCommit` record of a WAL image.
+/// Byte offsets just past each intact commit marker — `RoundCommit` or
+/// `Retract` (PR 10), both of which recovery may truncate to — of a WAL
+/// image.
 fn marker_offsets(wal: &[u8]) -> Vec<usize> {
     let mut pos = WAL_HEADER_LEN;
     let mut out = Vec::new();
@@ -140,7 +142,7 @@ fn marker_offsets(wal: &[u8]) -> Vec<usize> {
         pos += 8 + len;
         if matches!(
             WalRecord::decode(payload),
-            Ok(WalRecord::RoundCommit { .. })
+            Ok(WalRecord::RoundCommit { .. } | WalRecord::Retract { .. })
         ) {
             out.push(pos);
         }
@@ -403,6 +405,206 @@ fn ambient_io_fault_leaves_recoverable_completed_round_prefix() {
         "resume after ambient-fault crash missed the fixpoint"
     );
     drop(ddb);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// PR 10 churn crash matrix, exhaustive arm: a WAL whose tail is a
+/// *retract round* — three `Retract` commit markers after the engine's
+/// `RoundCommit`s — is truncated at **every** byte offset, including cuts
+/// that tear a `Retract` record in half. Recovery must land exactly on the
+/// state after the last wholly-durable marker: an engine round boundary
+/// (checked against the recording sink's ground truth) or a completed
+/// retraction (checked against the durable state captured right after the
+/// op), with byte-identical rows, RowIds and statistics either way.
+#[test]
+fn crash_at_every_byte_during_retract_round_recovers_completed_prefix() {
+    const CHAIN: usize = 8;
+    let dir_ref = tmpdir("churn-ref");
+
+    // Reference durable run: snapshot the base, run the engine, then
+    // retract three chain edges (middle, head-adjacent, tail).
+    let mut interner = Interner::new();
+    let mut ddb = DurableDb::open(&dir_ref, &mut interner).unwrap();
+    for (p, row) in chain_facts(&mut interner, CHAIN) {
+        ddb.insert(&interner, p, &row).unwrap();
+    }
+    let rules = tc_rules(&mut interner);
+    for rule in &rules {
+        ddb.log_rule(&interner, rule).unwrap();
+    }
+    ddb.commit().unwrap();
+    assert_eq!(ddb.snapshot(&interner).unwrap(), 1);
+    let plan = dl::DeltaPlan::planned(ddb.rules(), ddb.database());
+    let mut eval = dl::IncrementalEval::new().with_threads(2);
+    ddb.run(&interner, &mut eval, &plan).unwrap();
+    let pre_churn_dump = dump(ddb.database(), &interner);
+
+    let edge = Pred(interner.get("edge").unwrap());
+    let node = |i: usize, interner: &Interner| Cst(interner.get(&format!("n{i}")).unwrap());
+    let mut retract_states: Vec<(Dump, dl::EvalStats)> = Vec::new();
+    for (a, b) in [(4usize, 5usize), (1, 2), (CHAIN - 1, CHAIN)] {
+        let out = ddb
+            .retract_fact(
+                &interner,
+                edge,
+                &[node(a, &interner), node(b, &interner)],
+                &plan,
+            )
+            .unwrap();
+        assert!(out.found, "reference retraction of n{a}->n{b} missed");
+        retract_states.push((dump(ddb.database(), &interner), ddb.stats()));
+    }
+    drop(ddb);
+
+    // Ground truth for the engine rounds, exactly as in the byte-kill
+    // harness above.
+    let mut truth_int = Interner::new();
+    let mut truth_db = dl::Database::new();
+    let base_facts = chain_facts(&mut truth_int, CHAIN);
+    for (p, row) in &base_facts {
+        truth_db.insert(*p, row);
+    }
+    let truth_rules = tc_rules(&mut truth_int);
+    let tplan = dl::DeltaPlan::planned(&truth_rules, &truth_db);
+    let mut teval = dl::IncrementalEval::new().with_threads(2);
+    let mut rec = Recorder::default();
+    teval
+        .run_with_sink(&mut truth_db, &truth_rules, &tplan, &mut rec)
+        .unwrap();
+
+    let wal_bytes = std::fs::read(dir_ref.join("wal.000001")).unwrap();
+    let snap_bytes = std::fs::read(dir_ref.join("snapshot.000001")).unwrap();
+    let markers = marker_offsets(&wal_bytes);
+    assert_eq!(
+        markers.len(),
+        rec.rounds.len() + retract_states.len(),
+        "one marker per engine round plus one per retraction"
+    );
+
+    // Expected state after `m` durable markers: engine rounds first, then
+    // the captured post-retraction states.
+    let expect_at = |m: usize| -> (Dump, dl::EvalStats) {
+        if m > rec.rounds.len() {
+            return retract_states[m - rec.rounds.len() - 1].clone();
+        }
+        let mut db = dl::Database::new();
+        for (p, row) in &base_facts {
+            db.insert(*p, row);
+        }
+        let stats = if m == 0 {
+            dl::EvalStats::default()
+        } else {
+            let (rows, stats) = &rec.rounds[m - 1];
+            for (p, row) in rows {
+                db.insert(*p, row);
+            }
+            *stats
+        };
+        (dump(&db, &truth_int), stats)
+    };
+    assert_eq!(
+        expect_at(rec.rounds.len()).0,
+        pre_churn_dump,
+        "ground-truth recorder disagrees with the durable run"
+    );
+
+    let dir_cut = tmpdir("churn-cut");
+    for cut in 0..=wal_bytes.len() {
+        let _ = std::fs::remove_dir_all(&dir_cut);
+        std::fs::create_dir_all(&dir_cut).unwrap();
+        std::fs::write(dir_cut.join("snapshot.000001"), &snap_bytes).unwrap();
+        std::fs::write(dir_cut.join("wal.000001"), &wal_bytes[..cut]).unwrap();
+
+        let mut fresh = Interner::new();
+        let ddb = DurableDb::open(&dir_cut, &mut fresh).unwrap();
+        let m = markers.iter().filter(|&&o| o <= cut).count();
+        let (want_dump, want_stats) = expect_at(m);
+        assert_eq!(
+            dump(ddb.database(), &fresh),
+            want_dump,
+            "cut at byte {cut}/{}: wrong rows after churn recovery",
+            wal_bytes.len()
+        );
+        assert_eq!(
+            ddb.stats(),
+            want_stats,
+            "cut at byte {cut}: wrong recovered stats after churn"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir_ref);
+    let _ = std::fs::remove_dir_all(&dir_cut);
+}
+
+/// PR 10 churn entry of the CI crash matrix: the ambient `FUNDB_FAULT`
+/// plan strikes a session whose workload *ends in churn* — retractions and
+/// a re-insert after the engine run. Wherever the fault lands (possibly
+/// inside the retract round): (a) every failure is a clean error, (b)
+/// recovery under a clean plan opens without corruption, and (c)
+/// re-applying the whole workload over the recovered store reaches the
+/// uninterrupted post-churn fixpoint (set-level: a replayed re-insert may
+/// re-derive rows in a different order).
+#[test]
+fn ambient_io_fault_during_churn_recovers_and_resumes() {
+    const CHAIN: usize = 12;
+    let node = |i: usize, interner: &mut Interner| Cst(interner.intern(&format!("n{i}")));
+
+    // The full workload against one handle; `Err` anywhere = the crash.
+    let apply =
+        |dir: &std::path::Path, interner: &mut Interner, fault: dl::FaultPlan| -> Option<Dump> {
+            let mut ddb = DurableDb::open_with_faults(dir, interner, fault).ok()?;
+            for (p, row) in chain_facts(interner, CHAIN) {
+                ddb.insert(interner, p, &row).ok()?;
+            }
+            let rules = tc_rules(interner);
+            if ddb.rules().is_empty() {
+                // Rules are all-or-nothing across a crash; re-log only when
+                // the crash predated their commit (replay would duplicate).
+                for rule in &rules {
+                    ddb.log_rule(interner, rule).ok()?;
+                }
+            }
+            ddb.commit().ok()?;
+            let plan = dl::DeltaPlan::planned(ddb.rules(), ddb.database());
+            let mut eval = dl::IncrementalEval::new().with_threads(2);
+            ddb.run(interner, &mut eval, &plan).ok()?;
+            // Churn: retract two edges, re-insert one, re-run the delta.
+            let edge = Pred(interner.intern("edge"));
+            for (a, b) in [(3usize, 4usize), (7, 8)] {
+                let t = [node(a, interner), node(b, interner)];
+                ddb.retract_fact(interner, edge, &t, &plan).ok()?;
+            }
+            let t = [node(3, interner), node(4, interner)];
+            ddb.insert(interner, edge, &t).ok()?;
+            eval.prime_marks(ddb.database());
+            ddb.run(interner, &mut eval, &plan).ok()?;
+            Some(dump(ddb.database(), interner))
+        };
+
+    // Uninterrupted ground truth under a clean plan.
+    let dir_full = tmpdir("churn-ambient-full");
+    let mut interner = Interner::new();
+    let full_dump = apply(&dir_full, &mut interner, dl::FaultPlan::default())
+        .expect("clean churn workload must not fail");
+    let _ = std::fs::remove_dir_all(&dir_full);
+
+    // The same workload under the ambient plan, dying wherever it strikes.
+    let dir = tmpdir("churn-ambient-crash");
+    let ambient = *dl::FaultPlan::from_env();
+    let mut crash_int = Interner::new();
+    let _ = apply(&dir, &mut crash_int, ambient);
+
+    // Clean recovery, then replay the workload to the post-churn fixpoint.
+    let mut fresh = Interner::new();
+    let ddb = DurableDb::open(&dir, &mut fresh).unwrap();
+    drop(ddb);
+    let mut fresh = Interner::new();
+    let resumed = apply(&dir, &mut fresh, dl::FaultPlan::default())
+        .expect("resume over a recovered store must not fail");
+    assert_eq!(
+        sorted(resumed),
+        sorted(full_dump),
+        "churn resume missed the post-churn fixpoint"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 

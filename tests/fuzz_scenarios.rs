@@ -23,9 +23,15 @@
 //! * adaptive execution (PR 8): adaptive ≡ planned-once ≡ greedy ≡
 //!   interpreter answers, thread-determinism with re-planning and
 //!   shared-prefix grouping on, bloom pre-probe soundness, and the cyclic
-//!   probe-ratio ≥ 1.0 hysteresis pin.
+//!   probe-ratio ≥ 1.0 hysteresis pin,
+//! * incremental retraction (PR 10): replaying a seeded churn script
+//!   (retract/re-insert mix) through `Database::retract_fact` plus one-row
+//!   forward deltas agrees after *every* op with rebuild-from-scratch and
+//!   the naive oracle, is byte-identical (rows *and* statistics) at
+//!   1/2/4/8 threads, rolls a cancelled retraction back whole, and keeps
+//!   composite bloom pre-probes sound over tombstones.
 //!
-//! Case counts (48 × 6 relational families + 24 temporal = 312 scenarios)
+//! Case counts (48 × 7 relational families + 24 temporal = 360 scenarios)
 //! keep the default `cargo test` run above the 200-scenario floor;
 //! `PROPTEST_CASES` scales the budget up in the nightly job.
 
@@ -406,6 +412,140 @@ proptest! {
     fn tc_right_scenarios_agree(seed in any::<u64>()) {
         check_relational(&scenariogen::tc_right(seed));
     }
+
+    #[test]
+    fn churn_scenarios_agree(seed in any::<u64>()) {
+        check_relational(&scenariogen::churn(seed));
+    }
+}
+
+/// Churn lattice (PR 10): replay the seeded retract/re-insert script with
+/// incremental maintenance — `Database::retract_fact` for deletions, a
+/// primed one-row forward delta for re-insertions — and assert after
+/// *every* op that the maintained database's dump equals a fresh
+/// evaluation over the surviving asserted facts (and the naive oracle).
+/// The whole replay must leave rows, RowIds and accumulated statistics
+/// byte-identical at 1/2/4/8 threads with the parallel path forced, and a
+/// cancelled retraction must roll back to the exact pre-op bytes.
+fn check_churn(seed: u64, percent: usize) {
+    let s = scenariogen::churn(seed);
+    let ctx = format!("churn seed {} mix {percent}%", s.seed);
+    let script = scenariogen::churn_script(&s, seed, percent);
+    assert!(!script.is_empty(), "{ctx}: empty churn script");
+    let plan = dl::DeltaPlan::planned(&s.rules, &s.db);
+    let resolve = |op: &scenariogen::ChurnOp| -> (Pred, Vec<Cst>) {
+        (
+            Pred(s.interner.get(&op.pred).unwrap()),
+            op.row
+                .iter()
+                .map(|a| Cst(s.interner.get(a).unwrap()))
+                .collect(),
+        )
+    };
+
+    let mut reference: Option<(Dump, dl::EvalStats)> = None;
+    for threads in THREADS {
+        // The rebuild/naive oracles re-evaluate per op; once per script is
+        // plenty — the other thread counts pin byte-determinism instead.
+        let oracle = threads == THREADS[0];
+        let mut db = s.db.clone();
+        let mut eval = dl::IncrementalEval::new()
+            .with_threads(threads)
+            .with_parallel_threshold(1);
+        let mut total = eval.run(&mut db, &s.rules, &plan).unwrap();
+        let mut present: Vec<(Pred, Vec<Cst>)> =
+            s.db.iter()
+                .flat_map(|(p, rel)| rel.rows().map(move |r| (p, r.to_vec())))
+                .collect();
+        for op in &script {
+            let (p, row) = resolve(op);
+            if op.retract {
+                let out = db.retract_fact(p, &row, &s.rules, &plan);
+                assert!(out.found, "{ctx}: script retracted an absent fact");
+                total.absorb(out.stats);
+                present.retain(|(pp, rr)| !(*pp == p && *rr == row));
+            } else {
+                eval.prime_marks(&db);
+                db.insert(p, &row);
+                total.absorb(eval.run(&mut db, &s.rules, &plan).unwrap());
+                present.push((p, row));
+            }
+            if oracle {
+                let mut fresh = dl::Database::new();
+                for (pp, rr) in &present {
+                    fresh.insert(*pp, rr);
+                }
+                let mut naive = fresh.clone();
+                dl::evaluate(&mut fresh, &s.rules).unwrap();
+                assert_eq!(
+                    db.dump(&s.interner),
+                    fresh.dump(&s.interner),
+                    "{ctx}: incremental maintenance diverges from rebuild after {op:?}"
+                );
+                dl::evaluate_naive(&mut naive, &s.rules).unwrap();
+                assert_eq!(
+                    fresh.dump(&s.interner),
+                    naive.dump(&s.interner),
+                    "{ctx}: rebuild diverges from naive after {op:?}"
+                );
+            }
+        }
+        let rows = row_lists(&db);
+        match &reference {
+            None => reference = Some((rows, total)),
+            Some((r, st)) => {
+                assert_eq!(&rows, r, "{ctx}: churn rows differ at {threads} threads");
+                assert_eq!(&total, st, "{ctx}: churn stats differ at {threads} threads");
+            }
+        }
+    }
+
+    // Governed prefix contract: a retraction tripped by cancellation rolls
+    // back whole — every tombstone revived in place, so even RowIds match
+    // the pre-op fixpoint byte for byte.
+    if let Some(op) = script.iter().find(|o| o.retract) {
+        let (p, row) = resolve(op);
+        let mut db = s.db.clone();
+        dl::IncrementalEval::new()
+            .run(&mut db, &s.rules, &plan)
+            .unwrap();
+        let before = row_lists(&db);
+        let gov = dl::Governor::default();
+        gov.cancel();
+        let err = db
+            .retract_fact_governed(p, &row, &s.rules, &plan, &gov)
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                dl::EvalError::BudgetExhausted {
+                    resource: dl::Resource::Cancelled,
+                    ..
+                }
+            ),
+            "{ctx}: unexpected governed retraction error {err:?}"
+        );
+        assert_eq!(
+            row_lists(&db),
+            before,
+            "{ctx}: cancelled retraction left residue"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn churn_replay_agrees_with_rebuild(seed in any::<u64>()) {
+        // Rotate the retract/re-insert mix with the seed: light (1%),
+        // moderate (10%), heavy (50%) — the E18 workload points.
+        let percent = [1usize, 10, 50][(seed % 3) as usize];
+        check_churn(seed, percent);
+    }
 }
 
 proptest! {
@@ -488,6 +628,113 @@ proptest! {
         // Rotate the family by seed so every shape feeds the bloom path.
         let (_, family) = RELATIONAL_FAMILIES[(seed % RELATIONAL_FAMILIES.len() as u64) as usize];
         check_bloom_soundness(&family(seed));
+    }
+}
+
+/// Satellite (PR 10): retraction leaves composite bloom filters *stale on
+/// the sound side only* — tombstoned rows keep their bits set, so a filter
+/// may admit a dead key (false positive, confirmed away by the bucket
+/// scan) but never reject a live one. Probe-and-confirm must equal a full
+/// scan both right after a burst of retractions and again after
+/// `compact()` rebuilds the filters over the renumbered survivors.
+fn check_bloom_soundness_after_retract(seed: u64) {
+    let s = scenariogen::churn(seed);
+    let ctx = format!("churn seed {} (bloom)", s.seed);
+    let plan = dl::DeltaPlan::planned(&s.rules, &s.db);
+    let mut db = s.db.clone();
+    dl::evaluate(&mut db, &s.rules).unwrap();
+    let preds: Vec<(Pred, usize)> = db.iter().map(|(p, r)| (p, r.arity())).collect();
+    // Build the composite filters over the *full* fixpoint, then punch
+    // holes in it: the filters go stale exactly the way production does.
+    for &(p, arity) in &preds {
+        if arity >= 2 {
+            db.ensure_composite(p, (1u64 << arity) - 1);
+        }
+    }
+    let retracted: Vec<Vec<Cst>> = scenariogen::churn_script(&s, seed, 50)
+        .iter()
+        .filter(|op| op.retract)
+        .take(4)
+        .map(|op| {
+            let p = Pred(s.interner.get(&op.pred).unwrap());
+            let row: Vec<Cst> = op
+                .row
+                .iter()
+                .map(|a| Cst(s.interner.get(a).unwrap()))
+                .collect();
+            // Replaying retract ops out of script order may hit an
+            // already-gone fact; `found == false` leaves the db untouched
+            // and still exercises the lookup path.
+            db.retract_fact(p, &row, &s.rules, &plan);
+            row
+        })
+        .collect();
+
+    let check = |db: &dl::Database, stage: &str| {
+        for &(p, arity) in &preds {
+            if arity < 2 {
+                continue;
+            }
+            let sig = (1u64 << arity) - 1;
+            let rel = db.relation(p).expect("evaluated relation");
+            let scan = |key: &[Cst]| -> Vec<Vec<usize>> {
+                rel.rows()
+                    .filter(|row| row.iter().zip(key).all(|(c, k)| c == k))
+                    .map(|row| row.iter().map(|c| c.index()).collect())
+                    .collect()
+            };
+            let probe = |key: &[Cst]| -> Vec<Vec<usize>> {
+                match rel.probe(sig, key) {
+                    dl::Probe::Index(bucket) | dl::Probe::Partial(bucket) => bucket
+                        .iter()
+                        .map(|&i| rel.row(dl::RowId(i)))
+                        .filter(|row| row.iter().zip(key).all(|(c, k)| c == k))
+                        .map(|row| row.iter().map(|c| c.index()).collect())
+                        .collect(),
+                    dl::Probe::Scan => scan(key),
+                }
+            };
+            // Live keys: no false negatives.
+            let rows: Vec<Vec<Cst>> = rel.rows().take(64).map(|r| r.to_vec()).collect();
+            for row in &rows {
+                assert_eq!(
+                    probe(row),
+                    scan(row),
+                    "{ctx}: {stage} probe diverges on a live key"
+                );
+            }
+            // Retracted keys of matching arity: a stale positive must be
+            // confirmed away, never resurrected.
+            for key in retracted.iter().filter(|k| k.len() == arity) {
+                assert_eq!(
+                    probe(key),
+                    scan(key),
+                    "{ctx}: {stage} probe diverges on a retracted key"
+                );
+            }
+        }
+    };
+    check(&db, "post-retract");
+    // Compaction is the rebuild hook: filters are reconstructed over the
+    // dense survivors and the same contract holds.
+    db.compact();
+    for &(p, arity) in &preds {
+        if arity >= 2 {
+            db.ensure_composite(p, (1u64 << arity) - 1);
+        }
+    }
+    check(&db, "post-compact");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 16,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn bloom_preprobes_sound_after_retract(seed in any::<u64>()) {
+        check_bloom_soundness_after_retract(seed);
     }
 }
 

@@ -10,6 +10,10 @@
 //!    completed round; the process never aborts.
 //! 3. **No hangs** — a tight wall-clock deadline on a large closure
 //!    returns `BudgetExhausted` promptly instead of spinning.
+//! 4. **Atomic retraction** (PR 10) — a deadline or cancellation tripping
+//!    mid-retraction rolls the whole maintenance step back: the database
+//!    stays byte-identical to the pre-call fixpoint (the completed-round
+//!    prefix), never a half-deleted cone.
 //!
 //! The final test is only active under the CI fault matrix: it reads
 //! `FUNDB_FAULT` and checks that *default* governors honor the injected
@@ -243,6 +247,92 @@ fn tight_deadline_on_tc_right_returns_instead_of_hanging() {
         start.elapsed() < std::time::Duration::from_secs(30),
         "deadline did not take effect"
     );
+}
+
+/// PR 10: a governed retraction is all-or-nothing. A pre-armed
+/// cancellation trips at the first checkpoint and must leave the database
+/// byte-identical (rows, order, asserted bits) to the pre-call fixpoint;
+/// a 1 ms deadline over a large right-linear closure trips somewhere in
+/// the over-delete/re-derive passes, and whichever way the race lands the
+/// database must hold either the untouched fixpoint or the completed
+/// retraction — verified against a rebuild without the fact — never a
+/// half-deleted cone.
+#[test]
+fn deadline_mid_retraction_leaves_the_fixpoint_prefix_intact() {
+    let mut fx = fixture(true);
+    let edges: Vec<(u8, u8)> = (0..128usize).map(|k| (k as u8, (k + 1) as u8)).collect();
+    let plan = DeltaPlan::new(&fx.rules);
+    let target = (
+        Cst(fx.interner.intern("v64")),
+        Cst(fx.interner.intern("v65")),
+    );
+
+    let mut db = edge_db(&mut fx, &edges);
+    evaluate_governed(&mut db, &fx.rules, &quiet(Budget::unlimited())).unwrap();
+    let before_paths = path_rows(&db, &fx);
+    let before_dump = db.dump(&fx.interner);
+
+    // Arm 1: cancellation already requested — deterministic trip, the
+    // retraction must report `Cancelled` and change nothing.
+    let gov = quiet(Budget::unlimited());
+    gov.cancel();
+    let err = db
+        .retract_fact_governed(fx.edge, &[target.0, target.1], &fx.rules, &plan, &gov)
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            EvalError::BudgetExhausted {
+                resource: Resource::Cancelled,
+                ..
+            }
+        ),
+        "expected a cancellation trip, got {err:?}"
+    );
+    assert_eq!(path_rows(&db, &fx), before_paths, "cancel left residue");
+    assert_eq!(db.dump(&fx.interner), before_dump);
+
+    // Rebuild oracle: the fixpoint over every edge except the target.
+    let mut without = edge_db(&mut fx, &edges);
+    without
+        .relation_mut(fx.edge, 2)
+        .retract_tuple(&[target.0, target.1])
+        .expect("target edge present");
+    let mut without = {
+        // Re-insert into a fresh db so the oracle has no tombstones.
+        let mut fresh = Database::new();
+        for (p, rel) in without.iter() {
+            for row in rel.rows() {
+                fresh.insert(p, row);
+            }
+        }
+        fresh
+    };
+    evaluate_governed(&mut without, &fx.rules, &quiet(Budget::unlimited())).unwrap();
+    let without_dump = without.dump(&fx.interner);
+
+    // Arm 2: a 1 ms deadline racing ~10k rows of over-delete work. Either
+    // the deadline wins (rollback: untouched bytes) or the retraction
+    // completes first (dump equals the rebuild oracle); nothing between.
+    let gov = quiet(Budget::unlimited().with_max_millis(1));
+    match db.retract_fact_governed(fx.edge, &[target.0, target.1], &fx.rules, &plan, &gov) {
+        Err(EvalError::BudgetExhausted {
+            resource: Resource::Time,
+            ..
+        }) => {
+            assert_eq!(path_rows(&db, &fx), before_paths, "deadline left residue");
+            assert_eq!(db.dump(&fx.interner), before_dump);
+        }
+        Ok(out) => {
+            assert!(out.found);
+            assert_eq!(
+                db.dump(&fx.interner),
+                without_dump,
+                "completed retraction diverges from rebuild"
+            );
+        }
+        Err(other) => panic!("unexpected retraction error {other:?}"),
+    }
 }
 
 /// PR 5 read-serving layer under the governor: a cancellation or an
